@@ -1,0 +1,320 @@
+// Command secbench regenerates every figure and table of the paper's
+// evaluation (see DESIGN.md §3 for the experiment index).
+//
+// Usage:
+//
+//	secbench -fig 2a          # Figure 2a: update mixes on the Emerald ladder
+//	secbench -fig 3           # Figure 3: push-only / pop-only, Emerald
+//	secbench -fig 4           # Figure 4: SEC aggregator sweep, Emerald
+//	secbench -table 1         # Table 1: SEC degrees, Emerald
+//	secbench -all             # everything
+//	secbench -all -paper      # paper-fidelity settings (5s x 5 runs)
+//	secbench -all -quick      # fast smoke settings (100ms x 1 run)
+//
+// Figures 5-8 and Table 2 are the IceLake repeats; Figures 9-12 and
+// Table 3 the Sapphire repeats. Output is text tables with the same
+// rows/series the paper plots.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+
+	"secstack/internal/harness"
+	"secstack/stack"
+)
+
+type settings struct {
+	duration time.Duration
+	runs     int
+	prefill  int
+	verbose  bool
+	csvDir   string
+}
+
+// emit prints the series as a text table and, when -csv is set, also
+// writes it in long-form CSV for external plotting.
+func emit(s *harness.Series, st settings) {
+	s.WriteTo(os.Stdout)
+	fmt.Println()
+	if st.csvDir == "" {
+		return
+	}
+	name := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			return r
+		default:
+			return '_'
+		}
+	}, s.Title)
+	f, err := os.Create(filepath.Join(st.csvDir, name+".csv"))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "csv: %v\n", err)
+		return
+	}
+	defer f.Close()
+	if err := s.WriteCSV(f); err != nil {
+		fmt.Fprintf(os.Stderr, "csv: %v\n", err)
+	}
+}
+
+func main() {
+	var (
+		fig     = flag.String("fig", "", "figure to regenerate: 2a, 2b, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12")
+		table   = flag.Int("table", 0, "table to regenerate: 1, 2, 3")
+		all     = flag.Bool("all", false, "regenerate every figure and table")
+		paper   = flag.Bool("paper", false, "paper-fidelity settings: 5s windows, 5 runs")
+		quick   = flag.Bool("quick", false, "smoke settings: 100ms windows, 1 run")
+		dur     = flag.Duration("duration", time.Second, "measurement window per run")
+		runs    = flag.Int("runs", 3, "runs averaged per point")
+		prefill = flag.Int("prefill", 1000, "elements prefilled before measuring (paper: 1000)")
+		verbose = flag.Bool("v", false, "print per-point progress")
+		csvDir  = flag.String("csv", "", "directory to also write long-form CSVs into")
+		latency = flag.Bool("latency", false, "print a per-algorithm latency comparison (companion measurement)")
+	)
+	flag.Parse()
+
+	st := settings{duration: *dur, runs: *runs, prefill: *prefill, verbose: *verbose, csvDir: *csvDir}
+	if *paper {
+		st.duration, st.runs = 5*time.Second, 5
+	}
+	if *quick {
+		st.duration, st.runs = 100*time.Millisecond, 1
+	}
+
+	fmt.Printf("# secbench: GOMAXPROCS=%d, window=%v, runs=%d, prefill=%d\n",
+		runtime.GOMAXPROCS(0), st.duration, st.runs, st.prefill)
+	fmt.Printf("# thread counts beyond GOMAXPROCS run oversubscribed, as the paper's\n")
+	fmt.Printf("# points beyond each machine's hardware threads do\n\n")
+
+	ran := false
+	if *all {
+		for _, f := range []string{"2a", "2b", "3", "4", "5", "6", "7", "8", "9", "10", "11", "12"} {
+			runFig(f, st)
+		}
+		for _, t := range []int{1, 2, 3} {
+			runTable(t, st)
+		}
+		ran = true
+	}
+	if *fig != "" {
+		runFig(*fig, st)
+		ran = true
+	}
+	if *table != 0 {
+		runTable(*table, st)
+		ran = true
+	}
+	if *latency {
+		runLatency(st)
+		ran = true
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// runLatency prints per-operation latency percentiles for every
+// algorithm at GOMAXPROCS and 4x GOMAXPROCS threads under the
+// update-heavy mix.
+func runLatency(st settings) {
+	fmt.Println("# Latency under 100% updates (sampled every 16th op)")
+	for _, threads := range []int{runtime.GOMAXPROCS(0), 4 * runtime.GOMAXPROCS(0)} {
+		for _, alg := range stack.Algorithms() {
+			l := harness.RunLatency(harness.Config{
+				Label:    string(alg),
+				Threads:  threads,
+				Duration: st.duration,
+				Prefill:  st.prefill,
+				Workload: harness.Update100,
+			}, harness.FactoryFor(alg, 2, false), 16)
+			fmt.Println(l)
+		}
+		fmt.Println()
+	}
+}
+
+func progress(st settings) func(string) {
+	if !st.verbose {
+		return nil
+	}
+	return func(m string) { fmt.Fprintln(os.Stderr, "  "+m) }
+}
+
+// algColumns builds the six-algorithm column set of Figures 2/3.
+func algColumns() ([]string, func(string) harness.Factory) {
+	cols := make([]string, 0, 6)
+	for _, a := range stack.Algorithms() {
+		cols = append(cols, string(a))
+	}
+	return cols, func(col string) harness.Factory {
+		return harness.FactoryFor(stack.Algorithm(col), 2, false)
+	}
+}
+
+// aggColumns builds the SEC_Agg1..5 column set of Figure 4.
+func aggColumns() ([]string, func(string) harness.Factory) {
+	cols := []string{"SEC_Agg1", "SEC_Agg2", "SEC_Agg3", "SEC_Agg4", "SEC_Agg5"}
+	return cols, func(col string) harness.Factory {
+		aggs := int(col[len(col)-1] - '0')
+		return harness.FactoryFor(stack.SEC, aggs, false)
+	}
+}
+
+func runFig(fig string, st settings) {
+	switch fig {
+	case "2a":
+		figUpdates("Figure 2a", harness.Emerald, st)
+	case "2b", "5":
+		figUpdates("Figure "+fig, harness.IceLake, st)
+	case "9":
+		figUpdates("Figure 9", harness.Sapphire, st)
+	case "3":
+		figOneSided("Figure 3", harness.Emerald, st)
+	case "6":
+		figOneSided("Figure 6", harness.IceLake, st)
+	case "10":
+		figOneSided("Figure 10", harness.Sapphire, st)
+	case "4":
+		figAggSweep("Figure 4", harness.Emerald, append(harness.UpdateWorkloads(), harness.PushOnly), st)
+	case "7":
+		figAggSweep("Figure 7", harness.IceLake, harness.UpdateWorkloads(), st)
+	case "8":
+		figAggSweep("Figure 8", harness.IceLake, []harness.Workload{harness.PushOnly, harness.PopOnly}, st)
+	case "11":
+		figAggSweep("Figure 11", harness.Sapphire, harness.UpdateWorkloads(), st)
+	case "12":
+		figAggSweep("Figure 12", harness.Sapphire, []harness.Workload{harness.PushOnly, harness.PopOnly}, st)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown figure %q\n", fig)
+		os.Exit(2)
+	}
+}
+
+// figUpdates renders one Figure 2/5/9-style panel set: throughput under
+// the three update mixes across the machine's thread ladder.
+func figUpdates(title string, m harness.Machine, st settings) {
+	cols, factory := algColumns()
+	for _, wl := range harness.UpdateWorkloads() {
+		s := harness.Sweep(fmt.Sprintf("%s %s, %s", title, m.Name, wl.Name), harness.SweepOptions{
+			Columns:  cols,
+			Factory:  factory,
+			Ladder:   m.Ladder,
+			Workload: wl,
+			Duration: st.duration,
+			Prefill:  st.prefill,
+			Runs:     st.runs,
+			Progress: progress(st),
+		})
+		emit(s, st)
+	}
+}
+
+// figOneSided renders a Figure 3/6/10-style panel pair: push-only and
+// pop-only throughput. Pop-only uses a deep prefill so pops mostly hit
+// a non-empty stack.
+func figOneSided(title string, m harness.Machine, st settings) {
+	cols, factory := algColumns()
+	for _, wl := range []harness.Workload{harness.PushOnly, harness.PopOnly} {
+		drain := wl.Name == harness.PopOnly.Name
+		prefill := st.prefill
+		if drain {
+			// Pop-only runs in drain mode: a deep prefill is popped dry
+			// and throughput is successful pops over elapsed time (a
+			// timed run over a small prefill mostly measures empty
+			// pops).
+			prefill = 1 << 20
+		}
+		s := harness.Sweep(fmt.Sprintf("%s %s, %s", title, m.Name, wl.Name), harness.SweepOptions{
+			Columns:  cols,
+			Factory:  factory,
+			Ladder:   m.Ladder,
+			Workload: wl,
+			Duration: st.duration,
+			Prefill:  prefill,
+			Runs:     st.runs,
+			Drain:    drain,
+			Progress: progress(st),
+		})
+		emit(s, st)
+	}
+}
+
+// figAggSweep renders a Figure 4/7/8/11/12-style panel set: SEC with
+// one to five aggregators.
+func figAggSweep(title string, m harness.Machine, workloads []harness.Workload, st settings) {
+	cols, factory := aggColumns()
+	for _, wl := range workloads {
+		drain := wl.Name == harness.PopOnly.Name
+		prefill := st.prefill
+		if drain {
+			prefill = 1 << 20
+		}
+		s := harness.Sweep(fmt.Sprintf("%s %s, %s", title, m.Name, wl.Name), harness.SweepOptions{
+			Columns:  cols,
+			Factory:  factory,
+			Ladder:   m.Ladder,
+			Workload: wl,
+			Duration: st.duration,
+			Prefill:  prefill,
+			Runs:     st.runs,
+			Drain:    drain,
+			Progress: progress(st),
+		})
+		emit(s, st)
+	}
+}
+
+// runTable renders a Table 1/2/3-style degree table: the instrumented
+// SEC stack's batching degree, %elimination and %combining per update
+// mix, averaged across the machine's thread ladder as the paper does.
+func runTable(n int, st settings) {
+	var m harness.Machine
+	switch n {
+	case 1:
+		m = harness.Emerald
+	case 2:
+		m = harness.IceLake
+	case 3:
+		m = harness.Sapphire
+	default:
+		fmt.Fprintf(os.Stderr, "unknown table %d\n", n)
+		os.Exit(2)
+	}
+	rows := make([]harness.DegreeRow, 0, 3)
+	for _, wl := range harness.UpdateWorkloads() {
+		var agg harness.Result
+		for _, threads := range m.Ladder {
+			r := harness.Run(harness.Config{
+				Label:    "SEC",
+				Threads:  threads,
+				Duration: st.duration,
+				Prefill:  st.prefill,
+				Workload: wl,
+				Runs:     st.runs,
+			}, harness.FactoryFor(stack.SEC, 2, true))
+			agg.Degrees.Batches += r.Degrees.Batches
+			agg.Degrees.Ops += r.Degrees.Ops
+			agg.Degrees.Eliminated += r.Degrees.Eliminated
+			agg.Degrees.Combined += r.Degrees.Combined
+			if st.verbose {
+				fmt.Fprintf(os.Stderr, "  table %d %s threads=%d: degree=%.1f elim=%.0f%%\n",
+					n, wl.Name, threads, r.Degrees.BatchingDegree(), r.Degrees.EliminationPct())
+			}
+		}
+		rows = append(rows, harness.DegreeRow{
+			Workload:       wl.Name,
+			BatchingDegree: agg.Degrees.BatchingDegree(),
+			EliminationPct: agg.Degrees.EliminationPct(),
+			CombiningPct:   agg.Degrees.CombiningPct(),
+		})
+	}
+	fmt.Println(harness.DegreeTable(fmt.Sprintf("Table %d (%s): SEC degrees", n, m.Name), rows))
+}

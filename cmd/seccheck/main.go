@@ -1,0 +1,171 @@
+// Command seccheck stress-checks the concurrent stacks: many rounds of
+// small concurrent histories verified with the exhaustive
+// linearizability checker, plus a large element-conservation run.
+//
+// Usage:
+//
+//	seccheck                  # check every algorithm briefly
+//	seccheck -alg SEC -rounds 500 -threads 6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+
+	"secstack/internal/lincheck"
+	"secstack/internal/xrand"
+	"secstack/stack"
+)
+
+func main() {
+	var (
+		algFlag = flag.String("alg", "", "algorithm to check (default: all)")
+		rounds  = flag.Int("rounds", 100, "linearizability rounds per algorithm")
+		threads = flag.Int("threads", 4, "concurrent threads per round")
+		opsPer  = flag.Int("ops", 4, "operations per thread per round (keep small: the check is exponential)")
+		consOps = flag.Int("conservation-ops", 200000, "per-thread operations for the conservation pass")
+	)
+	flag.Parse()
+
+	algs := stack.Algorithms()
+	if *algFlag != "" {
+		algs = []stack.Algorithm{stack.Algorithm(*algFlag)}
+		if _, ok := stack.NewByName[int64](algs[0], 2); !ok {
+			fmt.Fprintf(os.Stderr, "unknown algorithm %q\n", *algFlag)
+			os.Exit(2)
+		}
+	}
+
+	failed := false
+	for _, alg := range algs {
+		fmt.Printf("%-4s linearizability: %d rounds x %d threads x %d ops ... ",
+			alg, *rounds, *threads, *opsPer)
+		if n := checkLinearizability(alg, *rounds, *threads, *opsPer); n > 0 {
+			fmt.Printf("FAILED (%d non-linearizable histories)\n", n)
+			failed = true
+		} else {
+			fmt.Println("ok")
+		}
+
+		fmt.Printf("%-4s conservation: %d threads x %d ops ... ", alg, *threads, *consOps)
+		if err := checkConservation(alg, *threads, *consOps); err != nil {
+			fmt.Printf("FAILED (%v)\n", err)
+			failed = true
+		} else {
+			fmt.Println("ok")
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// checkLinearizability runs `rounds` small concurrent histories and
+// returns the number that fail the exhaustive stack check.
+func checkLinearizability(alg stack.Algorithm, rounds, threads, opsPer int) int {
+	bad := 0
+	for r := 0; r < rounds; r++ {
+		s, _ := stack.NewByName[int64](alg, 2)
+		rec := lincheck.NewRecorder(threads)
+		var wg sync.WaitGroup
+		for t := 0; t < threads; t++ {
+			wg.Add(1)
+			go func(t int) {
+				defer wg.Done()
+				h := s.Register()
+				rng := xrand.New(uint64(r)*1_000_003 + uint64(t)*7919)
+				base := int64(t+1) << 32
+				for i := 0; i < opsPer; i++ {
+					switch rng.Intn(4) {
+					case 0, 1:
+						v := base + int64(i)
+						inv := rec.Begin()
+						h.Push(v)
+						rec.RecordPush(t, v, inv)
+					case 2:
+						inv := rec.Begin()
+						v, ok := h.Pop()
+						rec.RecordPop(t, v, ok, inv)
+					default:
+						inv := rec.Begin()
+						v, ok := h.Peek()
+						rec.RecordPeek(t, v, ok, inv)
+					}
+				}
+			}(t)
+		}
+		wg.Wait()
+		if h := rec.History(); !lincheck.CheckStack(h) {
+			bad++
+			fmt.Fprintf(os.Stderr, "\n  round %d not linearizable:\n", r)
+			for _, op := range h {
+				fmt.Fprintf(os.Stderr, "    %s\n", op)
+			}
+		}
+	}
+	return bad
+}
+
+// checkConservation pushes unique values from every thread and verifies
+// that drain(popped) == pushed as multisets.
+func checkConservation(alg stack.Algorithm, threads, opsPer int) error {
+	s, _ := stack.NewByName[int64](alg, 2)
+	var (
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		popped = make(map[int64]int)
+		pushed = make(map[int64]bool)
+	)
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			h := s.Register()
+			rng := xrand.New(uint64(t) + 99)
+			localPop := make(map[int64]int)
+			localPush := make(map[int64]bool)
+			next := int64(t) << 32
+			for i := 0; i < opsPer; i++ {
+				if rng.Intn(2) == 0 {
+					next++
+					h.Push(next)
+					localPush[next] = true
+				} else if v, ok := h.Pop(); ok {
+					localPop[v]++
+				}
+			}
+			mu.Lock()
+			for v, c := range localPop {
+				popped[v] += c
+			}
+			for v := range localPush {
+				pushed[v] = true
+			}
+			mu.Unlock()
+		}(t)
+	}
+	wg.Wait()
+	h := s.Register()
+	for {
+		v, ok := h.Pop()
+		if !ok {
+			break
+		}
+		popped[v]++
+	}
+	for v, c := range popped {
+		if c != 1 {
+			return fmt.Errorf("value %d popped %d times", v, c)
+		}
+		if !pushed[v] {
+			return fmt.Errorf("value %d popped but never pushed", v)
+		}
+		delete(pushed, v)
+	}
+	if len(pushed) != 0 {
+		return fmt.Errorf("%d pushed values lost", len(pushed))
+	}
+	return nil
+}

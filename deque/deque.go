@@ -1,0 +1,331 @@
+// Package deque applies SEC's sharded elimination and combining to a
+// double-ended queue - the extension the paper repeatedly names as the
+// natural next target for its techniques ("the elimination and
+// combining techniques ... can be applied in other contexts, such as
+// designing efficient concurrent deques").
+//
+// Each end of the deque runs the SEC batch protocol independently:
+// operations on one end announce themselves with fetch&increment on the
+// end's active batch, the first announcer freezes the batch after a
+// batch-growing backoff, opposite operations with equal sequence
+// numbers eliminate (a PushLeft and a PopLeft cancel exactly like a
+// push/pop pair on a stack, and symmetrically on the right), and a
+// single combiner per batch applies the survivors to the shared deque.
+// Survivors are applied under a central mutex rather than a CAS-able
+// top pointer - a deque has no single word that one CAS can move, so
+// combining (batching many operations per lock acquisition) is exactly
+// what makes the lock cheap.
+package deque
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"secstack/internal/backoff"
+)
+
+// Side selects a deque end.
+type Side int
+
+// The two ends.
+const (
+	Left Side = iota
+	Right
+)
+
+// popResult is one pop's response, published by the combiner.
+type popResult[T any] struct {
+	v  T
+	ok bool
+}
+
+// ebatch is one end's batch: the SEC batch structure with values in
+// place of stack nodes and a result table in place of the substack.
+type ebatch[T any] struct {
+	pushCount atomic.Int64
+	popCount  atomic.Int64
+	pushAtF   atomic.Int64
+	popAtF    atomic.Int64
+	decided   atomic.Bool
+	applied   atomic.Bool
+
+	// elim[i] is the value announced by push sequence number i.
+	elim []atomic.Pointer[T]
+	// results[i] is the response of surviving pop offset i.
+	results []popResult[T]
+}
+
+// end is one deque end's aggregator.
+type end[T any] struct {
+	batch atomic.Pointer[ebatch[T]]
+	_     [56]byte
+}
+
+// Deque is a blocking linearizable double-ended queue. Use Register to
+// obtain per-goroutine handles.
+type Deque[T any] struct {
+	mu    sync.Mutex
+	items ring[T]
+
+	ends        [2]end[T]
+	perEnd      int
+	freezerSpin int
+	registered  atomic.Int32
+	maxThreads  int
+}
+
+// Options configures a Deque.
+type Options struct {
+	// MaxThreads bounds Register calls (default 256).
+	MaxThreads int
+	// FreezerSpin is the batch-growing backoff (default 128).
+	FreezerSpin int
+}
+
+// New returns an empty deque.
+func New[T any](o Options) *Deque[T] {
+	if o.MaxThreads <= 0 {
+		o.MaxThreads = 256
+	}
+	if o.FreezerSpin == 0 {
+		o.FreezerSpin = 128
+	}
+	if o.FreezerSpin < 0 {
+		o.FreezerSpin = 0
+	}
+	d := &Deque[T]{perEnd: o.MaxThreads, freezerSpin: o.FreezerSpin, maxThreads: o.MaxThreads}
+	for i := range d.ends {
+		d.ends[i].batch.Store(d.newBatch())
+	}
+	return d
+}
+
+func (d *Deque[T]) newBatch() *ebatch[T] {
+	p := int(d.registered.Load())
+	if p < 4 {
+		p = 4
+	}
+	if p > d.perEnd {
+		p = d.perEnd
+	}
+	return &ebatch[T]{
+		elim:    make([]atomic.Pointer[T], p),
+		results: make([]popResult[T], p),
+	}
+}
+
+// Handle is a per-goroutine session. Handles must not be shared between
+// goroutines.
+type Handle[T any] struct {
+	d *Deque[T]
+}
+
+// Register returns a new handle; it panics past MaxThreads handles.
+func (d *Deque[T]) Register() *Handle[T] {
+	if int(d.registered.Add(1)) > d.maxThreads {
+		panic(fmt.Sprintf("deque: more than MaxThreads=%d handles registered", d.maxThreads))
+	}
+	return &Handle[T]{d: d}
+}
+
+// PushLeft adds v at the left end.
+func (h *Handle[T]) PushLeft(v T) { h.push(Left, v) }
+
+// PushRight adds v at the right end.
+func (h *Handle[T]) PushRight(v T) { h.push(Right, v) }
+
+// PopLeft removes and returns the leftmost element; ok is false if the
+// deque did not hold enough elements for this operation's batch slice.
+func (h *Handle[T]) PopLeft() (T, bool) { return h.pop(Left) }
+
+// PopRight removes and returns the rightmost element.
+func (h *Handle[T]) PopRight() (T, bool) { return h.pop(Right) }
+
+// freeze snapshots both counters (clamped to the announcement arrays)
+// and installs a fresh batch on the end.
+func (h *Handle[T]) freeze(e *end[T], b *ebatch[T]) {
+	if h.d.freezerSpin > 0 {
+		backoff.Spin(h.d.freezerSpin)
+	}
+	limit := int64(len(b.elim))
+	b.popAtF.Store(min(b.popCount.Load(), limit))
+	b.pushAtF.Store(min(b.pushCount.Load(), limit))
+	e.batch.Store(h.d.newBatch())
+}
+
+func (h *Handle[T]) push(side Side, v T) {
+	d := h.d
+	e := &d.ends[side]
+	val := &v
+	for {
+		b := e.batch.Load()
+		seq := b.pushCount.Add(1) - 1
+		if int(seq) < len(b.elim) {
+			b.elim[seq].Store(val)
+		}
+
+		if seq == 0 && !b.decided.Swap(true) {
+			h.freeze(e, b)
+		} else {
+			var w backoff.Waiter
+			for e.batch.Load() == b {
+				w.Wait()
+			}
+		}
+
+		pushAtF, popAtF := b.pushAtF.Load(), b.popAtF.Load()
+		if seq >= pushAtF {
+			continue
+		}
+		el := min(pushAtF, popAtF)
+		if seq >= el { // survivor
+			if seq == el { // combiner: apply surviving pushes under the lock
+				d.mu.Lock()
+				var w backoff.Waiter
+				for i := seq; i < pushAtF; i++ {
+					var p *T
+					for {
+						if p = b.elim[i].Load(); p != nil {
+							break
+						}
+						w.Wait()
+					}
+					if side == Left {
+						d.items.pushFront(*p)
+					} else {
+						d.items.pushBack(*p)
+					}
+				}
+				d.mu.Unlock()
+				b.applied.Store(true)
+			} else {
+				var w backoff.Waiter
+				for !b.applied.Load() {
+					w.Wait()
+				}
+			}
+		}
+		return
+	}
+}
+
+func (h *Handle[T]) pop(side Side) (v T, ok bool) {
+	d := h.d
+	e := &d.ends[side]
+	for {
+		b := e.batch.Load()
+		seq := b.popCount.Add(1) - 1
+
+		if seq == 0 && !b.decided.Swap(true) {
+			h.freeze(e, b)
+		} else {
+			var w backoff.Waiter
+			for e.batch.Load() == b {
+				w.Wait()
+			}
+		}
+
+		pushAtF, popAtF := b.pushAtF.Load(), b.popAtF.Load()
+		if seq >= popAtF {
+			continue
+		}
+		el := min(pushAtF, popAtF)
+		if seq < el { // eliminated against push with the same number
+			var w backoff.Waiter
+			var p *T
+			for {
+				if p = b.elim[seq].Load(); p != nil {
+					break
+				}
+				w.Wait()
+			}
+			return *p, true
+		}
+
+		if seq == el { // combiner: apply surviving pops under the lock
+			k := popAtF - el
+			d.mu.Lock()
+			for i := int64(0); i < k; i++ {
+				if side == Left {
+					b.results[i].v, b.results[i].ok = d.items.popFront()
+				} else {
+					b.results[i].v, b.results[i].ok = d.items.popBack()
+				}
+			}
+			d.mu.Unlock()
+			b.applied.Store(true)
+		} else {
+			var w backoff.Waiter
+			for !b.applied.Load() {
+				w.Wait()
+			}
+		}
+		r := b.results[seq-el]
+		return r.v, r.ok
+	}
+}
+
+// Len counts elements; a racy diagnostic for quiescent states.
+func (d *Deque[T]) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.items.len()
+}
+
+// ring is a growable circular buffer backing the sequential deque.
+type ring[T any] struct {
+	buf  []T
+	head int // index of the leftmost element
+	n    int
+}
+
+func (r *ring[T]) len() int { return r.n }
+
+func (r *ring[T]) grow() {
+	if r.n < len(r.buf) {
+		return
+	}
+	next := make([]T, max(4, 2*len(r.buf)))
+	for i := 0; i < r.n; i++ {
+		next[i] = r.buf[(r.head+i)%len(r.buf)]
+	}
+	r.buf, r.head = next, 0
+}
+
+func (r *ring[T]) pushFront(v T) {
+	r.grow()
+	r.head = (r.head - 1 + len(r.buf)) % len(r.buf)
+	r.buf[r.head] = v
+	r.n++
+}
+
+func (r *ring[T]) pushBack(v T) {
+	r.grow()
+	r.buf[(r.head+r.n)%len(r.buf)] = v
+	r.n++
+}
+
+func (r *ring[T]) popFront() (v T, ok bool) {
+	if r.n == 0 {
+		return v, false
+	}
+	var zero T
+	v = r.buf[r.head]
+	r.buf[r.head] = zero
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return v, true
+}
+
+func (r *ring[T]) popBack() (v T, ok bool) {
+	if r.n == 0 {
+		return v, false
+	}
+	var zero T
+	i := (r.head + r.n - 1) % len(r.buf)
+	v = r.buf[i]
+	r.buf[i] = zero
+	r.n--
+	return v, true
+}

@@ -1,0 +1,236 @@
+package deque
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"secstack/internal/xrand"
+)
+
+func TestRingBasics(t *testing.T) {
+	var r ring[int]
+	if _, ok := r.popFront(); ok {
+		t.Fatal("popFront on empty ring")
+	}
+	if _, ok := r.popBack(); ok {
+		t.Fatal("popBack on empty ring")
+	}
+	r.pushBack(1)
+	r.pushBack(2)
+	r.pushFront(0)
+	if r.len() != 3 {
+		t.Fatalf("len = %d", r.len())
+	}
+	if v, _ := r.popFront(); v != 0 {
+		t.Fatalf("popFront = %d, want 0", v)
+	}
+	if v, _ := r.popBack(); v != 2 {
+		t.Fatalf("popBack = %d, want 2", v)
+	}
+	if v, _ := r.popFront(); v != 1 {
+		t.Fatalf("popFront = %d, want 1", v)
+	}
+}
+
+func TestRingQuickVsSlice(t *testing.T) {
+	check := func(ops []int8) bool {
+		var r ring[int8]
+		var model []int8
+		for _, op := range ops {
+			switch {
+			case op >= 64: // pushFront
+				r.pushFront(op)
+				model = append([]int8{op}, model...)
+			case op >= 0: // pushBack
+				r.pushBack(op)
+				model = append(model, op)
+			case op%2 == 0: // popFront
+				v, ok := r.popFront()
+				if len(model) == 0 {
+					if ok {
+						return false
+					}
+					continue
+				}
+				if !ok || v != model[0] {
+					return false
+				}
+				model = model[1:]
+			default: // popBack
+				v, ok := r.popBack()
+				if len(model) == 0 {
+					if ok {
+						return false
+					}
+					continue
+				}
+				if !ok || v != model[len(model)-1] {
+					return false
+				}
+				model = model[:len(model)-1]
+			}
+			if r.len() != len(model) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSequentialDequeSemantics(t *testing.T) {
+	d := New[int](Options{})
+	h := d.Register()
+	h.PushLeft(2)
+	h.PushLeft(1)
+	h.PushRight(3)
+	// Deque: 1 2 3
+	if v, ok := h.PopLeft(); !ok || v != 1 {
+		t.Fatalf("PopLeft = (%d, %v), want (1, true)", v, ok)
+	}
+	if v, ok := h.PopRight(); !ok || v != 3 {
+		t.Fatalf("PopRight = (%d, %v), want (3, true)", v, ok)
+	}
+	if v, ok := h.PopLeft(); !ok || v != 2 {
+		t.Fatalf("PopLeft = (%d, %v), want (2, true)", v, ok)
+	}
+	if _, ok := h.PopLeft(); ok {
+		t.Fatal("PopLeft on empty deque succeeded")
+	}
+	if _, ok := h.PopRight(); ok {
+		t.Fatal("PopRight on empty deque succeeded")
+	}
+}
+
+func TestStackLikeLeftEnd(t *testing.T) {
+	d := New[int](Options{})
+	h := d.Register()
+	for i := 0; i < 100; i++ {
+		h.PushLeft(i)
+	}
+	for want := 99; want >= 0; want-- {
+		v, ok := h.PopLeft()
+		if !ok || v != want {
+			t.Fatalf("PopLeft = (%d, %v), want (%d, true)", v, ok, want)
+		}
+	}
+}
+
+func TestQueueLikeUse(t *testing.T) {
+	d := New[int](Options{})
+	h := d.Register()
+	for i := 0; i < 100; i++ {
+		h.PushRight(i)
+	}
+	for want := 0; want < 100; want++ {
+		v, ok := h.PopLeft()
+		if !ok || v != want {
+			t.Fatalf("PopLeft = (%d, %v), want (%d, true)", v, ok, want)
+		}
+	}
+}
+
+func TestRegisterPanicsPastMaxThreads(t *testing.T) {
+	d := New[int](Options{MaxThreads: 1})
+	d.Register()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	d.Register()
+}
+
+// TestConcurrentConservation: unique values in, unique values out (via
+// either end), none lost or duplicated.
+func TestConcurrentConservation(t *testing.T) {
+	d := New[int64](Options{})
+	const g, per = 8, 2000
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	counts := make(map[int64]int)
+	for w := 0; w < g; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := d.Register()
+			rng := xrand.New(uint64(w) + 31)
+			local := make(map[int64]int)
+			next := int64(w) << 32
+			for i := 0; i < per; i++ {
+				switch rng.Intn(4) {
+				case 0:
+					next++
+					h.PushLeft(next)
+				case 1:
+					next++
+					h.PushRight(next)
+				case 2:
+					if v, ok := h.PopLeft(); ok {
+						local[v]++
+					}
+				default:
+					if v, ok := h.PopRight(); ok {
+						local[v]++
+					}
+				}
+			}
+			mu.Lock()
+			for k, c := range local {
+				counts[k] += c
+			}
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	h := d.Register()
+	for {
+		v, ok := h.PopLeft()
+		if !ok {
+			break
+		}
+		counts[v]++
+	}
+	for v, c := range counts {
+		if c != 1 {
+			t.Fatalf("value %d seen %d times", v, c)
+		}
+	}
+}
+
+// TestOppositeEndsParallel: pushes on the left and pops on the right
+// flow through as a FIFO under concurrency.
+func TestOppositeEndsParallel(t *testing.T) {
+	d := New[int64](Options{})
+	const n = 5000
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		h := d.Register()
+		for i := int64(0); i < n; i++ {
+			h.PushLeft(i)
+		}
+	}()
+	var got []int64
+	go func() {
+		defer wg.Done()
+		h := d.Register()
+		for len(got) < n {
+			if v, ok := h.PopRight(); ok {
+				got = append(got, v)
+			}
+		}
+	}()
+	wg.Wait()
+	// PushLeft then PopRight = FIFO per producer: values must arrive in
+	// increasing order.
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("FIFO order broken: %d then %d", got[i-1], got[i])
+		}
+	}
+}

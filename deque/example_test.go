@@ -1,0 +1,23 @@
+package deque_test
+
+import (
+	"fmt"
+
+	"secstack/deque"
+)
+
+// A deque serves as a stack at either end and as a queue across ends.
+func ExampleNew() {
+	d := deque.New[int](deque.Options{})
+	h := d.Register()
+	h.PushLeft(2)
+	h.PushLeft(1)
+	h.PushRight(3)
+	// deque is now: 1 2 3
+	l, _ := h.PopLeft()
+	r, _ := h.PopRight()
+	m, _ := h.PopLeft()
+	fmt.Println(l, m, r)
+	// Output:
+	// 1 2 3
+}

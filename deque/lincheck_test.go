@@ -1,0 +1,63 @@
+package deque_test
+
+import (
+	"sync"
+	"testing"
+
+	"secstack/deque"
+	"secstack/internal/lincheck"
+	"secstack/internal/xrand"
+)
+
+// TestDequeLinearizability checks many small concurrent histories of
+// the SEC-style deque with the exhaustive deque checker.
+func TestDequeLinearizability(t *testing.T) {
+	const (
+		threads = 4
+		opsPer  = 4
+		rounds  = 40
+	)
+	for r := 0; r < rounds; r++ {
+		d := deque.New[int64](deque.Options{})
+		rec := lincheck.NewDeqRecorder(threads)
+		var wg sync.WaitGroup
+		for w := 0; w < threads; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				h := d.Register()
+				rng := xrand.New(uint64(r)*65537 + uint64(w)*7919)
+				base := int64(w+1) << 32
+				for i := 0; i < opsPer; i++ {
+					switch rng.Intn(8) {
+					case 0, 1:
+						v := base + int64(i)
+						inv := rec.Begin()
+						h.PushLeft(v)
+						rec.Record(w, lincheck.PushLeft, v, true, inv)
+					case 2, 3:
+						v := base + int64(i)
+						inv := rec.Begin()
+						h.PushRight(v)
+						rec.Record(w, lincheck.PushRight, v, true, inv)
+					case 4, 5:
+						inv := rec.Begin()
+						v, ok := h.PopLeft()
+						rec.Record(w, lincheck.PopLeft, v, ok, inv)
+					default:
+						inv := rec.Begin()
+						v, ok := h.PopRight()
+						rec.Record(w, lincheck.PopRight, v, ok, inv)
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		if h := rec.History(); !lincheck.CheckDeque(h) {
+			for _, op := range h {
+				t.Logf("%s", op)
+			}
+			t.Fatalf("round %d: deque history not linearizable", r)
+		}
+	}
+}

@@ -1,0 +1,12 @@
+// Package secstack is a from-scratch Go reproduction of "Sharded
+// Elimination and Combining for Highly-Efficient Concurrent Stacks"
+// (Singh, Metaxakis, Fatourou; PPoPP '26).
+//
+// The public API lives in secstack/stack: the SEC stack itself plus the
+// five baseline concurrent stacks the paper evaluates against (Treiber,
+// elimination-backoff, flat combining, CC-Synch, interval timestamped).
+// The benchmark families in bench_test.go and the cmd/secbench tool
+// regenerate every figure and table of the paper's evaluation; see
+// DESIGN.md for the experiment index and EXPERIMENTS.md for measured
+// results.
+package secstack

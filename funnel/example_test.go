@@ -1,0 +1,21 @@
+package funnel_test
+
+import (
+	"fmt"
+
+	"secstack/funnel"
+)
+
+// FetchAdd has the hardware fetch&add contract: it returns the counter
+// value from immediately before the operation's place in the order.
+func ExampleFunnel_sequence() {
+	f := funnel.New(funnel.Options{})
+	h := f.Register()
+	fmt.Println(h.FetchAdd(10))
+	fmt.Println(h.FetchAdd(5))
+	fmt.Println(f.Load())
+	// Output:
+	// 0
+	// 10
+	// 15
+}

@@ -1,0 +1,195 @@
+// Package funnel implements a software fetch&add in the style of
+// aggregating funnels (Roh, Wei, Ruppert, Fatourou, Jayanti, Shun;
+// PPoPP '24) - the work the paper credits for SEC's nested-sharding
+// idea. It demonstrates that SEC's aggregator/batch/freeze machinery is
+// of independent interest: the exact same protocol, minus elimination
+// and with a prefix-sum in place of a substack, yields a scalable
+// shared counter.
+//
+// Threads are partitioned across aggregators; each aggregator batches
+// the fetch&add amounts announced by its threads. The first announcer
+// of a batch freezes it (after a batch-growing backoff) and acts as the
+// delegate: it applies the batch's total to the central counter with a
+// single hardware fetch&add and publishes per-operation prefix sums, so
+// every announcer receives the value it would have seen had the
+// operations run in sequence-number order.
+package funnel
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"secstack/internal/backoff"
+)
+
+// fBatch is one batch of announced add amounts.
+type fBatch struct {
+	count         atomic.Int64
+	countAtFreeze atomic.Int64
+	frozen        atomic.Bool // plays isFreezerDecided's role; seq 0 wins by F&I
+	applied       atomic.Bool
+
+	// slots[i] holds the amount announced by sequence number i, encoded
+	// as amount<<1|1 so that zero amounts are distinguishable from
+	// unwritten slots.
+	slots []atomic.Int64
+
+	// results[i] is the central counter value operation i returns;
+	// written by the delegate before applied is set.
+	results []int64
+}
+
+// aggregator holds the active batch pointer, padded against false
+// sharing.
+type aggregator struct {
+	batch atomic.Pointer[fBatch]
+	_     [56]byte
+}
+
+// Funnel is a sharded fetch&add counter. Use Register for per-goroutine
+// handles.
+type Funnel struct {
+	counter    atomic.Int64
+	aggs       []aggregator
+	maxPerAgg  int
+	spin       int
+	registered atomic.Int32
+	maxThreads int
+}
+
+// Options configures a Funnel.
+type Options struct {
+	// Aggregators is the shard count (default 2, as in SEC).
+	Aggregators int
+	// MaxThreads bounds Register calls (default 256).
+	MaxThreads int
+	// DelegateSpin is the freezer's batch-growing backoff (default 128).
+	DelegateSpin int
+	// Initial is the counter's starting value.
+	Initial int64
+}
+
+// New returns a funnel counter.
+func New(o Options) *Funnel {
+	if o.Aggregators <= 0 {
+		o.Aggregators = 2
+	}
+	if o.MaxThreads <= 0 {
+		o.MaxThreads = 256
+	}
+	if o.DelegateSpin < 0 {
+		o.DelegateSpin = 0
+	}
+	f := &Funnel{
+		aggs:       make([]aggregator, o.Aggregators),
+		maxPerAgg:  (o.MaxThreads + o.Aggregators - 1) / o.Aggregators,
+		spin:       o.DelegateSpin,
+		maxThreads: o.MaxThreads,
+	}
+	f.counter.Store(o.Initial)
+	for i := range f.aggs {
+		f.aggs[i].batch.Store(f.newBatch())
+	}
+	return f
+}
+
+func (f *Funnel) newBatch() *fBatch {
+	n := int(f.registered.Load())
+	p := (n + len(f.aggs) - 1) / len(f.aggs)
+	if p < 4 {
+		p = 4
+	}
+	if p > f.maxPerAgg {
+		p = f.maxPerAgg
+	}
+	return &fBatch{
+		slots:   make([]atomic.Int64, p),
+		results: make([]int64, p),
+	}
+}
+
+// Handle is a per-goroutine session. Handles must not be shared between
+// goroutines.
+type Handle struct {
+	f   *Funnel
+	agg *aggregator
+}
+
+// Register returns a new handle; it panics past MaxThreads handles.
+func (f *Funnel) Register() *Handle {
+	tid := int(f.registered.Add(1)) - 1
+	if tid >= f.maxThreads {
+		panic(fmt.Sprintf("funnel: more than MaxThreads=%d handles registered", f.maxThreads))
+	}
+	return &Handle{f: f, agg: &f.aggs[tid%len(f.aggs)]}
+}
+
+// Load returns the counter's current value. Batched amounts become
+// visible atomically when their delegate applies the batch.
+func (f *Funnel) Load() int64 { return f.counter.Load() }
+
+// FetchAdd atomically adds amount to the counter and returns the value
+// the counter held immediately before this operation's place in the
+// batch order - the same contract as a hardware fetch&add.
+func (h *Handle) FetchAdd(amount int64) int64 {
+	f := h.f
+	for {
+		b := h.agg.batch.Load()
+		seq := b.count.Add(1) - 1
+		if int(seq) < len(b.slots) {
+			b.slots[seq].Store(amount<<1 | 1)
+		}
+
+		if seq == 0 && !b.frozen.Swap(true) {
+			h.freeze(b)
+		} else {
+			var w backoff.Waiter
+			for h.agg.batch.Load() == b {
+				w.Wait()
+			}
+		}
+
+		frozen := b.countAtFreeze.Load()
+		if seq >= frozen {
+			continue // announced after the freeze: retry in a later batch
+		}
+
+		if seq == 0 { // delegate: aggregate, apply, publish prefix sums
+			var w backoff.Waiter
+			total := int64(0)
+			for i := int64(0); i < frozen; i++ {
+				var enc int64
+				for {
+					if enc = b.slots[i].Load(); enc != 0 {
+						break
+					}
+					w.Wait()
+				}
+				b.results[i] = total // prefix before operation i
+				total += enc >> 1
+			}
+			base := f.counter.Add(total) - total
+			for i := int64(0); i < frozen; i++ {
+				b.results[i] += base
+			}
+			b.applied.Store(true)
+		} else {
+			var w backoff.Waiter
+			for !b.applied.Load() {
+				w.Wait()
+			}
+		}
+		return b.results[seq]
+	}
+}
+
+// freeze snapshots the announcement count (clamped to the slot array,
+// as in SEC) and installs a fresh batch.
+func (h *Handle) freeze(b *fBatch) {
+	if h.f.spin > 0 {
+		backoff.Spin(h.f.spin)
+	}
+	n := min(b.count.Load(), int64(len(b.slots)))
+	b.countAtFreeze.Store(n)
+	h.agg.batch.Store(h.f.newBatch())
+}

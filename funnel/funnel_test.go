@@ -1,0 +1,189 @@
+package funnel
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestSingleThreadSequence(t *testing.T) {
+	f := New(Options{})
+	h := f.Register()
+	for i := int64(0); i < 100; i++ {
+		if got := h.FetchAdd(1); got != i {
+			t.Fatalf("FetchAdd #%d returned %d", i, got)
+		}
+	}
+	if f.Load() != 100 {
+		t.Fatalf("Load = %d, want 100", f.Load())
+	}
+}
+
+func TestInitialValue(t *testing.T) {
+	f := New(Options{Initial: 40})
+	h := f.Register()
+	if got := h.FetchAdd(2); got != 40 {
+		t.Fatalf("FetchAdd = %d, want 40", got)
+	}
+	if f.Load() != 42 {
+		t.Fatalf("Load = %d, want 42", f.Load())
+	}
+}
+
+func TestZeroAmount(t *testing.T) {
+	// Amount 0 must be distinguishable from an unwritten slot.
+	f := New(Options{})
+	h := f.Register()
+	h.FetchAdd(5)
+	if got := h.FetchAdd(0); got != 5 {
+		t.Fatalf("FetchAdd(0) = %d, want 5", got)
+	}
+	if f.Load() != 5 {
+		t.Fatalf("Load = %d, want 5", f.Load())
+	}
+}
+
+func TestNegativeAmounts(t *testing.T) {
+	f := New(Options{})
+	h := f.Register()
+	h.FetchAdd(10)
+	if got := h.FetchAdd(-3); got != 10 {
+		t.Fatalf("FetchAdd(-3) = %d, want 10", got)
+	}
+	if f.Load() != 7 {
+		t.Fatalf("Load = %d, want 7", f.Load())
+	}
+}
+
+func TestRegisterPanicsPastMaxThreads(t *testing.T) {
+	f := New(Options{MaxThreads: 1})
+	f.Register()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f.Register()
+}
+
+// TestConcurrentSumAndUniqueness is the fetch&increment contract the
+// paper's introduction leans on (LCRQ-style sequence numbers): with
+// delta 1 from every thread, returned values must be exactly
+// 0..total-1, each once.
+func TestConcurrentSumAndUniqueness(t *testing.T) {
+	const g, per = 16, 5000
+	for _, aggs := range []int{1, 2, 4} {
+		f := New(Options{Aggregators: aggs})
+		seen := make([]int32, g*per)
+		var wg sync.WaitGroup
+		for w := 0; w < g; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				h := f.Register()
+				for i := 0; i < per; i++ {
+					v := h.FetchAdd(1)
+					seen[v]++
+				}
+			}()
+		}
+		wg.Wait()
+		if f.Load() != g*per {
+			t.Fatalf("aggs=%d: Load = %d, want %d", aggs, f.Load(), g*per)
+		}
+		for v, c := range seen {
+			if c != 1 {
+				t.Fatalf("aggs=%d: value %d returned %d times", aggs, v, c)
+			}
+		}
+	}
+}
+
+// TestConcurrentMixedAmounts checks sum conservation with arbitrary
+// per-thread amounts.
+func TestConcurrentMixedAmounts(t *testing.T) {
+	const g, per = 8, 3000
+	f := New(Options{})
+	var wg sync.WaitGroup
+	var want int64
+	var mu sync.Mutex
+	for w := 0; w < g; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := f.Register()
+			local := int64(0)
+			for i := 0; i < per; i++ {
+				amt := int64((w*per+i)%7 - 3) // mixed signs incl. zero
+				h.FetchAdd(amt)
+				local += amt
+			}
+			mu.Lock()
+			want += local
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	if got := f.Load(); got != want {
+		t.Fatalf("Load = %d, want %d", got, want)
+	}
+}
+
+// TestPerThreadMonotonicity: with positive deltas, one thread's
+// returned values must be strictly increasing (its own adds are ordered
+// by its program order).
+func TestPerThreadMonotonicity(t *testing.T) {
+	const g, per = 8, 2000
+	f := New(Options{})
+	var wg sync.WaitGroup
+	errs := make(chan string, g)
+	for w := 0; w < g; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := f.Register()
+			prev := int64(-1)
+			for i := 0; i < per; i++ {
+				v := h.FetchAdd(1)
+				if v <= prev {
+					errs <- "non-monotonic return"
+					return
+				}
+				prev = v
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+func TestQuickSequentialMatchesPlainCounter(t *testing.T) {
+	check := func(amounts []int8) bool {
+		f := New(Options{})
+		h := f.Register()
+		plain := int64(0)
+		for _, a := range amounts {
+			if h.FetchAdd(int64(a)) != plain {
+				return false
+			}
+			plain += int64(a)
+		}
+		return f.Load() == plain
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkFetchAddContended(b *testing.B) {
+	f := New(Options{})
+	b.RunParallel(func(pb *testing.PB) {
+		h := f.Register()
+		for pb.Next() {
+			h.FetchAdd(1)
+		}
+	})
+}

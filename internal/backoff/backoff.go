@@ -1,0 +1,118 @@
+// Package backoff provides contention-management primitives shared by the
+// concurrent stack implementations: randomized exponential backoff for
+// CAS-retry loops and bounded spin-then-yield waiters for the blocking
+// phases of SEC.
+//
+// The paper's algorithms spin on shared flags assuming OS threads pinned
+// to cores. Under the Go runtime, a spinning goroutine can starve the
+// goroutine it is waiting for when goroutines outnumber GOMAXPROCS, so
+// every waiter here yields to the scheduler after a bounded number of
+// spins. This is the repro-critical delta called out in DESIGN.md §4.
+package backoff
+
+import (
+	"runtime"
+
+	"secstack/internal/xrand"
+)
+
+// spinsPerYield is how many busy iterations a waiter performs between
+// runtime.Gosched calls. Small enough to keep oversubscribed runs live,
+// large enough that at-or-below GOMAXPROCS the wait stays in user space
+// (a scheduler round trip costs microseconds - three orders of
+// magnitude more than the batch-coordination waits SEC performs).
+const spinsPerYield = 4096
+
+// Exp implements randomized truncated exponential backoff, in the style
+// of Herlihy & Shavit §7.4. It is not safe for concurrent use; each
+// goroutine owns its own Exp.
+type Exp struct {
+	rng      *xrand.State
+	min, max int
+	cur      int
+}
+
+// NewExp returns an exponential backoff ranging from min to max spin
+// iterations. min must be at least 1 and max at least min.
+func NewExp(min, max int, seed uint64) *Exp {
+	if min < 1 {
+		min = 1
+	}
+	if max < min {
+		max = min
+	}
+	return &Exp{rng: xrand.New(seed), min: min, max: max, cur: min}
+}
+
+// Backoff spins for a random duration up to the current limit, then
+// doubles the limit (truncated at max).
+func (e *Exp) Backoff() {
+	n := e.rng.Intn(e.cur) + 1
+	for i := 0; i < n; i++ {
+		if i%spinsPerYield == spinsPerYield-1 {
+			runtime.Gosched()
+		}
+		spinHint()
+	}
+	if e.cur < e.max {
+		e.cur *= 2
+		if e.cur > e.max {
+			e.cur = e.max
+		}
+	}
+}
+
+// Reset restores the backoff limit to its minimum. Call after a
+// successful operation.
+func (e *Exp) Reset() {
+	e.cur = e.min
+}
+
+// Limit reports the current backoff limit, for tests and adaptive
+// policies.
+func (e *Exp) Limit() int { return e.cur }
+
+// Waiter is a bounded-spin-then-yield helper for waiting on a condition
+// maintained by another goroutine. The zero value is ready to use.
+//
+//	var w backoff.Waiter
+//	for !flag.Load() {
+//		w.Wait()
+//	}
+type Waiter struct {
+	spins int
+}
+
+// Wait performs one unit of waiting: a CPU spin hint, escalating to a
+// scheduler yield every spinsPerYield calls.
+func (w *Waiter) Wait() {
+	w.spins++
+	if w.spins%spinsPerYield == 0 {
+		runtime.Gosched()
+	} else {
+		spinHint()
+	}
+}
+
+// Spins reports how many Wait calls have been made, for instrumentation.
+func (w *Waiter) Spins() int { return w.spins }
+
+// Spin busy-loops for n iterations, yielding periodically. It is the
+// freezer's pre-freeze delay in SEC (grows the batch) and the interval
+// delay in the timestamped stack.
+func Spin(n int) {
+	for i := 0; i < n; i++ {
+		if i%spinsPerYield == spinsPerYield-1 {
+			runtime.Gosched()
+		}
+		spinHint()
+	}
+}
+
+// spinHint is a best-effort CPU relax. Go has no portable PAUSE
+// instruction; a noinline call keeps spin loops from being optimized
+// away while staying cheap and side-effect free.
+//
+//go:noinline
+func spinHint() {
+}

@@ -1,0 +1,111 @@
+package backoff
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestNewExpClampsArguments(t *testing.T) {
+	e := NewExp(0, 0, 1)
+	if e.min != 1 || e.max != 1 {
+		t.Fatalf("min/max = %d/%d, want 1/1", e.min, e.max)
+	}
+	e = NewExp(10, 5, 1)
+	if e.max != 10 {
+		t.Fatalf("max = %d, want clamped to min 10", e.max)
+	}
+}
+
+func TestExpDoubling(t *testing.T) {
+	e := NewExp(2, 16, 1)
+	want := []int{2, 4, 8, 16, 16, 16}
+	for i, w := range want {
+		if e.Limit() != w {
+			t.Fatalf("step %d: limit = %d, want %d", i, e.Limit(), w)
+		}
+		e.Backoff()
+	}
+}
+
+func TestExpReset(t *testing.T) {
+	e := NewExp(2, 64, 1)
+	for i := 0; i < 10; i++ {
+		e.Backoff()
+	}
+	if e.Limit() != 64 {
+		t.Fatalf("limit = %d, want saturated 64", e.Limit())
+	}
+	e.Reset()
+	if e.Limit() != 2 {
+		t.Fatalf("after Reset limit = %d, want 2", e.Limit())
+	}
+}
+
+func TestWaiterCountsSpins(t *testing.T) {
+	var w Waiter
+	for i := 0; i < 500; i++ {
+		w.Wait()
+	}
+	if w.Spins() != 500 {
+		t.Fatalf("Spins = %d, want 500", w.Spins())
+	}
+}
+
+// TestWaiterMakesProgressOversubscribed is the repro-critical property:
+// a waiter must not starve its producer even when every P is occupied by
+// a spinning goroutine.
+func TestWaiterMakesProgressOversubscribed(t *testing.T) {
+	nprocs := 4
+	waiters := nprocs * 8 // heavily oversubscribed
+	var flag atomic.Bool
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var w Waiter
+			for !flag.Load() {
+				w.Wait()
+			}
+		}()
+	}
+	// The producer runs last; without yields in Wait it could be starved
+	// on a small GOMAXPROCS. Give it a moment to be scheduled.
+	time.Sleep(10 * time.Millisecond)
+	flag.Store(true)
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("waiters failed to observe flag within 10s (starvation)")
+	}
+}
+
+func TestSpinTerminates(t *testing.T) {
+	start := time.Now()
+	Spin(10000)
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("Spin(10000) took implausibly long")
+	}
+}
+
+func TestSpinZero(t *testing.T) {
+	Spin(0) // must not hang or panic
+}
+
+func BenchmarkWaiterWait(b *testing.B) {
+	var w Waiter
+	for i := 0; i < b.N; i++ {
+		w.Wait()
+	}
+}
+
+func BenchmarkExpBackoffMin(b *testing.B) {
+	e := NewExp(1, 1, 1)
+	for i := 0; i < b.N; i++ {
+		e.Backoff()
+	}
+}

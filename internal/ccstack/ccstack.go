@@ -1,0 +1,166 @@
+// Package ccstack implements a stack protected by the CC-Synch combining
+// protocol of Fatourou and Kallimanis (PPoPP '12), the CC baseline of
+// the paper's evaluation.
+//
+// CC-Synch organizes pending requests in an implicit queue built with a
+// single SWAP per operation: each thread exchanges its spare node into
+// the shared tail, announces its request on the node it received, and
+// spins locally. The thread whose node reaches the head of the queue
+// becomes the combiner and serves up to H requests along the chain
+// before handing the combiner role to the next waiting thread - giving
+// combining without a lock and with purely local spinning.
+package ccstack
+
+import (
+	"sync/atomic"
+
+	"secstack/internal/backoff"
+	"secstack/internal/seqstack"
+)
+
+// Request codes.
+const (
+	opPush int32 = iota + 1
+	opPop
+	opPeek
+)
+
+// ccNode is one cell of the request queue. Fields req/value are written
+// by the announcing thread before it publishes the node via next
+// (release); the combiner reads next (acquire) before req/value, and
+// writes result fields before clearing wait (release).
+type ccNode[T any] struct {
+	req      int32
+	value    T
+	result   T
+	resultOK bool
+	complete bool
+	wait     atomic.Bool
+	next     atomic.Pointer[ccNode[T]]
+	_        [16]byte
+}
+
+// Stack is a CC-Synch-combined stack. Use Register to obtain
+// per-goroutine handles.
+type Stack[T any] struct {
+	tail atomic.Pointer[ccNode[T]]
+	stk  *seqstack.Stack[T]
+	h    int // max requests served per combiner session
+}
+
+// Option configures a Stack.
+type Option func(*config)
+
+type config struct{ h int }
+
+// WithServeLimit sets H, the maximum number of requests one combiner
+// serves before passing the role on. Default 64 (the original paper
+// uses a small multiple of the thread count).
+func WithServeLimit(h int) Option {
+	return func(c *config) {
+		if h > 0 {
+			c.h = h
+		}
+	}
+}
+
+// New returns an empty CC-Synch stack.
+func New[T any](opts ...Option) *Stack[T] {
+	c := config{h: 64}
+	for _, o := range opts {
+		o(&c)
+	}
+	s := &Stack[T]{stk: seqstack.New[T](1024), h: c.h}
+	s.tail.Store(&ccNode[T]{}) // initial dummy; its owner-to-be is the first announcer
+	return s
+}
+
+// Handle is a per-goroutine session owning one spare queue node.
+// Handles must not be shared between goroutines.
+type Handle[T any] struct {
+	s    *Stack[T]
+	node *ccNode[T]
+}
+
+// Register returns a new handle on the stack.
+func (s *Stack[T]) Register() *Handle[T] {
+	return &Handle[T]{s: s, node: &ccNode[T]{}}
+}
+
+// submit runs one operation through the CC-Synch protocol.
+func (h *Handle[T]) submit(op int32, v T) (T, bool) {
+	s := h.s
+
+	next := h.node
+	next.next.Store(nil)
+	next.wait.Store(true)
+	next.complete = false
+
+	cur := s.tail.Swap(next)
+	cur.req = op
+	cur.value = v
+	h.node = cur // adopt the node we announce on as our next spare
+	cur.next.Store(next)
+
+	var w backoff.Waiter
+	for cur.wait.Load() {
+		w.Wait()
+	}
+	if cur.complete { // a combiner served us
+		return cur.result, cur.resultOK
+	}
+
+	// We are the combiner: serve the chain starting at our own node.
+	tmp := cur
+	served := 0
+	for {
+		nxt := tmp.next.Load()
+		if nxt == nil || served >= s.h {
+			break
+		}
+		served++
+		s.apply(tmp)
+		tmp.complete = true
+		tmp.wait.Store(false)
+		tmp = nxt
+	}
+	// Pass the combiner role to the first unserved node.
+	tmp.wait.Store(false)
+	return cur.result, cur.resultOK
+}
+
+// apply executes the request announced on n against the sequential
+// stack.
+func (s *Stack[T]) apply(n *ccNode[T]) {
+	switch n.req {
+	case opPush:
+		s.stk.Push(n.value)
+		n.resultOK = true
+	case opPop:
+		n.result, n.resultOK = s.stk.Pop()
+	case opPeek:
+		n.result, n.resultOK = s.stk.Peek()
+	}
+}
+
+// Push adds v to the top of the stack.
+func (h *Handle[T]) Push(v T) {
+	h.submit(opPush, v)
+}
+
+// Pop removes and returns the top element; ok is false if the stack was
+// empty when the combiner served the request.
+func (h *Handle[T]) Pop() (v T, ok bool) {
+	var zero T
+	return h.submit(opPop, zero)
+}
+
+// Peek returns the top element without removing it.
+func (h *Handle[T]) Peek() (v T, ok bool) {
+	var zero T
+	return h.submit(opPeek, zero)
+}
+
+// Len reports the number of elements; a racy diagnostic for tests and
+// quiescent states.
+func (s *Stack[T]) Len() int { return s.stk.Len() }

@@ -1,0 +1,78 @@
+package ccstack_test
+
+import (
+	"sync"
+	"testing"
+
+	"secstack/internal/ccstack"
+	"secstack/internal/stacktest"
+)
+
+type adapter struct{ s *ccstack.Stack[int64] }
+
+func (a adapter) Register() stacktest.Handle { return a.s.Register() }
+
+func factory() stacktest.Stack { return adapter{ccstack.New[int64]()} }
+
+func TestConformance(t *testing.T) {
+	stacktest.RunAll(t, factory)
+}
+
+func TestTinyServeLimit(t *testing.T) {
+	// H=1 forces a combiner handoff after every request, maximizing
+	// baton-passing traffic.
+	s := ccstack.New[int64](ccstack.WithServeLimit(1))
+	var wg sync.WaitGroup
+	const g, per = 6, 1500
+	seen := make([]int32, g*per)
+	var mu sync.Mutex
+	for w := 0; w < g; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := s.Register()
+			local := make([]int64, 0, per)
+			for i := 0; i < per; i++ {
+				h.Push(int64(w*per + i))
+				if v, ok := h.Pop(); ok {
+					local = append(local, v)
+				}
+			}
+			mu.Lock()
+			for _, v := range local {
+				seen[v]++
+			}
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	h := s.Register()
+	for {
+		v, ok := h.Pop()
+		if !ok {
+			break
+		}
+		seen[v]++
+	}
+	for v, c := range seen {
+		if c != 1 {
+			t.Fatalf("value %d seen %d times", v, c)
+		}
+	}
+}
+
+func TestHandleNodeReuse(t *testing.T) {
+	// Many sequential ops through one handle exercise the spare-node
+	// adoption cycle.
+	s := ccstack.New[int64]()
+	h := s.Register()
+	for i := 0; i < 10000; i++ {
+		h.Push(int64(i))
+		if v, ok := h.Pop(); !ok || v != int64(i) {
+			t.Fatalf("iteration %d: Pop = (%d, %v)", i, v, ok)
+		}
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", s.Len())
+	}
+}

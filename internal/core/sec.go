@@ -1,0 +1,493 @@
+// Package core implements SEC (Sharded Elimination and Combining), the
+// blocking linearizable concurrent stack of Singh, Metaxakis and
+// Fatourou (PPoPP '26) - the primary contribution this repository
+// reproduces.
+//
+// Threads are partitioned across K aggregators; the operations of each
+// aggregator's threads are grouped into batches. Announcing an
+// operation is one fetch&increment on the batch's push or pop counter;
+// the returned sequence number doubles as the thread's slot in the
+// batch's elimination array. The first push and first pop race on a
+// test&set bit to become the batch's freezer, which - after a short
+// batch-growing backoff - snapshots both counters and installs a fresh
+// batch in the aggregator. Opposite operations with equal sequence
+// numbers below the snapshot eliminate each other; the survivors (all
+// of one type) are applied to the shared stack by a single per-batch
+// combiner with one CAS: push combiners splice a pre-linked substack
+// under the top pointer, pop combiners detach a chain of nodes and
+// publish it for their batch's waiters to read return values from.
+//
+// Deviations from the paper's pseudocode, both required for a connected
+// substack (see DESIGN.md §7):
+//
+//   - PushToStack initializes the chain head at the combiner's own node
+//     (the paper's top=⊥ would disconnect it from the nodes linked on
+//     top of it);
+//   - PopFromStack advances k = popCountAtFreeze-pushCountAtFreeze nodes
+//     past the old top (the paper's loop advances k-1, which would leave
+//     the last served pop's node on the stack).
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"secstack/internal/backoff"
+	"secstack/internal/ebr"
+	"secstack/internal/metrics"
+)
+
+// node is one cell of the shared stack (and of batch substacks).
+type node[T any] struct {
+	value T
+	next  *node[T]
+}
+
+// batch is the unit of freezing, elimination and combining (Figure 1 of
+// the paper). All fields are shared across the aggregator's threads.
+type batch[T any] struct {
+	pushCount atomic.Int64
+	popCount  atomic.Int64
+
+	// Snapshots taken by the freezer; published to the other threads by
+	// the aggregator's batch-pointer swap (release) that every
+	// non-freezer waits on (acquire).
+	pushCountAtFreeze atomic.Int64
+	popCountAtFreeze  atomic.Int64
+
+	isFreezerDecided atomic.Bool
+	pushApplied      atomic.Bool // push combiner finished
+	popApplied       atomic.Bool // pop combiner finished; subStackTop valid
+
+	// subStackTop is the chain the pop combiner detached from the
+	// shared stack; waiters index into it by sequence-number offset.
+	subStackTop atomic.Pointer[node[T]]
+
+	// pending (recycling only) counts surviving pops that have not yet
+	// read their return value; the reader that decrements it to zero
+	// retires the detached chain. Retiring per-node as values are read
+	// would violate epoch reclamation's contract: the chain stays
+	// reachable through subStackTop, and a sibling waiter whose critical
+	// section began after an early retire could still traverse the
+	// retired node.
+	pending atomic.Int64
+
+	// elim[i] is the node announced by the push with sequence number i.
+	elim []atomic.Pointer[node[T]]
+}
+
+// aggregator holds the pointer to its currently active batch, padded so
+// that distinct aggregators do not share a cache line.
+type aggregator[T any] struct {
+	batch atomic.Pointer[batch[T]]
+	_     [56]byte
+}
+
+// Options configures a SEC stack. The zero value selects the defaults
+// the paper's evaluation uses where applicable.
+type Options struct {
+	// Aggregators is K, the number of shards threads are partitioned
+	// into. The paper's evaluation defaults to 2.
+	Aggregators int
+
+	// MaxThreads bounds Register calls; it also sizes elimination
+	// arrays (ceil(MaxThreads/Aggregators) slots each). Default 256.
+	MaxThreads int
+
+	// FreezerSpin is the freezer's pre-freeze backoff in spin
+	// iterations, which grows batches and with them the elimination and
+	// combining degrees (§3.1 of the paper). Default 128; 0 disables.
+	FreezerSpin int
+
+	// NoElimination disables in-batch elimination, leaving freezing and
+	// combining intact: both a push and a pop combiner may then apply
+	// their sides of a batch. This is the ablation isolating how much
+	// of SEC's win comes from elimination versus combining.
+	NoElimination bool
+
+	// Recycle routes node allocation through DEBRA-style epoch-based
+	// reclamation (internal/ebr) instead of fresh allocation, the Go
+	// analogue of the paper's DEBRA deployment (§4).
+	Recycle bool
+
+	// CollectMetrics enables the batching/elimination/combining degree
+	// counters behind the paper's Tables 1-3.
+	CollectMetrics bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Aggregators <= 0 {
+		o.Aggregators = 2
+	}
+	if o.MaxThreads <= 0 {
+		o.MaxThreads = 256
+	}
+	if o.FreezerSpin < 0 {
+		o.FreezerSpin = 0
+	}
+	return o
+}
+
+// Stack is a SEC stack. Use Register to obtain per-goroutine handles.
+type Stack[T any] struct {
+	top atomic.Pointer[node[T]]
+
+	aggs        []aggregator[T]
+	perAgg      int // P: max threads per aggregator = elim array size
+	freezerSpin int
+	noElim      bool
+
+	m          *metrics.SEC // nil when metrics are disabled
+	rec        *ebr.Manager[node[T]]
+	registered atomic.Int32
+	maxThreads int
+}
+
+// New returns an empty SEC stack configured by opts.
+func New[T any](opts Options) *Stack[T] {
+	o := opts.withDefaults()
+	perAgg := (o.MaxThreads + o.Aggregators - 1) / o.Aggregators
+	s := &Stack[T]{
+		aggs:        make([]aggregator[T], o.Aggregators),
+		perAgg:      perAgg,
+		freezerSpin: o.FreezerSpin,
+		noElim:      o.NoElimination,
+		maxThreads:  o.MaxThreads,
+	}
+	if o.CollectMetrics {
+		s.m = metrics.NewSEC(o.Aggregators)
+	}
+	if o.Recycle {
+		s.rec = ebr.NewManager[node[T]](o.MaxThreads)
+	}
+	for i := range s.aggs {
+		s.aggs[i].batch.Store(s.newBatch())
+	}
+	return s
+}
+
+// newBatch allocates a batch whose elimination array is sized for the
+// threads currently registered on this stack's aggregators, not for the
+// MaxThreads worst case: batches are allocated on every freeze, so a
+// worst-case array would dominate the allocation rate at low thread
+// counts. Threads that announce past the array (registered after the
+// batch was created) are pushed to the next, larger batch by the
+// snapshot clamp in freezeBatch.
+func (s *Stack[T]) newBatch() *batch[T] {
+	n := int(s.registered.Load())
+	p := (n + len(s.aggs) - 1) / len(s.aggs)
+	if p < 4 {
+		p = 4
+	}
+	if p > s.perAgg {
+		p = s.perAgg
+	}
+	return &batch[T]{elim: make([]atomic.Pointer[node[T]], p)}
+}
+
+// Metrics returns the degree snapshot collector, or nil if
+// CollectMetrics was not set.
+func (s *Stack[T]) Metrics() *metrics.SEC { return s.m }
+
+// Handle is one goroutine's session on the stack: its thread id fixes
+// its aggregator. Handles must not be shared between goroutines.
+type Handle[T any] struct {
+	s      *Stack[T]
+	tid    int
+	aggIdx int
+	agg    *aggregator[T]
+	rec    *ebr.Handle[node[T]] // nil when recycling is off
+}
+
+// Register returns a new handle. Thread ids are assigned round-robin
+// across aggregators, giving the even distribution the paper prescribes.
+// It panics once more than MaxThreads handles exist.
+func (s *Stack[T]) Register() *Handle[T] {
+	tid := int(s.registered.Add(1)) - 1
+	if tid >= s.maxThreads {
+		panic(fmt.Sprintf("core: more than MaxThreads=%d handles registered", s.maxThreads))
+	}
+	h := &Handle[T]{s: s, tid: tid, aggIdx: tid % len(s.aggs)}
+	h.agg = &s.aggs[h.aggIdx]
+	if s.rec != nil {
+		h.rec = s.rec.Register()
+	}
+	return h
+}
+
+// alloc produces an initialized node, recycled when possible.
+func (h *Handle[T]) alloc(v T) *node[T] {
+	if h.rec == nil {
+		return &node[T]{value: v}
+	}
+	n := h.rec.Alloc()
+	n.value = v
+	n.next = nil
+	return n
+}
+
+// retire hands a consumed node to the reclamation substrate.
+func (h *Handle[T]) retire(n *node[T]) {
+	if h.rec != nil {
+		h.rec.Retire(n)
+	}
+}
+
+// enter/exit bracket one operation's EBR critical section (no-ops when
+// recycling is off).
+func (h *Handle[T]) enter() {
+	if h.rec != nil {
+		h.rec.Enter()
+	}
+}
+
+func (h *Handle[T]) exit() {
+	if h.rec != nil {
+		h.rec.Exit()
+	}
+}
+
+// freezeBatch is the paper's FreezeBatch: snapshot both counters, then
+// install a fresh batch, which releases every spinning announcer.
+func (h *Handle[T]) freezeBatch(b *batch[T]) {
+	if h.s.freezerSpin > 0 {
+		backoff.Spin(h.s.freezerSpin) // grow the batch (§3.1)
+	}
+	limit := int64(len(b.elim))
+	pops := min(b.popCount.Load(), limit)
+	pushes := min(b.pushCount.Load(), limit)
+	b.popCountAtFreeze.Store(pops)
+	b.pushCountAtFreeze.Store(pushes)
+	h.agg.batch.Store(h.s.newBatch())
+	if h.s.m != nil {
+		elimPairs := min(pushes, pops)
+		if h.s.noElim {
+			elimPairs = 0
+		}
+		h.s.m.RecordBatchRaw(h.aggIdx, int(pushes+pops), int(2*elimPairs))
+	}
+}
+
+// elimCount returns e, the number of eliminated pairs of the frozen
+// batch: operations with sequence number < e are eliminated; the
+// combiner of each surviving side is the operation with sequence number
+// exactly e.
+func (s *Stack[T]) elimCount(pushAtF, popAtF int64) int64 {
+	if s.noElim {
+		return 0
+	}
+	return min(pushAtF, popAtF)
+}
+
+// Push adds v to the stack (Algorithm 1 of the paper).
+func (h *Handle[T]) Push(v T) {
+	h.enter()
+	defer h.exit()
+
+	n := h.alloc(v)
+	for {
+		b := h.agg.batch.Load()
+		seq := b.pushCount.Add(1) - 1
+		if int(seq) < len(b.elim) {
+			b.elim[seq].Store(n) // announce the value immediately (line 7)
+		}
+
+		if seq == 0 && b.isFreezerDecided.CompareAndSwap(false, true) {
+			h.freezeBatch(b)
+		} else {
+			var w backoff.Waiter
+			for h.agg.batch.Load() == b {
+				w.Wait()
+			}
+		}
+
+		pushAtF := b.pushCountAtFreeze.Load()
+		popAtF := b.popCountAtFreeze.Load()
+		if seq >= pushAtF {
+			continue // announced after the freeze: retry in a later batch
+		}
+
+		e := h.s.elimCount(pushAtF, popAtF)
+		if seq >= e { // not eliminated
+			if seq == e { // first survivor: combiner
+				h.pushToStack(b, seq, pushAtF)
+				b.pushApplied.Store(true)
+			} else {
+				var w backoff.Waiter
+				for !b.pushApplied.Load() {
+					w.Wait()
+				}
+			}
+		}
+		// Eliminated pushes return right away: the paired pop reads the
+		// node from the elimination array.
+		return
+	}
+}
+
+// pushToStack is the paper's PushToStack, executed only by a batch's
+// push combiner: link the surviving nodes into a substack and splice it
+// onto the shared stack with one CAS.
+func (h *Handle[T]) pushToStack(b *batch[T], seq, pushAtF int64) {
+	s := h.s
+	bot := b.elim[seq].Load() // the combiner's own node, already stored
+	top := bot
+	for i := seq + 1; i < pushAtF; i++ {
+		var w backoff.Waiter
+		var n *node[T]
+		for {
+			if n = b.elim[i].Load(); n != nil {
+				break
+			}
+			w.Wait() // announcer is between its F&I and its slot store
+		}
+		n.next = top
+		top = n
+	}
+	for {
+		oldTop := s.top.Load()
+		bot.next = oldTop
+		if s.top.CompareAndSwap(oldTop, top) {
+			return
+		}
+	}
+}
+
+// Pop removes and returns the top element (Algorithm 2 of the paper);
+// ok is false if the stack did not hold enough elements for this
+// operation's slice of its batch.
+func (h *Handle[T]) Pop() (v T, ok bool) {
+	h.enter()
+	defer h.exit()
+
+	for {
+		b := h.agg.batch.Load()
+		seq := b.popCount.Add(1) - 1
+
+		if seq == 0 && b.isFreezerDecided.CompareAndSwap(false, true) {
+			h.freezeBatch(b)
+		} else {
+			var w backoff.Waiter
+			for h.agg.batch.Load() == b {
+				w.Wait()
+			}
+		}
+
+		pushAtF := b.pushCountAtFreeze.Load()
+		popAtF := b.popCountAtFreeze.Load()
+		if seq >= popAtF {
+			continue // announced after the freeze: retry in a later batch
+		}
+
+		e := h.s.elimCount(pushAtF, popAtF)
+		if seq < e {
+			// Eliminated: take the value of the push with our sequence
+			// number straight from the elimination array.
+			var w backoff.Waiter
+			var n *node[T]
+			for {
+				if n = b.elim[seq].Load(); n != nil {
+					break
+				}
+				w.Wait()
+			}
+			val := n.value
+			h.retire(n)
+			return val, true
+		}
+
+		k := popAtF - e
+		if seq == e { // first survivor: combiner
+			h.popFromStack(b, k)
+			b.popApplied.Store(true)
+		} else {
+			var w backoff.Waiter
+			for !b.popApplied.Load() {
+				w.Wait()
+			}
+		}
+		v, ok = h.getValue(b, seq-e)
+		h.releaseSubstack(b, k)
+		return v, ok
+	}
+}
+
+// releaseSubstack notes that one surviving pop has read its value; the
+// last reader retires the batch's detached chain (recycling only).
+func (h *Handle[T]) releaseSubstack(b *batch[T], k int64) {
+	if h.rec == nil {
+		return
+	}
+	if b.pending.Add(-1) != 0 {
+		return
+	}
+	n := b.subStackTop.Load()
+	for i := int64(0); i < k && n != nil; i++ {
+		next := n.next
+		h.retire(n)
+		n = next
+	}
+}
+
+// popFromStack is the paper's PopFromStack, executed only by a batch's
+// pop combiner: detach k nodes (or as many as exist) from the shared
+// stack with one CAS and publish the removed chain.
+func (h *Handle[T]) popFromStack(b *batch[T], k int64) {
+	s := h.s
+	if h.rec != nil {
+		b.pending.Store(k) // published to waiters by popApplied below
+	}
+	for {
+		oldTop := s.top.Load()
+		newTop := oldTop
+		for i := int64(0); i < k && newTop != nil; i++ {
+			newTop = newTop.next
+		}
+		if s.top.CompareAndSwap(oldTop, newTop) {
+			b.subStackTop.Store(oldTop)
+			return
+		}
+	}
+}
+
+// getValue is the paper's GetValue: the pop with offset off into its
+// batch's surviving pops receives the off-th node of the removed chain,
+// or EMPTY if the stack ran out.
+func (h *Handle[T]) getValue(b *batch[T], off int64) (v T, ok bool) {
+	n := b.subStackTop.Load()
+	for i := int64(0); i < off && n != nil; i++ {
+		n = n.next
+	}
+	if n == nil {
+		return v, false
+	}
+	return n.value, true
+}
+
+// Peek returns the top element without removing it; a single atomic
+// read of the top pointer, as in the paper.
+func (h *Handle[T]) Peek() (v T, ok bool) {
+	h.enter()
+	defer h.exit()
+	n := h.s.top.Load()
+	if n == nil {
+		return v, false
+	}
+	return n.value, true
+}
+
+// Len counts the elements currently on the shared stack; a racy
+// diagnostic for tests and quiescent states.
+func (s *Stack[T]) Len() int {
+	n := 0
+	for p := s.top.Load(); p != nil; p = p.next {
+		n++
+	}
+	return n
+}
+
+// Aggregators reports K, for harness labeling.
+func (s *Stack[T]) Aggregators() int { return len(s.aggs) }
+
+// RegisteredThreads reports how many handles have been registered.
+func (s *Stack[T]) RegisteredThreads() int { return int(s.registered.Load()) }

@@ -1,0 +1,158 @@
+// Package ebstack implements the Elimination-Backoff stack of Hendler,
+// Shavit and Yerushalmi (SPAA '04), the EB baseline of the paper's
+// evaluation: a Treiber stack whose contention backoff is an elimination
+// array. An operation that fails its CAS visits a random exchanger in
+// the array; a push and a pop that meet there cancel without ever
+// touching the shared top pointer.
+//
+// The elimination range adapts per thread: a successful elimination
+// widens the range (more slots, more parallel rendezvous), a timeout
+// narrows it (fewer slots, faster matches), as in the original paper.
+package ebstack
+
+import (
+	"sync/atomic"
+
+	"secstack/internal/xrand"
+)
+
+// node is one stack cell.
+type node[T any] struct {
+	value T
+	next  *node[T]
+}
+
+// Stack is an elimination-backoff stack. Use Register to obtain
+// per-goroutine handles.
+type Stack[T any] struct {
+	top atomic.Pointer[node[T]]
+
+	arr      []exchanger[T]
+	patience int
+	seq      atomic.Uint64
+}
+
+// Option configures a Stack.
+type Option func(*config)
+
+type config struct {
+	arraySize int
+	patience  int
+}
+
+// WithArraySize sets the number of exchangers in the elimination array.
+// Defaults to GOMAXPROCS-sized arrays being unnecessary; 16 slots cover
+// the thread counts of the paper's experiments.
+func WithArraySize(n int) Option {
+	return func(c *config) {
+		if n > 0 {
+			c.arraySize = n
+		}
+	}
+}
+
+// WithPatience sets how many wait steps an operation spends at an
+// exchanger before giving up. Default 64.
+func WithPatience(p int) Option {
+	return func(c *config) {
+		if p > 0 {
+			c.patience = p
+		}
+	}
+}
+
+// New returns an empty elimination-backoff stack.
+func New[T any](opts ...Option) *Stack[T] {
+	c := config{arraySize: 16, patience: 64}
+	for _, o := range opts {
+		o(&c)
+	}
+	return &Stack[T]{arr: make([]exchanger[T], c.arraySize), patience: c.patience}
+}
+
+// Handle is a per-goroutine session: RNG plus the adaptive elimination
+// range. Handles must not be shared between goroutines.
+type Handle[T any] struct {
+	s     *Stack[T]
+	rng   *xrand.State
+	rangE int // current elimination range, in [1, len(arr)]
+}
+
+// Register returns a new handle on the stack.
+func (s *Stack[T]) Register() *Handle[T] {
+	return &Handle[T]{s: s, rng: xrand.New(s.seq.Add(1)), rangE: 1}
+}
+
+// adapt widens the range after a hit and narrows it after a miss.
+func (h *Handle[T]) adapt(hit bool) {
+	if hit {
+		if h.rangE < len(h.s.arr) {
+			h.rangE++
+		}
+	} else if h.rangE > 1 {
+		h.rangE--
+	}
+}
+
+// Push adds v to the top of the stack.
+func (h *Handle[T]) Push(v T) {
+	s := h.s
+	n := &node[T]{value: v}
+	for {
+		old := s.top.Load()
+		n.next = old
+		if s.top.CompareAndSwap(old, n) {
+			return
+		}
+		// Contention: go to the elimination array instead of retrying.
+		of := &offer[T]{isPush: true, value: v}
+		slot := &s.arr[h.rng.Intn(h.rangE)]
+		if _, ok := slot.exchange(of, s.patience); ok {
+			h.adapt(true)
+			return
+		}
+		h.adapt(false)
+	}
+}
+
+// Pop removes and returns the top element; ok is false if the stack was
+// empty at the linearization point.
+func (h *Handle[T]) Pop() (v T, ok bool) {
+	s := h.s
+	for {
+		old := s.top.Load()
+		if old == nil {
+			return v, false
+		}
+		if s.top.CompareAndSwap(old, old.next) {
+			return old.value, true
+		}
+		of := &offer[T]{isPush: false}
+		slot := &s.arr[h.rng.Intn(h.rangE)]
+		if got, ok := slot.exchange(of, s.patience); ok {
+			h.adapt(true)
+			return got, true
+		}
+		h.adapt(false)
+	}
+}
+
+// Peek returns the top element without removing it; ok is false if the
+// stack is empty.
+func (h *Handle[T]) Peek() (v T, ok bool) {
+	old := h.s.top.Load()
+	if old == nil {
+		return v, false
+	}
+	return old.value, true
+}
+
+// Len counts the elements currently on the stack; a racy diagnostic for
+// tests and quiescent states.
+func (s *Stack[T]) Len() int {
+	n := 0
+	for p := s.top.Load(); p != nil; p = p.next {
+		n++
+	}
+	return n
+}

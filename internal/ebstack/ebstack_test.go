@@ -1,0 +1,76 @@
+package ebstack_test
+
+import (
+	"sync"
+	"testing"
+
+	"secstack/internal/ebstack"
+	"secstack/internal/stacktest"
+)
+
+type adapter struct{ s *ebstack.Stack[int64] }
+
+func (a adapter) Register() stacktest.Handle { return a.s.Register() }
+
+func factory() stacktest.Stack { return adapter{ebstack.New[int64]()} }
+
+func TestConformance(t *testing.T) {
+	stacktest.RunAll(t, factory)
+}
+
+func TestSmallArrayHighContention(t *testing.T) {
+	// A single exchanger slot maximizes elimination collisions; the
+	// stack must stay correct.
+	s := ebstack.New[int64](ebstack.WithArraySize(1), ebstack.WithPatience(16))
+	var wg sync.WaitGroup
+	const g, per = 8, 2000
+	var popped [g * per]int32
+	for w := 0; w < g; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := s.Register()
+			for i := 0; i < per; i++ {
+				h.Push(int64(w*per + i))
+				if v, ok := h.Pop(); ok {
+					popped[v]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	h := s.Register()
+	for {
+		v, ok := h.Pop()
+		if !ok {
+			break
+		}
+		popped[v]++
+	}
+	for v, c := range popped {
+		if c != 1 {
+			t.Fatalf("value %d seen %d times", v, c)
+		}
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	// Non-positive options fall back to defaults rather than panicking.
+	s := ebstack.New[int64](ebstack.WithArraySize(0), ebstack.WithPatience(-1))
+	h := s.Register()
+	h.Push(1)
+	if v, ok := h.Pop(); !ok || v != 1 {
+		t.Fatal("stack with defaulted options broken")
+	}
+}
+
+func TestLen(t *testing.T) {
+	s := ebstack.New[int64]()
+	h := s.Register()
+	for i := 0; i < 5; i++ {
+		h.Push(int64(i))
+	}
+	if s.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", s.Len())
+	}
+}

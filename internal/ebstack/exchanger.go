@@ -1,0 +1,100 @@
+package ebstack
+
+import (
+	"sync/atomic"
+
+	"secstack/internal/backoff"
+)
+
+// exchanger is a lock-free asymmetric rendezvous object in the style of
+// the Herlihy–Shavit LockFreeExchanger: a push and a pop that meet at
+// the same exchanger within each other's timeout windows cancel out.
+//
+// The slot holds a waiting offer (or nil). The single synchronization
+// point deciding an offer's fate is its claimed field:
+//
+//   - a partner completes the exchange with claimed.CAS(nil, partner);
+//   - the owner withdraws on timeout with claimed.CAS(nil, owner),
+//     using its own offer pointer as the "withdrawn" sentinel.
+//
+// Because both transitions CAS the same location from nil, an offer can
+// never be both withdrawn and claimed - the race that would duplicate a
+// pushed value. The slot pointer itself is only a meeting place and is
+// cleaned up lazily.
+//
+// Cost per elimination: one CAS to install, one to claim, one to clear
+// the slot - the up-to-three-CAS protocol the paper contrasts with SEC's
+// two fetch&increments.
+type exchanger[T any] struct {
+	slot atomic.Pointer[offer[T]]
+	_    [56]byte // pad: exchangers sit in an array
+}
+
+// offer is one operation waiting at an exchanger.
+type offer[T any] struct {
+	isPush bool
+	value  T // the pushed value (push offers only)
+
+	// claimed is nil while waiting; it transitions exactly once, to a
+	// partner's offer (exchange) or to the owner itself (withdrawal).
+	claimed atomic.Pointer[offer[T]]
+}
+
+// settle converts a completed pairing into the exchange result for the
+// side that owns my: pushes learn only that their value was consumed,
+// pops receive the push's value.
+func settle[T any](my, partner *offer[T]) (v T, ok bool) {
+	if my.isPush {
+		return v, true
+	}
+	return partner.value, true
+}
+
+// exchange attempts to eliminate my against an opposite operation at
+// this exchanger within roughly patience wait steps. (zero, false)
+// means timeout or an incompatible partner; the caller goes back to the
+// shared stack.
+func (e *exchanger[T]) exchange(my *offer[T], patience int) (v T, ok bool) {
+	var w backoff.Waiter
+	for attempt := 0; attempt < patience; attempt++ {
+		cur := e.slot.Load()
+		switch {
+		case cur == nil: // EMPTY: install our offer and wait
+			if !e.slot.CompareAndSwap(nil, my) {
+				continue // somebody beat us; re-read
+			}
+			for i := 0; i < patience; i++ {
+				if p := my.claimed.Load(); p != nil {
+					e.slot.CompareAndSwap(my, nil)
+					return settle(my, p)
+				}
+				w.Wait()
+			}
+			// Timed out: withdraw through the claimed field. Failure
+			// means a partner claimed us concurrently.
+			if my.claimed.CompareAndSwap(nil, my) {
+				e.slot.CompareAndSwap(my, nil)
+				return v, false
+			}
+			p := my.claimed.Load()
+			e.slot.CompareAndSwap(my, nil)
+			return settle(my, p)
+
+		case cur.claimed.Load() != nil:
+			// Stale offer (already claimed or withdrawn): help clear
+			// the slot and retry.
+			e.slot.CompareAndSwap(cur, nil)
+
+		case cur.isPush == my.isPush: // same type: no elimination here
+			return v, false
+
+		default: // WAITING with opposite type: try to claim it
+			if cur.claimed.CompareAndSwap(nil, my) {
+				e.slot.CompareAndSwap(cur, nil)
+				return settle(my, cur)
+			}
+			w.Wait() // lost the claim race; slot will clear soon
+		}
+	}
+	return v, false
+}

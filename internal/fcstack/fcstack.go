@@ -1,0 +1,175 @@
+// Package fcstack implements the flat-combining stack of Hendler, Incze,
+// Shavit and Tzafrir (SPAA '10), the FC baseline of the paper's
+// evaluation. Threads publish operation requests on a publication list;
+// whoever acquires the global combiner lock scans the list and applies
+// all pending requests to a sequential stack, so the shared structure is
+// only ever touched by one thread at a time.
+//
+// The paper's critique, which our benchmarks reproduce, is that the
+// single combiner serializes entire operations and becomes a bottleneck
+// at high thread counts - exactly what SEC's per-batch combiners avoid.
+package fcstack
+
+import (
+	"sync/atomic"
+
+	"secstack/internal/backoff"
+	"secstack/internal/seqstack"
+)
+
+// Request codes posted in a publication record.
+const (
+	opNone int32 = iota // no pending request
+	opPush
+	opPop
+	opPeek
+	opDone // response ready
+)
+
+// record is one thread's slot on the publication list. The owner writes
+// value before storing op (release); the combiner reads op (acquire)
+// then value, and writes result/resultOK before storing opDone.
+type record[T any] struct {
+	op       atomic.Int32
+	value    T
+	result   T
+	resultOK bool
+	next     *record[T] // publication list link, immutable once linked
+	_        [24]byte   // pad to keep hot records apart
+}
+
+// Stack is a flat-combining stack. Use Register to obtain per-goroutine
+// handles.
+type Stack[T any] struct {
+	lock atomic.Bool // the combiner lock (test-and-test-and-set)
+	head atomic.Pointer[record[T]]
+	stk  *seqstack.Stack[T]
+
+	// rounds is how many passes over the publication list a combiner
+	// makes per lock acquisition; >1 lets the combiner pick up requests
+	// published while it was scanning (the "combining degree" knob).
+	rounds int
+}
+
+// Option configures a Stack.
+type Option func(*config)
+
+type config struct{ rounds int }
+
+// WithCombinerRounds sets the number of publication-list scan rounds per
+// combiner session. Default 2.
+func WithCombinerRounds(r int) Option {
+	return func(c *config) {
+		if r > 0 {
+			c.rounds = r
+		}
+	}
+}
+
+// New returns an empty flat-combining stack.
+func New[T any](opts ...Option) *Stack[T] {
+	c := config{rounds: 2}
+	for _, o := range opts {
+		o(&c)
+	}
+	return &Stack[T]{stk: seqstack.New[T](1024), rounds: c.rounds}
+}
+
+// Handle is a per-goroutine session owning one publication record.
+// Handles must not be shared between goroutines.
+type Handle[T any] struct {
+	s   *Stack[T]
+	rec *record[T]
+}
+
+// Register adds a publication record for the calling goroutine and
+// returns its handle. Records are never removed: the paper's dynamic
+// aging/cleanup is unnecessary for benchmark-style fixed thread sets.
+func (s *Stack[T]) Register() *Handle[T] {
+	r := &record[T]{}
+	for {
+		old := s.head.Load()
+		r.next = old
+		if s.head.CompareAndSwap(old, r) {
+			return &Handle[T]{s: s, rec: r}
+		}
+	}
+}
+
+// apply executes one request against the sequential stack.
+func (s *Stack[T]) apply(r *record[T], op int32) {
+	switch op {
+	case opPush:
+		s.stk.Push(r.value)
+		r.resultOK = true
+	case opPop:
+		r.result, r.resultOK = s.stk.Pop()
+	case opPeek:
+		r.result, r.resultOK = s.stk.Peek()
+	}
+	r.op.Store(opDone)
+}
+
+// combine drains pending requests; caller must hold the lock.
+func (s *Stack[T]) combine() {
+	for round := 0; round < s.rounds; round++ {
+		for r := s.head.Load(); r != nil; r = r.next {
+			if op := r.op.Load(); op > opNone && op < opDone {
+				s.apply(r, op)
+			}
+		}
+	}
+}
+
+// submit posts op on the handle's record and waits for a response,
+// becoming the combiner if the lock is free.
+func (h *Handle[T]) submit(op int32, v T) (T, bool) {
+	r := h.rec
+	r.value = v
+	r.op.Store(op)
+	s := h.s
+	var w backoff.Waiter
+	for {
+		if r.op.Load() == opDone {
+			break
+		}
+		// Test-and-test-and-set keeps lock cache traffic down.
+		if !s.lock.Load() && s.lock.CompareAndSwap(false, true) {
+			s.combine()
+			s.lock.Store(false)
+			if r.op.Load() == opDone {
+				break
+			}
+			// Our own request can still be pending if another combiner
+			// raced us and we served a round without it being visible;
+			// loop and wait or re-acquire.
+			continue
+		}
+		w.Wait()
+	}
+	res, ok := r.result, r.resultOK
+	r.op.Store(opNone) // reset for the next operation
+	return res, ok
+}
+
+// Push adds v to the top of the stack.
+func (h *Handle[T]) Push(v T) {
+	h.submit(opPush, v)
+}
+
+// Pop removes and returns the top element; ok is false if the stack was
+// empty when the combiner served the request.
+func (h *Handle[T]) Pop() (v T, ok bool) {
+	var zero T
+	return h.submit(opPop, zero)
+}
+
+// Peek returns the top element without removing it.
+func (h *Handle[T]) Peek() (v T, ok bool) {
+	var zero T
+	return h.submit(opPeek, zero)
+}
+
+// Len reports the number of elements; a racy diagnostic for tests and
+// quiescent states.
+func (s *Stack[T]) Len() int { return s.stk.Len() }

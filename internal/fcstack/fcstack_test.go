@@ -1,0 +1,81 @@
+package fcstack_test
+
+import (
+	"sync"
+	"testing"
+
+	"secstack/internal/fcstack"
+	"secstack/internal/stacktest"
+)
+
+type adapter struct{ s *fcstack.Stack[int64] }
+
+func (a adapter) Register() stacktest.Handle { return a.s.Register() }
+
+func factory() stacktest.Stack { return adapter{fcstack.New[int64]()} }
+
+func TestConformance(t *testing.T) {
+	stacktest.RunAll(t, factory)
+}
+
+func TestSingleRoundCombiner(t *testing.T) {
+	s := fcstack.New[int64](fcstack.WithCombinerRounds(1))
+	var wg sync.WaitGroup
+	const g, per = 6, 1500
+	seen := make([]int32, g*per)
+	var mu sync.Mutex
+	for w := 0; w < g; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := s.Register()
+			local := make([]int64, 0, per)
+			for i := 0; i < per; i++ {
+				h.Push(int64(w*per + i))
+				if v, ok := h.Pop(); ok {
+					local = append(local, v)
+				}
+			}
+			mu.Lock()
+			for _, v := range local {
+				seen[v]++
+			}
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	h := s.Register()
+	for {
+		v, ok := h.Pop()
+		if !ok {
+			break
+		}
+		seen[v]++
+	}
+	for v, c := range seen {
+		if c != 1 {
+			t.Fatalf("value %d seen %d times", v, c)
+		}
+	}
+}
+
+func TestManyRegistrations(t *testing.T) {
+	s := fcstack.New[int64]()
+	handles := make([]*fcstack.Handle[int64], 64)
+	for i := range handles {
+		handles[i] = s.Register()
+	}
+	for i, h := range handles {
+		h.Push(int64(i))
+	}
+	if s.Len() != len(handles) {
+		t.Fatalf("Len = %d, want %d", s.Len(), len(handles))
+	}
+	// Drain through an arbitrary handle.
+	for i := len(handles) - 1; i >= 0; i-- {
+		v, ok := handles[0].Pop()
+		if !ok || v != int64(i) {
+			t.Fatalf("Pop = (%d, %v), want (%d, true)", v, ok, i)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// WriteCSV renders the series in long form - one row per measurement
+// point - suitable for external plotting tools:
+//
+//	title,workload,column,threads,mops,stddev,runs
+func (s *Series) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"title", "workload", "column", "threads", "mops", "stddev", "runs"}); err != nil {
+		return err
+	}
+	for _, t := range s.Threads() {
+		for _, c := range s.Columns {
+			r, ok := s.Cells[t][c]
+			if !ok {
+				continue
+			}
+			rec := []string{
+				s.Title,
+				r.Workload.Name,
+				c,
+				strconv.Itoa(t),
+				strconv.FormatFloat(r.Mops, 'f', 4, 64),
+				strconv.FormatFloat(r.Stddev, 'f', 4, 64),
+				strconv.Itoa(r.Runs),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// LatencyResult holds per-operation latency percentiles from a sampled
+// run (RunLatency). The paper reports throughput only; latency is the
+// natural companion measurement for a blocking algorithm and feeds the
+// ablation discussion in EXPERIMENTS.md.
+type LatencyResult struct {
+	Config
+	Samples          int
+	P50, P90, P99    time.Duration
+	Max              time.Duration
+	MeanNanos        float64
+	ThroughputUnder  float64 // Mops/s achieved while sampling
+	samplesCollected []time.Duration
+}
+
+// RunLatency performs one timed run in which every worker samples the
+// latency of every sampleEvery-th operation.
+func RunLatency(cfg Config, f Factory, sampleEvery int) LatencyResult {
+	cfg = cfg.withDefaults()
+	if err := cfg.Workload.Validate(); err != nil {
+		panic(err)
+	}
+	if sampleEvery < 1 {
+		sampleEvery = 1
+	}
+	s := f()
+	out := LatencyResult{Config: cfg}
+
+	type workerOut struct {
+		samples []time.Duration
+		ops     int64
+	}
+	results := make(chan workerOut, cfg.Threads)
+	stop := make(chan struct{})
+	gate := make(chan struct{})
+
+	for t := 0; t < cfg.Threads; t++ {
+		go func(t int) {
+			h := s.Register()
+			rng := newWorkerRNG(cfg.Seed, t)
+			base := int64(t+1) << 32
+			var w workerOut
+			<-gate
+			for {
+				select {
+				case <-stop:
+					results <- w
+					return
+				default:
+				}
+				for i := 0; i < sampleEvery; i++ {
+					kind := cfg.Workload.Pick(rng.Intn(100))
+					sample := i == 0
+					var start time.Time
+					if sample {
+						start = time.Now()
+					}
+					switch kind {
+					case OpPush:
+						h.Push(base | w.ops)
+					case OpPop:
+						h.Pop()
+					case OpPeek:
+						h.Peek()
+					}
+					if sample {
+						w.samples = append(w.samples, time.Since(start))
+					}
+					w.ops++
+				}
+			}
+		}(t)
+	}
+	close(gate)
+	time.Sleep(cfg.Duration)
+	close(stop)
+
+	totalOps := int64(0)
+	for t := 0; t < cfg.Threads; t++ {
+		w := <-results
+		out.samplesCollected = append(out.samplesCollected, w.samples...)
+		totalOps += w.ops
+	}
+	out.ThroughputUnder = float64(totalOps) / cfg.Duration.Seconds() / 1e6
+
+	sort.Slice(out.samplesCollected, func(i, j int) bool {
+		return out.samplesCollected[i] < out.samplesCollected[j]
+	})
+	n := len(out.samplesCollected)
+	out.Samples = n
+	if n == 0 {
+		return out
+	}
+	pct := func(p float64) time.Duration {
+		i := int(p * float64(n-1))
+		return out.samplesCollected[i]
+	}
+	out.P50, out.P90, out.P99 = pct(0.50), pct(0.90), pct(0.99)
+	out.Max = out.samplesCollected[n-1]
+	var sum float64
+	for _, d := range out.samplesCollected {
+		sum += float64(d.Nanoseconds())
+	}
+	out.MeanNanos = sum / float64(n)
+	return out
+}
+
+// String renders the latency summary on one line.
+func (l LatencyResult) String() string {
+	return fmt.Sprintf("%s threads=%d: p50=%v p90=%v p99=%v max=%v (%d samples, %.2f Mops/s)",
+		l.Label, l.Threads, l.P50, l.P90, l.P99, l.Max, l.Samples, l.ThroughputUnder)
+}

@@ -1,0 +1,73 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"secstack/stack"
+)
+
+func TestWriteCSV(t *testing.T) {
+	s := NewSeries("fig", []string{"A", "B"})
+	s.Add("A", Result{Config: Config{Threads: 2, Workload: Update100, Runs: 3}, Mops: 1.25, Stddev: 0.1})
+	s.Add("B", Result{Config: Config{Threads: 2, Workload: Update100, Runs: 3}, Mops: 2.5})
+	var sb strings.Builder
+	if err := s.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV has %d lines, want 3:\n%s", len(lines), out)
+	}
+	if lines[0] != "title,workload,column,threads,mops,stddev,runs" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "fig,100%upd,A,2,1.2500,0.1000,3") {
+		t.Fatalf("row A = %q", lines[1])
+	}
+}
+
+func TestWriteCSVSkipsMissingCells(t *testing.T) {
+	s := NewSeries("fig", []string{"A", "B"})
+	s.Add("A", Result{Config: Config{Threads: 4, Workload: Update50}, Mops: 1})
+	var sb strings.Builder
+	if err := s.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(sb.String(), "\n") != 2 { // header + one row
+		t.Fatalf("unexpected CSV:\n%s", sb.String())
+	}
+}
+
+func TestRunLatencyCollectsSamples(t *testing.T) {
+	cfg := Config{
+		Threads:  4,
+		Duration: 60 * time.Millisecond,
+		Prefill:  100,
+		Workload: Update100,
+		Label:    "SEC",
+	}
+	l := RunLatency(cfg, FactoryFor(stack.SEC, 2, false), 8)
+	if l.Samples == 0 {
+		t.Fatal("no latency samples collected")
+	}
+	if l.P50 <= 0 || l.P99 < l.P50 || l.Max < l.P99 {
+		t.Fatalf("percentile ordering broken: p50=%v p99=%v max=%v", l.P50, l.P99, l.Max)
+	}
+	if l.ThroughputUnder <= 0 {
+		t.Fatal("no throughput recorded")
+	}
+	if !strings.Contains(l.String(), "p50=") {
+		t.Fatalf("String() = %q", l.String())
+	}
+}
+
+func TestRunLatencySampleEveryClamped(t *testing.T) {
+	cfg := Config{Threads: 1, Duration: 20 * time.Millisecond, Workload: PushOnly}
+	l := RunLatency(cfg, FactoryFor(stack.TRB, 0, false), 0) // clamps to 1
+	if l.Samples == 0 {
+		t.Fatal("no samples with sampleEvery=0")
+	}
+}

@@ -1,0 +1,245 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"secstack/stack"
+)
+
+func TestWorkloadValidate(t *testing.T) {
+	for _, w := range []Workload{Update100, Update50, Update10, PushOnly, PopOnly} {
+		if err := w.Validate(); err != nil {
+			t.Fatalf("preset %q invalid: %v", w.Name, err)
+		}
+	}
+	bad := Workload{Name: "bad", PushPct: 50, PopPct: 30, PeekPct: 30}
+	if bad.Validate() == nil {
+		t.Fatal("110%% workload accepted")
+	}
+	neg := Workload{Name: "neg", PushPct: -10, PopPct: 60, PeekPct: 50}
+	if neg.Validate() == nil {
+		t.Fatal("negative workload accepted")
+	}
+}
+
+func TestWorkloadPickBoundaries(t *testing.T) {
+	w := Update50 // 25/25/50
+	if w.Pick(0) != OpPush || w.Pick(24) != OpPush {
+		t.Fatal("push band wrong")
+	}
+	if w.Pick(25) != OpPop || w.Pick(49) != OpPop {
+		t.Fatal("pop band wrong")
+	}
+	if w.Pick(50) != OpPeek || w.Pick(99) != OpPeek {
+		t.Fatal("peek band wrong")
+	}
+}
+
+func TestMachinePresets(t *testing.T) {
+	for _, m := range Machines() {
+		if len(m.Ladder) == 0 || m.HW == 0 {
+			t.Fatalf("machine %q incomplete", m.Name)
+		}
+		for i := 1; i < len(m.Ladder); i++ {
+			if m.Ladder[i] <= m.Ladder[i-1] {
+				t.Fatalf("machine %q ladder not increasing", m.Name)
+			}
+		}
+	}
+	if _, ok := MachineByName("Emerald"); !ok {
+		t.Fatal("Emerald preset missing")
+	}
+	if _, ok := MachineByName("nope"); ok {
+		t.Fatal("bogus machine resolved")
+	}
+}
+
+func TestMeanStddev(t *testing.T) {
+	m, s := meanStddev(nil)
+	if m != 0 || s != 0 {
+		t.Fatal("empty input")
+	}
+	m, s = meanStddev([]float64{5})
+	if m != 5 || s != 0 {
+		t.Fatal("single input")
+	}
+	m, s = meanStddev([]float64{1, 2, 3})
+	if m != 2 || s != 1 {
+		t.Fatalf("mean/stddev = %v/%v, want 2/1", m, s)
+	}
+}
+
+func TestRunProducesThroughput(t *testing.T) {
+	cfg := Config{
+		Threads:  4,
+		Duration: 50 * time.Millisecond,
+		Prefill:  100,
+		Workload: Update100,
+		Runs:     2,
+	}
+	r := Run(cfg, FactoryFor(stack.SEC, 2, false))
+	if r.Mops <= 0 {
+		t.Fatalf("Mops = %v, want > 0", r.Mops)
+	}
+	if len(r.PerRun) != 2 {
+		t.Fatalf("PerRun = %v, want 2 entries", r.PerRun)
+	}
+	if r.TotalOps <= 0 {
+		t.Fatal("TotalOps not recorded")
+	}
+	if r.HasDegree {
+		t.Fatal("degrees reported without CollectMetrics")
+	}
+}
+
+func TestRunCollectsDegrees(t *testing.T) {
+	cfg := Config{
+		Threads:  4,
+		Duration: 50 * time.Millisecond,
+		Workload: Update100,
+	}
+	r := Run(cfg, FactoryFor(stack.SEC, 2, true))
+	if !r.HasDegree {
+		t.Fatal("no degrees from metric-collecting SEC")
+	}
+	if r.Degrees.Batches == 0 || r.Degrees.Ops == 0 {
+		t.Fatalf("empty degree snapshot: %+v", r.Degrees)
+	}
+}
+
+func TestRunAllAlgorithmsSmoke(t *testing.T) {
+	for _, alg := range stack.Algorithms() {
+		cfg := Config{
+			Threads:  2,
+			Duration: 20 * time.Millisecond,
+			Prefill:  50,
+			Workload: Update50,
+		}
+		r := Run(cfg, FactoryFor(alg, 2, false))
+		if r.Mops <= 0 {
+			t.Fatalf("%s: zero throughput", alg)
+		}
+	}
+}
+
+func TestRunPanicsOnBadWorkload(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on invalid workload")
+		}
+	}()
+	Run(Config{Workload: Workload{Name: "bad", PushPct: 1}}, FactoryFor(stack.TRB, 0, false))
+}
+
+func TestFactoryForUnknownPanics(t *testing.T) {
+	f := FactoryFor(stack.Algorithm("NOPE"), 2, false)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unknown algorithm")
+		}
+	}()
+	f()
+}
+
+func TestSeriesReport(t *testing.T) {
+	s := NewSeries("test", []string{"A", "B"})
+	s.Add("A", Result{Config: Config{Threads: 1}, Mops: 1.5})
+	s.Add("B", Result{Config: Config{Threads: 1}, Mops: 3.0})
+	s.Add("A", Result{Config: Config{Threads: 8}, Mops: 4.0})
+
+	if got := s.Threads(); len(got) != 2 || got[0] != 1 || got[1] != 8 {
+		t.Fatalf("Threads() = %v", got)
+	}
+	var sb strings.Builder
+	if _, err := s.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"# test", "threads", "A", "B", "1.50", "3.00", "4.00", "-"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+
+	w := s.Winner()
+	if w[1] != "B" || w[8] != "A" {
+		t.Fatalf("Winner() = %v", w)
+	}
+	if sp := s.SpeedupOver("B", "A", 1); sp != 2.0 {
+		t.Fatalf("SpeedupOver = %v, want 2", sp)
+	}
+	if sp := s.SpeedupOver("B", "A", 8); sp != 0 {
+		t.Fatalf("SpeedupOver with missing cell = %v, want 0", sp)
+	}
+}
+
+func TestDegreeTableFormat(t *testing.T) {
+	out := DegreeTable("Table 1", []DegreeRow{
+		{Workload: "100%upd", BatchingDegree: 17.8, EliminationPct: 79, CombiningPct: 21},
+		{Workload: "50%upd", BatchingDegree: 17.2, EliminationPct: 79, CombiningPct: 21},
+	})
+	for _, want := range []string{"Table 1", "Batching Degree", "17.8", "%Elimination", "79%", "%Combining", "21%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("degree table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSweepSmall(t *testing.T) {
+	var progress []string
+	s := Sweep("mini", SweepOptions{
+		Columns:  []string{"TRB", "SEC"},
+		Factory:  func(col string) Factory { return FactoryFor(stack.Algorithm(col), 2, false) },
+		Ladder:   []int{1, 2},
+		Workload: Update100,
+		Duration: 10 * time.Millisecond,
+		Prefill:  10,
+		Runs:     1,
+		Progress: func(m string) { progress = append(progress, m) },
+	})
+	if len(s.Threads()) != 2 {
+		t.Fatalf("sweep threads = %v", s.Threads())
+	}
+	if len(progress) != 4 {
+		t.Fatalf("progress callbacks = %d, want 4", len(progress))
+	}
+	for _, tn := range s.Threads() {
+		for _, col := range s.Columns {
+			if r, ok := s.Cells[tn][col]; !ok || r.Mops <= 0 {
+				t.Fatalf("missing/zero cell %s@%d", col, tn)
+			}
+		}
+	}
+}
+
+func TestRunDrainMode(t *testing.T) {
+	cfg := Config{
+		Threads:  4,
+		Prefill:  20000,
+		Workload: PopOnly,
+		Drain:    true,
+		Runs:     1,
+	}
+	for _, alg := range []stack.Algorithm{stack.SEC, stack.TRB} {
+		r := Run(cfg, FactoryFor(alg, 2, false))
+		if r.Mops <= 0 {
+			t.Fatalf("%s: drain produced no throughput", alg)
+		}
+		// Nearly all prefilled elements must be accounted for (blocking
+		// batch algorithms may leave a small residue when the first
+		// EMPTY is observed).
+		if r.TotalOps < int64(cfg.Prefill)*9/10 {
+			t.Fatalf("%s: drained only %d of %d", alg, r.TotalOps, cfg.Prefill)
+		}
+	}
+}
+
+func TestRunDrainDefaultPrefill(t *testing.T) {
+	cfg := Config{Threads: 8, Prefill: 5000, Workload: PopOnly, Drain: true}
+	r := Run(cfg, FactoryFor(stack.EB, 2, false))
+	if r.TotalOps <= 0 {
+		t.Fatal("no pops recorded in drain mode")
+	}
+}

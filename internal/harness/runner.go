@@ -1,0 +1,252 @@
+// Package harness is the benchmark harness behind every figure and
+// table of the paper's evaluation: workload generation (operation
+// mixes, prefill), timed multi-threaded measurement runs, repeat
+// averaging, and the text formatting of throughput series and degree
+// tables.
+package harness
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"secstack/internal/metrics"
+	"secstack/internal/xrand"
+	"secstack/stack"
+)
+
+// Factory builds a fresh stack for one measurement run.
+type Factory func() stack.Stack[int64]
+
+// FactoryFor returns a Factory for a named algorithm; SEC is built with
+// the given aggregator count and metric collection flag.
+func FactoryFor(alg stack.Algorithm, aggregators int, collectMetrics bool) Factory {
+	return func() stack.Stack[int64] {
+		if alg == stack.SEC {
+			return stack.NewSEC[int64](stack.SECOptions{
+				Aggregators:    aggregators,
+				CollectMetrics: collectMetrics,
+			})
+		}
+		s, ok := stack.NewByName[int64](alg, aggregators)
+		if !ok {
+			panic(fmt.Sprintf("harness: unknown algorithm %q", alg))
+		}
+		return s
+	}
+}
+
+// Config is one measurement point.
+type Config struct {
+	Label    string        // algorithm label for reports
+	Threads  int           // worker goroutines
+	Duration time.Duration // measured window per run
+	Prefill  int           // elements pushed before measuring
+	Workload Workload
+	Runs     int    // repeats; results are averaged
+	Seed     uint64 // base RNG seed (per-thread streams derive from it)
+
+	// Drain switches to drain mode: workers pop (only) until they
+	// observe EMPTY, and throughput is successful pops over the actual
+	// elapsed time. This measures the cost of pops that do real work;
+	// a timed pop-only run over a fixed prefill mostly measures
+	// empty-stack pops once the prefill is gone. Duration is ignored;
+	// Prefill sets the amount of work.
+	Drain bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Threads <= 0 {
+		c.Threads = 1
+	}
+	if c.Duration <= 0 {
+		c.Duration = time.Second
+	}
+	if c.Runs <= 0 {
+		c.Runs = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 0x5ec
+	}
+	return c
+}
+
+// Result is the aggregated outcome of a measurement point.
+type Result struct {
+	Config
+	Mops      float64   // mean throughput, million ops/second
+	Stddev    float64   // stddev of per-run throughput (Mops)
+	PerRun    []float64 // per-run throughput (Mops)
+	TotalOps  int64     // ops summed over all runs
+	Degrees   metrics.Snapshot
+	HasDegree bool
+}
+
+// Run executes cfg against stacks produced by f and aggregates the
+// per-run throughputs.
+func Run(cfg Config, f Factory) Result {
+	cfg = cfg.withDefaults()
+	if err := cfg.Workload.Validate(); err != nil {
+		panic(err)
+	}
+	res := Result{Config: cfg, PerRun: make([]float64, 0, cfg.Runs)}
+	for r := 0; r < cfg.Runs; r++ {
+		s := f()
+		var (
+			ops    int64
+			deg    metrics.Snapshot
+			hasDeg bool
+			mops   float64
+		)
+		if cfg.Drain {
+			var elapsed time.Duration
+			ops, elapsed = runDrain(cfg, s)
+			mops = float64(ops) / elapsed.Seconds() / 1e6
+		} else {
+			ops, deg, hasDeg = runOnce(cfg, s, cfg.Seed+uint64(r)*1e6)
+			mops = float64(ops) / cfg.Duration.Seconds() / 1e6
+		}
+		res.PerRun = append(res.PerRun, mops)
+		res.TotalOps += ops
+		if hasDeg {
+			res.Degrees.Batches += deg.Batches
+			res.Degrees.Ops += deg.Ops
+			res.Degrees.Eliminated += deg.Eliminated
+			res.Degrees.Combined += deg.Combined
+			res.HasDegree = true
+		}
+	}
+	res.Mops, res.Stddev = meanStddev(res.PerRun)
+	return res
+}
+
+// runOnce performs a single timed run and returns the operation count
+// and, for metric-collecting SEC stacks, the degree snapshot.
+func runOnce(cfg Config, s stack.Stack[int64], seed uint64) (int64, metrics.Snapshot, bool) {
+	// Prefill through a temporary handle, as the paper prefills before
+	// measuring. Values are tagged so they cannot collide with worker
+	// pushes.
+	if cfg.Prefill > 0 {
+		h := s.Register()
+		for i := 0; i < cfg.Prefill; i++ {
+			h.Push(int64(1)<<48 | int64(i))
+		}
+	}
+
+	var (
+		stop    atomic.Bool
+		started sync.WaitGroup
+		done    sync.WaitGroup
+		total   atomic.Int64
+		gate    = make(chan struct{})
+	)
+	for t := 0; t < cfg.Threads; t++ {
+		started.Add(1)
+		done.Add(1)
+		go func(t int) {
+			defer done.Done()
+			h := s.Register()
+			rng := newWorkerRNG(seed, t)
+			base := int64(t+1) << 32
+			started.Done()
+			<-gate
+			ops := int64(0)
+			for !stop.Load() {
+				// A small batch between stop checks keeps the check off
+				// the hot path without distorting the mix.
+				for i := 0; i < 64; i++ {
+					switch cfg.Workload.Pick(rng.Intn(100)) {
+					case OpPush:
+						h.Push(base | ops)
+					case OpPop:
+						h.Pop()
+					case OpPeek:
+						h.Peek()
+					}
+					ops++
+				}
+			}
+			total.Add(ops)
+		}(t)
+	}
+	started.Wait()
+	close(gate)
+	time.Sleep(cfg.Duration)
+	stop.Store(true)
+	done.Wait()
+
+	if sec, ok := s.(*stack.SECStack[int64]); ok && sec.Metrics() != nil {
+		return total.Load(), sec.Metrics().Snapshot(), true
+	}
+	return total.Load(), metrics.Snapshot{}, false
+}
+
+// runDrain prefills the stack and measures how fast cfg.Threads workers
+// can pop it dry: each worker pops until it observes EMPTY. Returns the
+// number of successful pops and the elapsed wall time.
+func runDrain(cfg Config, s stack.Stack[int64]) (int64, time.Duration) {
+	prefill := cfg.Prefill
+	if prefill <= 0 {
+		prefill = 1 << 20
+	}
+	h := s.Register()
+	for i := 0; i < prefill; i++ {
+		h.Push(int64(i))
+	}
+
+	var (
+		started sync.WaitGroup
+		done    sync.WaitGroup
+		total   atomic.Int64
+		gate    = make(chan struct{})
+	)
+	for t := 0; t < cfg.Threads; t++ {
+		started.Add(1)
+		done.Add(1)
+		go func() {
+			defer done.Done()
+			h := s.Register()
+			started.Done()
+			<-gate
+			ops := int64(0)
+			for {
+				if _, ok := h.Pop(); !ok {
+					break
+				}
+				ops++
+			}
+			total.Add(ops)
+		}()
+	}
+	started.Wait()
+	start := time.Now()
+	close(gate)
+	done.Wait()
+	return total.Load(), time.Since(start)
+}
+
+// newWorkerRNG derives worker t's RNG stream from the run seed.
+func newWorkerRNG(seed uint64, t int) *xrand.State {
+	return xrand.New(seed + uint64(t)*7919)
+}
+
+func meanStddev(xs []float64) (mean, stddev float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return mean, math.Sqrt(ss / float64(len(xs)-1))
+}

@@ -1,0 +1,95 @@
+package harness
+
+import "fmt"
+
+// Workload is an operation mix in percent. The percentages must sum to
+// 100; Validate enforces this.
+type Workload struct {
+	Name    string
+	PushPct int
+	PopPct  int
+	PeekPct int
+}
+
+// The workloads of the paper's evaluation (§6, Methodology).
+var (
+	// Update100 is the update-heavy mix: 50% push, 50% pop.
+	Update100 = Workload{Name: "100%upd", PushPct: 50, PopPct: 50, PeekPct: 0}
+	// Update50 is the mixed mix: 25% push, 25% pop, 50% peek.
+	Update50 = Workload{Name: "50%upd", PushPct: 25, PopPct: 25, PeekPct: 50}
+	// Update10 is the read-heavy mix: 5% push, 5% pop, 90% peek.
+	Update10 = Workload{Name: "10%upd", PushPct: 5, PopPct: 5, PeekPct: 90}
+	// PushOnly exercises pure insertion (paper Figure 3, left).
+	PushOnly = Workload{Name: "push-only", PushPct: 100}
+	// PopOnly exercises pure removal (paper Figure 3, right).
+	PopOnly = Workload{Name: "pop-only", PopPct: 100}
+)
+
+// UpdateWorkloads is the three-mix family of paper Figure 2.
+func UpdateWorkloads() []Workload {
+	return []Workload{Update100, Update50, Update10}
+}
+
+// Validate reports an error when the mix does not sum to 100%.
+func (w Workload) Validate() error {
+	if w.PushPct < 0 || w.PopPct < 0 || w.PeekPct < 0 {
+		return fmt.Errorf("harness: workload %q has negative percentages", w.Name)
+	}
+	if s := w.PushPct + w.PopPct + w.PeekPct; s != 100 {
+		return fmt.Errorf("harness: workload %q sums to %d%%, want 100%%", w.Name, s)
+	}
+	return nil
+}
+
+// OpKind is the operation selected for one workload step.
+type OpKind int
+
+// Operation kinds returned by Pick.
+const (
+	OpPush OpKind = iota
+	OpPop
+	OpPeek
+)
+
+// Pick maps a uniform draw r in [0,100) to an operation kind according
+// to the mix.
+func (w Workload) Pick(r int) OpKind {
+	switch {
+	case r < w.PushPct:
+		return OpPush
+	case r < w.PushPct+w.PopPct:
+		return OpPop
+	default:
+		return OpPeek
+	}
+}
+
+// Machine is a named thread ladder standing in for one of the paper's
+// evaluation hosts. Points beyond the local GOMAXPROCS run
+// oversubscribed, as the paper's points beyond the hardware thread
+// count do.
+type Machine struct {
+	Name   string
+	HW     int // the original machine's hardware thread count
+	Ladder []int
+}
+
+// The paper's three machines (§6 and appendices D-E).
+var (
+	Emerald  = Machine{Name: "Emerald", HW: 56, Ladder: []int{1, 4, 8, 16, 24, 32, 40, 48, 56, 84, 112}}
+	IceLake  = Machine{Name: "IceLake", HW: 96, Ladder: []int{1, 8, 16, 24, 48, 72, 96, 144, 192, 240}}
+	Sapphire = Machine{Name: "Sapphire", HW: 192, Ladder: []int{1, 24, 48, 72, 96, 120, 144, 168, 192, 240}}
+)
+
+// Machines lists the presets.
+func Machines() []Machine { return []Machine{Emerald, IceLake, Sapphire} }
+
+// MachineByName resolves a preset by (case-sensitive) name.
+func MachineByName(name string) (Machine, bool) {
+	for _, m := range Machines() {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Machine{}, false
+}

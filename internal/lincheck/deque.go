@@ -1,0 +1,166 @@
+package lincheck
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// DeqKind is the operation type of a deque history event.
+type DeqKind int
+
+// Deque operation kinds.
+const (
+	PushLeft DeqKind = iota
+	PushRight
+	PopLeft
+	PopRight
+)
+
+func (k DeqKind) String() string {
+	switch k {
+	case PushLeft:
+		return "pushL"
+	case PushRight:
+		return "pushR"
+	case PopLeft:
+		return "popL"
+	case PopRight:
+		return "popR"
+	}
+	return fmt.Sprintf("DeqKind(%d)", int(k))
+}
+
+// DeqOp is one completed deque operation.
+type DeqOp struct {
+	Thread int
+	Kind   DeqKind
+	Value  int64
+	OK     bool // pops: false means "observed empty"
+	Invoke int64
+	Return int64
+}
+
+func (o DeqOp) String() string {
+	switch o.Kind {
+	case PushLeft, PushRight:
+		return fmt.Sprintf("T%d %s(%d) @[%d,%d]", o.Thread, o.Kind, o.Value, o.Invoke, o.Return)
+	default:
+		if !o.OK {
+			return fmt.Sprintf("T%d %s()=empty @[%d,%d]", o.Thread, o.Kind, o.Invoke, o.Return)
+		}
+		return fmt.Sprintf("T%d %s()=%d @[%d,%d]", o.Thread, o.Kind, o.Value, o.Invoke, o.Return)
+	}
+}
+
+// CheckDeque reports whether history is linearizable with respect to
+// sequential double-ended-queue semantics, by the same memoized DFS as
+// CheckStack. It panics past 63 operations.
+func CheckDeque(history []DeqOp) bool {
+	if len(history) > maxOps {
+		panic(fmt.Sprintf("lincheck: history of %d ops exceeds the %d-op bound", len(history), maxOps))
+	}
+	c := &dequeChecker{ops: history, memo: make(map[string]bool)}
+	return c.search(0, nil)
+}
+
+type dequeChecker struct {
+	ops  []DeqOp
+	memo map[string]bool
+}
+
+func (c *dequeChecker) search(done uint64, deq []int64) bool {
+	if done == (uint64(1)<<len(c.ops))-1 {
+		return true
+	}
+	k := key(done, deq)
+	if c.memo[k] {
+		return false
+	}
+	minReturn := int64(1) << 62
+	for i, op := range c.ops {
+		if done&(1<<i) == 0 && op.Return < minReturn {
+			minReturn = op.Return
+		}
+	}
+	for i, op := range c.ops {
+		if done&(1<<i) != 0 || op.Invoke > minReturn {
+			continue
+		}
+		next, legal := applyDeq(deq, op)
+		if !legal {
+			continue
+		}
+		if c.search(done|1<<i, next) {
+			return true
+		}
+	}
+	c.memo[k] = true
+	return false
+}
+
+// applyDeq runs op against the abstract deque (index 0 = left end).
+func applyDeq(deq []int64, op DeqOp) ([]int64, bool) {
+	switch op.Kind {
+	case PushLeft:
+		next := make([]int64, 0, len(deq)+1)
+		next = append(next, op.Value)
+		return append(next, deq...), true
+	case PushRight:
+		next := make([]int64, len(deq), len(deq)+1)
+		copy(next, deq)
+		return append(next, op.Value), true
+	case PopLeft:
+		if !op.OK {
+			return deq, len(deq) == 0
+		}
+		if len(deq) == 0 || deq[0] != op.Value {
+			return nil, false
+		}
+		return deq[1:], true
+	case PopRight:
+		if !op.OK {
+			return deq, len(deq) == 0
+		}
+		if len(deq) == 0 || deq[len(deq)-1] != op.Value {
+			return nil, false
+		}
+		return deq[:len(deq)-1], true
+	}
+	return nil, false
+}
+
+// DeqRecorder collects a concurrent deque history; see Recorder.
+type DeqRecorder struct {
+	clock atomic.Int64
+	slots []deqThreadLog
+}
+
+type deqThreadLog struct {
+	ops []DeqOp
+	_   [40]byte
+}
+
+// NewDeqRecorder returns a recorder for up to threads worker goroutines.
+func NewDeqRecorder(threads int) *DeqRecorder {
+	return &DeqRecorder{slots: make([]deqThreadLog, threads)}
+}
+
+// Begin stamps an operation invocation.
+func (r *DeqRecorder) Begin() int64 { return r.clock.Add(1) }
+
+// Record appends a completed operation for thread t.
+func (r *DeqRecorder) Record(t int, kind DeqKind, v int64, ok bool, invoke int64) {
+	r.slots[t].ops = append(r.slots[t].ops, DeqOp{
+		Thread: t, Kind: kind, Value: v, OK: ok,
+		Invoke: invoke, Return: r.clock.Add(1),
+	})
+}
+
+// History returns all recorded operations; call after workers finish.
+func (r *DeqRecorder) History() []DeqOp {
+	var out []DeqOp
+	for i := range r.slots {
+		out = append(out, r.slots[i].ops...)
+	}
+	return out
+}

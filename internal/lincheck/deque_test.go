@@ -1,0 +1,140 @@
+package lincheck
+
+import "testing"
+
+type dstep struct {
+	kind DeqKind
+	v    int64
+	ok   bool
+}
+
+func seqDeqHistory(steps []dstep) []DeqOp {
+	ops := make([]DeqOp, len(steps))
+	t := int64(0)
+	for i, s := range steps {
+		t++
+		inv := t
+		t++
+		ops[i] = DeqOp{Kind: s.kind, Value: s.v, OK: s.ok, Invoke: inv, Return: t}
+	}
+	return ops
+}
+
+func TestDequeSequentialLegal(t *testing.T) {
+	h := seqDeqHistory([]dstep{
+		{PushLeft, 2, true}, {PushLeft, 1, true}, {PushRight, 3, true},
+		// deque: 1 2 3
+		{PopLeft, 1, true}, {PopRight, 3, true}, {PopLeft, 2, true},
+		{PopLeft, 0, false}, {PopRight, 0, false},
+	})
+	if !CheckDeque(h) {
+		t.Fatal("legal sequential deque history rejected")
+	}
+}
+
+func TestDequeWrongEnd(t *testing.T) {
+	h := seqDeqHistory([]dstep{
+		{PushLeft, 1, true}, {PushLeft, 2, true},
+		{PopRight, 2, true}, // 2 is at the LEFT end; right end holds 1
+	})
+	if CheckDeque(h) {
+		t.Fatal("pop from wrong end accepted")
+	}
+}
+
+func TestDequeStackMode(t *testing.T) {
+	h := seqDeqHistory([]dstep{
+		{PushLeft, 1, true}, {PushLeft, 2, true},
+		{PopLeft, 2, true}, {PopLeft, 1, true},
+	})
+	if !CheckDeque(h) {
+		t.Fatal("stack-mode deque history rejected")
+	}
+}
+
+func TestDequeQueueMode(t *testing.T) {
+	h := seqDeqHistory([]dstep{
+		{PushRight, 1, true}, {PushRight, 2, true},
+		{PopLeft, 1, true}, {PopLeft, 2, true},
+	})
+	if !CheckDeque(h) {
+		t.Fatal("queue-mode deque history rejected")
+	}
+}
+
+func TestDequeFalseEmpty(t *testing.T) {
+	h := seqDeqHistory([]dstep{
+		{PushLeft, 1, true},
+		{PopRight, 0, false},
+	})
+	if CheckDeque(h) {
+		t.Fatal("false-empty pop accepted")
+	}
+}
+
+func TestDequeDoublePop(t *testing.T) {
+	h := seqDeqHistory([]dstep{
+		{PushLeft, 1, true},
+		{PopLeft, 1, true}, {PopRight, 1, true},
+	})
+	if CheckDeque(h) {
+		t.Fatal("double pop accepted")
+	}
+}
+
+func TestDequeConcurrentReorder(t *testing.T) {
+	// Two overlapping pushes at opposite ends; a pop may see either
+	// element at its end depending on the chosen order.
+	h := []DeqOp{
+		{Kind: PushLeft, Value: 1, OK: true, Invoke: 1, Return: 10},
+		{Kind: PushRight, Value: 2, OK: true, Invoke: 2, Return: 11},
+		{Kind: PopLeft, Value: 1, OK: true, Invoke: 12, Return: 13},
+		{Kind: PopLeft, Value: 2, OK: true, Invoke: 14, Return: 15},
+	}
+	if !CheckDeque(h) {
+		t.Fatal("valid concurrent deque history rejected")
+	}
+}
+
+func TestDequeElimination(t *testing.T) {
+	// A PushLeft/PopLeft pair eliminated by the SEC-style deque
+	// linearizes adjacently; the older element is untouched.
+	h := []DeqOp{
+		{Kind: PushLeft, Value: 1, OK: true, Invoke: 1, Return: 2},
+		{Kind: PushLeft, Value: 2, OK: true, Invoke: 3, Return: 8},
+		{Kind: PopLeft, Value: 2, OK: true, Invoke: 4, Return: 7},
+		{Kind: PopLeft, Value: 1, OK: true, Invoke: 9, Return: 10},
+	}
+	if !CheckDeque(h) {
+		t.Fatal("elimination-shaped deque history rejected")
+	}
+}
+
+func TestDeqKindString(t *testing.T) {
+	if PushLeft.String() != "pushL" || PopRight.String() != "popR" {
+		t.Fatal("DeqKind.String broken")
+	}
+	if DeqKind(7).String() != "DeqKind(7)" {
+		t.Fatal("unknown DeqKind.String broken")
+	}
+}
+
+func TestDeqOpString(t *testing.T) {
+	op := DeqOp{Thread: 1, Kind: PushRight, Value: 4, OK: true, Invoke: 1, Return: 2}
+	if got := op.String(); got != "T1 pushR(4) @[1,2]" {
+		t.Fatalf("String() = %q", got)
+	}
+	op = DeqOp{Kind: PopLeft, OK: false, Invoke: 3, Return: 5}
+	if got := op.String(); got != "T0 popL()=empty @[3,5]" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestDequeOversizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	CheckDeque(make([]DeqOp, maxOps+1))
+}

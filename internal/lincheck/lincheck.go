@@ -1,0 +1,217 @@
+// Package lincheck decides linearizability of complete concurrent stack
+// histories, in the style of the Wing–Gong algorithm with state
+// memoization (Lowe, "Testing for linearizability", 2017).
+//
+// The checker searches for a total order of the history's operations
+// that (a) respects real-time precedence - an operation that returned
+// before another was invoked must be ordered first - and (b) is a legal
+// sequential stack execution. The search is exponential in the worst
+// case, so it is intended for the small bounded histories the test
+// suites generate (up to roughly 20 operations); large-history checking
+// is done structurally by internal/stacktest instead.
+package lincheck
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Kind is the operation type of a history event.
+type Kind int
+
+// Operation kinds.
+const (
+	Push Kind = iota
+	Pop
+	Peek
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Push:
+		return "push"
+	case Pop:
+		return "pop"
+	case Peek:
+		return "peek"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Op is one completed operation of a history.
+type Op struct {
+	Thread int   // informational
+	Kind   Kind  //
+	Value  int64 // pushed value, or value returned by pop/peek (when OK)
+	OK     bool  // pop/peek: false means "observed empty"
+	Invoke int64 // logical invocation timestamp
+	Return int64 // logical response timestamp; must be > Invoke
+}
+
+func (o Op) String() string {
+	switch o.Kind {
+	case Push:
+		return fmt.Sprintf("T%d push(%d) @[%d,%d]", o.Thread, o.Value, o.Invoke, o.Return)
+	default:
+		if !o.OK {
+			return fmt.Sprintf("T%d %s()=empty @[%d,%d]", o.Thread, o.Kind, o.Invoke, o.Return)
+		}
+		return fmt.Sprintf("T%d %s()=%d @[%d,%d]", o.Thread, o.Kind, o.Value, o.Invoke, o.Return)
+	}
+}
+
+// maxOps bounds the history size the exhaustive checker accepts (the
+// done-set is a bitmask).
+const maxOps = 63
+
+// CheckStack reports whether history is linearizable with respect to
+// sequential LIFO stack semantics. It panics if the history exceeds 63
+// operations; callers generate bounded histories.
+func CheckStack(history []Op) bool {
+	if len(history) > maxOps {
+		panic(fmt.Sprintf("lincheck: history of %d ops exceeds the %d-op bound", len(history), maxOps))
+	}
+	c := &checker{ops: history, memo: make(map[string]bool)}
+	return c.search(0, nil)
+}
+
+// checker carries the DFS state.
+type checker struct {
+	ops  []Op
+	memo map[string]bool // (doneMask, stack) states proven dead
+}
+
+// key serializes a search state: which ops are done plus the exact
+// stack contents (content order matters).
+func key(done uint64, stack []int64) string {
+	buf := make([]byte, 0, 8+8*len(stack))
+	for i := 0; i < 8; i++ {
+		buf = append(buf, byte(done>>(8*i)))
+	}
+	for _, v := range stack {
+		for i := 0; i < 8; i++ {
+			buf = append(buf, byte(uint64(v)>>(8*i)))
+		}
+	}
+	return string(buf)
+}
+
+// search tries to linearize the remaining operations given the current
+// abstract stack.
+func (c *checker) search(done uint64, stack []int64) bool {
+	if done == (uint64(1)<<len(c.ops))-1 {
+		return true
+	}
+	k := key(done, stack)
+	if c.memo[k] {
+		return false
+	}
+
+	// minPendingReturn is the earliest response among undone ops: any
+	// operation invoked after it cannot be linearized next.
+	minReturn := int64(1) << 62
+	for i, op := range c.ops {
+		if done&(1<<i) == 0 && op.Return < minReturn {
+			minReturn = op.Return
+		}
+	}
+
+	for i, op := range c.ops {
+		if done&(1<<i) != 0 || op.Invoke > minReturn {
+			continue
+		}
+		next, legal := apply(stack, op)
+		if !legal {
+			continue
+		}
+		if c.search(done|1<<i, next) {
+			return true
+		}
+	}
+	c.memo[k] = true
+	return false
+}
+
+// apply runs op against the abstract stack, reporting whether its
+// recorded result is sequentially legal and the resulting stack.
+func apply(stack []int64, op Op) ([]int64, bool) {
+	switch op.Kind {
+	case Push:
+		next := make([]int64, len(stack)+1)
+		copy(next, stack)
+		next[len(stack)] = op.Value
+		return next, true
+	case Pop:
+		if !op.OK {
+			return stack, len(stack) == 0
+		}
+		if len(stack) == 0 || stack[len(stack)-1] != op.Value {
+			return nil, false
+		}
+		return stack[:len(stack)-1], true
+	case Peek:
+		if !op.OK {
+			return stack, len(stack) == 0
+		}
+		return stack, len(stack) > 0 && stack[len(stack)-1] == op.Value
+	}
+	return nil, false
+}
+
+// Recorder collects a concurrent history using a shared logical clock.
+// Worker goroutines call Begin/EndPush/EndPop/EndPeek around their
+// operations; the clock's fetch&adds give timestamps whose order is
+// consistent with real time.
+type Recorder struct {
+	clock atomic.Int64
+	slots []threadLog
+}
+
+type threadLog struct {
+	ops []Op
+	_   [40]byte
+}
+
+// NewRecorder returns a recorder for up to threads worker goroutines.
+func NewRecorder(threads int) *Recorder {
+	return &Recorder{slots: make([]threadLog, threads)}
+}
+
+// Begin stamps an operation invocation for thread t.
+func (r *Recorder) Begin() int64 {
+	return r.clock.Add(1)
+}
+
+// RecordPush appends a completed push.
+func (r *Recorder) RecordPush(t int, v int64, invoke int64) {
+	r.slots[t].ops = append(r.slots[t].ops, Op{
+		Thread: t, Kind: Push, Value: v, OK: true,
+		Invoke: invoke, Return: r.clock.Add(1),
+	})
+}
+
+// RecordPop appends a completed pop.
+func (r *Recorder) RecordPop(t int, v int64, ok bool, invoke int64) {
+	r.slots[t].ops = append(r.slots[t].ops, Op{
+		Thread: t, Kind: Pop, Value: v, OK: ok,
+		Invoke: invoke, Return: r.clock.Add(1),
+	})
+}
+
+// RecordPeek appends a completed peek.
+func (r *Recorder) RecordPeek(t int, v int64, ok bool, invoke int64) {
+	r.slots[t].ops = append(r.slots[t].ops, Op{
+		Thread: t, Kind: Peek, Value: v, OK: ok,
+		Invoke: invoke, Return: r.clock.Add(1),
+	})
+}
+
+// History returns all recorded operations. Call only after the worker
+// goroutines have finished.
+func (r *Recorder) History() []Op {
+	var out []Op
+	for i := range r.slots {
+		out = append(out, r.slots[i].ops...)
+	}
+	return out
+}

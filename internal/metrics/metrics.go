@@ -1,0 +1,139 @@
+// Package metrics provides the low-overhead instrumentation counters
+// behind the paper's Tables 1–3 (batching degree, %eliminated,
+// %combined). Counters are cache-line-padded and sharded per aggregator
+// so that instrumented runs perturb throughput as little as possible;
+// instrumentation is opt-in in the SEC constructor.
+package metrics
+
+import "sync/atomic"
+
+// cacheLine is the assumed cache line size; padding counters to it
+// prevents false sharing between aggregator shards.
+const cacheLine = 64
+
+// shard is one padded counter block. Batches, eliminated operations and
+// combined operations are tallied by whichever thread closes out a
+// batch, so a shard sees updates only from the threads of one
+// aggregator.
+type shard struct {
+	batches    atomic.Int64 // batches frozen
+	ops        atomic.Int64 // operations that belonged to frozen batches
+	eliminated atomic.Int64 // operations eliminated in-batch
+	combined   atomic.Int64 // operations applied to the shared stack
+	_          [cacheLine - 4*8]byte
+}
+
+// SEC aggregates per-aggregator statistics for a SEC stack instance.
+// A nil *SEC is valid and turns every method into a no-op, which is how
+// uninstrumented stacks avoid the overhead entirely.
+type SEC struct {
+	shards []shard
+}
+
+// NewSEC returns a collector with one shard per aggregator.
+func NewSEC(aggregators int) *SEC {
+	if aggregators < 1 {
+		aggregators = 1
+	}
+	return &SEC{shards: make([]shard, aggregators)}
+}
+
+// RecordBatch tallies one frozen batch of aggregator agg containing
+// pushes+pops operations, of which eliminated were eliminated in-batch
+// and the remainder applied to the shared stack by a combiner.
+func (m *SEC) RecordBatch(agg, pushes, pops int) {
+	if m == nil {
+		return
+	}
+	s := &m.shards[agg]
+	elim := 2 * min(pushes, pops)
+	total := pushes + pops
+	s.batches.Add(1)
+	s.ops.Add(int64(total))
+	s.eliminated.Add(int64(elim))
+	s.combined.Add(int64(total - elim))
+}
+
+// RecordBatchRaw tallies one frozen batch of aggregator agg with the
+// operation and eliminated-operation counts already computed by the
+// caller (used by ablation variants whose elimination count differs
+// from 2*min(pushes, pops)).
+func (m *SEC) RecordBatchRaw(agg, ops, eliminated int) {
+	if m == nil {
+		return
+	}
+	s := &m.shards[agg]
+	s.batches.Add(1)
+	s.ops.Add(int64(ops))
+	s.eliminated.Add(int64(eliminated))
+	s.combined.Add(int64(ops - eliminated))
+}
+
+// Snapshot is a point-in-time view of the collected statistics,
+// aggregated over all shards.
+type Snapshot struct {
+	Batches    int64
+	Ops        int64
+	Eliminated int64
+	Combined   int64
+}
+
+// Snapshot sums all shards. It is safe to call concurrently with
+// RecordBatch; the result is approximate while a run is in flight and
+// exact once workers have stopped.
+func (m *SEC) Snapshot() Snapshot {
+	var out Snapshot
+	if m == nil {
+		return out
+	}
+	for i := range m.shards {
+		s := &m.shards[i]
+		out.Batches += s.batches.Load()
+		out.Ops += s.ops.Load()
+		out.Eliminated += s.eliminated.Load()
+		out.Combined += s.combined.Load()
+	}
+	return out
+}
+
+// Reset zeroes all shards.
+func (m *SEC) Reset() {
+	if m == nil {
+		return
+	}
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.batches.Store(0)
+		s.ops.Store(0)
+		s.eliminated.Store(0)
+		s.combined.Store(0)
+	}
+}
+
+// BatchingDegree is the average number of operations per frozen batch
+// (the paper's "batching degree"). Zero if no batches were recorded.
+func (s Snapshot) BatchingDegree() float64 {
+	if s.Batches == 0 {
+		return 0
+	}
+	return float64(s.Ops) / float64(s.Batches)
+}
+
+// EliminationPct is the percentage of batch operations eliminated
+// in-batch (the paper's "%elimination"). Zero if no operations.
+func (s Snapshot) EliminationPct() float64 {
+	if s.Ops == 0 {
+		return 0
+	}
+	return 100 * float64(s.Eliminated) / float64(s.Ops)
+}
+
+// CombiningPct is the percentage of batch operations applied to the
+// shared stack (the paper's "%combining"); by construction
+// EliminationPct + CombiningPct = 100 when Ops > 0.
+func (s Snapshot) CombiningPct() float64 {
+	if s.Ops == 0 {
+		return 0
+	}
+	return 100 * float64(s.Combined) / float64(s.Ops)
+}

@@ -1,0 +1,126 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestNilCollectorIsNoop(t *testing.T) {
+	var m *SEC
+	m.RecordBatch(0, 5, 3) // must not panic
+	m.Reset()
+	s := m.Snapshot()
+	if s.Batches != 0 || s.Ops != 0 {
+		t.Fatalf("nil collector snapshot = %+v, want zero", s)
+	}
+}
+
+func TestRecordBatchAccounting(t *testing.T) {
+	m := NewSEC(2)
+	m.RecordBatch(0, 5, 3) // 8 ops, 6 eliminated, 2 combined
+	m.RecordBatch(1, 2, 2) // 4 ops, 4 eliminated, 0 combined
+	s := m.Snapshot()
+	if s.Batches != 2 {
+		t.Fatalf("Batches = %d, want 2", s.Batches)
+	}
+	if s.Ops != 12 {
+		t.Fatalf("Ops = %d, want 12", s.Ops)
+	}
+	if s.Eliminated != 10 {
+		t.Fatalf("Eliminated = %d, want 10", s.Eliminated)
+	}
+	if s.Combined != 2 {
+		t.Fatalf("Combined = %d, want 2", s.Combined)
+	}
+}
+
+func TestDegrees(t *testing.T) {
+	m := NewSEC(1)
+	m.RecordBatch(0, 10, 0) // pure-push batch: nothing eliminated
+	s := m.Snapshot()
+	if got := s.BatchingDegree(); got != 10 {
+		t.Fatalf("BatchingDegree = %v, want 10", got)
+	}
+	if got := s.EliminationPct(); got != 0 {
+		t.Fatalf("EliminationPct = %v, want 0", got)
+	}
+	if got := s.CombiningPct(); got != 100 {
+		t.Fatalf("CombiningPct = %v, want 100", got)
+	}
+}
+
+func TestDegreesEmptySnapshot(t *testing.T) {
+	var s Snapshot
+	if s.BatchingDegree() != 0 || s.EliminationPct() != 0 || s.CombiningPct() != 0 {
+		t.Fatal("empty snapshot must report zero degrees, not NaN")
+	}
+}
+
+func TestPercentagesSumTo100(t *testing.T) {
+	f := func(pushes, pops uint8) bool {
+		if pushes == 0 && pops == 0 {
+			return true
+		}
+		m := NewSEC(1)
+		m.RecordBatch(0, int(pushes), int(pops))
+		s := m.Snapshot()
+		return math.Abs(s.EliminationPct()+s.CombiningPct()-100) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReset(t *testing.T) {
+	m := NewSEC(3)
+	m.RecordBatch(2, 4, 4)
+	m.Reset()
+	if s := m.Snapshot(); s.Batches != 0 || s.Ops != 0 || s.Eliminated != 0 || s.Combined != 0 {
+		t.Fatalf("snapshot after Reset = %+v, want zeros", s)
+	}
+}
+
+func TestNewSECClampsAggregators(t *testing.T) {
+	m := NewSEC(0)
+	m.RecordBatch(0, 1, 1) // must not panic on index 0
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	const (
+		shards  = 4
+		workers = 8
+		batches = 1000
+	)
+	m := NewSEC(shards)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < batches; i++ {
+				m.RecordBatch(w%shards, 3, 1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := m.Snapshot()
+	wantBatches := int64(workers * batches)
+	if s.Batches != wantBatches {
+		t.Fatalf("Batches = %d, want %d", s.Batches, wantBatches)
+	}
+	if s.Ops != 4*wantBatches {
+		t.Fatalf("Ops = %d, want %d", s.Ops, 4*wantBatches)
+	}
+	if s.Eliminated != 2*wantBatches {
+		t.Fatalf("Eliminated = %d, want %d", s.Eliminated, 2*wantBatches)
+	}
+}
+
+func BenchmarkRecordBatch(b *testing.B) {
+	m := NewSEC(2)
+	for i := 0; i < b.N; i++ {
+		m.RecordBatch(i&1, 5, 3)
+	}
+}

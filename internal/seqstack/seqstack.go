@@ -1,0 +1,66 @@
+// Package seqstack implements a plain sequential LIFO stack. It serves
+// two roles in the repository: it is the structure that the combining
+// stacks (flat combining, CC-Synch) protect behind their combiner locks,
+// and it is the reference model that tests linearize the concurrent
+// stacks against.
+package seqstack
+
+// Stack is an unsynchronized LIFO stack. The zero value is an empty
+// stack ready for use.
+type Stack[T any] struct {
+	items []T
+}
+
+// New returns an empty stack with capacity for n elements.
+func New[T any](n int) *Stack[T] {
+	return &Stack[T]{items: make([]T, 0, n)}
+}
+
+// Push adds v to the top of the stack.
+func (s *Stack[T]) Push(v T) {
+	s.items = append(s.items, v)
+}
+
+// Pop removes and returns the top element. ok is false if the stack is
+// empty, in which case the returned value is the zero value of T.
+func (s *Stack[T]) Pop() (v T, ok bool) {
+	n := len(s.items)
+	if n == 0 {
+		return v, false
+	}
+	v = s.items[n-1]
+	var zero T
+	s.items[n-1] = zero // release reference for GC
+	s.items = s.items[:n-1]
+	return v, true
+}
+
+// Peek returns the top element without removing it. ok is false if the
+// stack is empty.
+func (s *Stack[T]) Peek() (v T, ok bool) {
+	n := len(s.items)
+	if n == 0 {
+		return v, false
+	}
+	return s.items[n-1], true
+}
+
+// Len reports the number of elements on the stack.
+func (s *Stack[T]) Len() int { return len(s.items) }
+
+// Snapshot returns the stack contents bottom-to-top. The returned slice
+// is a copy; mutating it does not affect the stack.
+func (s *Stack[T]) Snapshot() []T {
+	out := make([]T, len(s.items))
+	copy(out, s.items)
+	return out
+}
+
+// Reset empties the stack, retaining capacity.
+func (s *Stack[T]) Reset() {
+	var zero T
+	for i := range s.items {
+		s.items[i] = zero
+	}
+	s.items = s.items[:0]
+}

@@ -1,0 +1,144 @@
+package seqstack
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyPop(t *testing.T) {
+	s := New[int](0)
+	if v, ok := s.Pop(); ok || v != 0 {
+		t.Fatalf("Pop on empty = (%d, %v), want (0, false)", v, ok)
+	}
+}
+
+func TestEmptyPeek(t *testing.T) {
+	s := New[int](0)
+	if _, ok := s.Peek(); ok {
+		t.Fatal("Peek on empty returned ok")
+	}
+}
+
+func TestLIFOOrder(t *testing.T) {
+	s := New[int](4)
+	for i := 1; i <= 5; i++ {
+		s.Push(i)
+	}
+	for want := 5; want >= 1; want-- {
+		v, ok := s.Pop()
+		if !ok || v != want {
+			t.Fatalf("Pop = (%d, %v), want (%d, true)", v, ok, want)
+		}
+	}
+	if _, ok := s.Pop(); ok {
+		t.Fatal("stack not empty after popping all")
+	}
+}
+
+func TestPeekDoesNotRemove(t *testing.T) {
+	s := New[string](0)
+	s.Push("a")
+	s.Push("b")
+	for i := 0; i < 3; i++ {
+		v, ok := s.Peek()
+		if !ok || v != "b" {
+			t.Fatalf("Peek = (%q, %v), want (b, true)", v, ok)
+		}
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d after peeks, want 2", s.Len())
+	}
+}
+
+func TestLen(t *testing.T) {
+	s := New[int](0)
+	for i := 0; i < 10; i++ {
+		if s.Len() != i {
+			t.Fatalf("Len = %d, want %d", s.Len(), i)
+		}
+		s.Push(i)
+	}
+}
+
+func TestSnapshotIsCopy(t *testing.T) {
+	s := New[int](0)
+	s.Push(1)
+	s.Push(2)
+	snap := s.Snapshot()
+	if len(snap) != 2 || snap[0] != 1 || snap[1] != 2 {
+		t.Fatalf("Snapshot = %v, want [1 2]", snap)
+	}
+	snap[0] = 99
+	if got := s.Snapshot()[0]; got != 1 {
+		t.Fatalf("mutating snapshot affected stack: %d", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	s := New[int](0)
+	for i := 0; i < 100; i++ {
+		s.Push(i)
+	}
+	s.Reset()
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d after Reset", s.Len())
+	}
+	if _, ok := s.Pop(); ok {
+		t.Fatal("Pop succeeded after Reset")
+	}
+	s.Push(7)
+	if v, _ := s.Peek(); v != 7 {
+		t.Fatal("stack unusable after Reset")
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var s Stack[int]
+	s.Push(1)
+	if v, ok := s.Pop(); !ok || v != 1 {
+		t.Fatal("zero-value stack not usable")
+	}
+}
+
+// TestQuickAgainstSlice drives the stack with random op sequences and
+// compares against a plain slice model.
+func TestQuickAgainstSlice(t *testing.T) {
+	f := func(ops []int16) bool {
+		s := New[int16](0)
+		var model []int16
+		for _, op := range ops {
+			if op >= 0 { // push
+				s.Push(op)
+				model = append(model, op)
+			} else { // pop
+				v, ok := s.Pop()
+				if len(model) == 0 {
+					if ok {
+						return false
+					}
+					continue
+				}
+				want := model[len(model)-1]
+				model = model[:len(model)-1]
+				if !ok || v != want {
+					return false
+				}
+			}
+			if s.Len() != len(model) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	s := New[int](1024)
+	for i := 0; i < b.N; i++ {
+		s.Push(i)
+		s.Pop()
+	}
+}

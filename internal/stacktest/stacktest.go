@@ -1,0 +1,370 @@
+// Package stacktest is a conformance test-kit shared by every concurrent
+// stack in the repository. Each stack's test package adapts its
+// implementation to the Stack/Handle interfaces below and runs the same
+// suite: sequential semantics against the seqstack model, element
+// conservation under concurrency, LIFO residue ordering, empty-pop
+// behaviour, and oversubscribed progress (more goroutines than
+// GOMAXPROCS, the repro-critical configuration for blocking designs).
+package stacktest
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"secstack/internal/seqstack"
+	"secstack/internal/xrand"
+)
+
+// Stack is the minimal int64-valued concurrent stack contract the suite
+// exercises. Register returns a per-goroutine handle; handles must not
+// be shared between goroutines.
+type Stack interface {
+	Register() Handle
+}
+
+// Handle is a per-goroutine session on a Stack.
+type Handle interface {
+	Push(int64)
+	Pop() (int64, bool)
+	Peek() (int64, bool)
+}
+
+// Factory creates a fresh, empty stack for one test.
+type Factory func() Stack
+
+// RunAll runs the complete conformance suite as subtests.
+func RunAll(t *testing.T, f Factory) {
+	t.Run("EmptyPop", func(t *testing.T) { RunEmptyPop(t, f) })
+	t.Run("SequentialLIFO", func(t *testing.T) { RunSequentialLIFO(t, f) })
+	t.Run("PeekNonDestructive", func(t *testing.T) { RunPeekNonDestructive(t, f) })
+	t.Run("QuickVsModel", func(t *testing.T) { RunQuickVsModel(t, f) })
+	t.Run("InterleavedHandles", func(t *testing.T) { RunInterleavedHandles(t, f) })
+	t.Run("Conservation", func(t *testing.T) { RunConservation(t, f, 8, 2000) })
+	t.Run("ConservationPopHeavy", func(t *testing.T) { RunConservationPopHeavy(t, f, 8, 1000) })
+	t.Run("LIFOResidue", func(t *testing.T) { RunLIFOResidue(t, f, 4, 500) })
+	t.Run("Oversubscribed", func(t *testing.T) { RunOversubscribed(t, f) })
+	t.Run("PushPopPairsDrain", func(t *testing.T) { RunPushPopPairsDrain(t, f, 8, 1000) })
+}
+
+// RunEmptyPop checks that popping and peeking an empty stack reports
+// emptiness rather than blocking or panicking.
+func RunEmptyPop(t *testing.T, f Factory) {
+	h := f().Register()
+	if v, ok := h.Pop(); ok {
+		t.Fatalf("Pop on empty stack = (%d, true), want not-ok", v)
+	}
+	if v, ok := h.Peek(); ok {
+		t.Fatalf("Peek on empty stack = (%d, true), want not-ok", v)
+	}
+	// Emptiness must be repeatable.
+	if _, ok := h.Pop(); ok {
+		t.Fatal("second Pop on empty stack succeeded")
+	}
+}
+
+// RunSequentialLIFO checks plain LIFO order through one handle.
+func RunSequentialLIFO(t *testing.T, f Factory) {
+	h := f().Register()
+	const n = 200
+	for i := int64(1); i <= n; i++ {
+		h.Push(i)
+	}
+	for want := int64(n); want >= 1; want-- {
+		v, ok := h.Pop()
+		if !ok || v != want {
+			t.Fatalf("Pop = (%d, %v), want (%d, true)", v, ok, want)
+		}
+	}
+	if _, ok := h.Pop(); ok {
+		t.Fatal("stack not empty after draining")
+	}
+}
+
+// RunPeekNonDestructive checks Peek returns the top without removing it.
+func RunPeekNonDestructive(t *testing.T, f Factory) {
+	h := f().Register()
+	h.Push(10)
+	h.Push(20)
+	for i := 0; i < 3; i++ {
+		v, ok := h.Peek()
+		if !ok || v != 20 {
+			t.Fatalf("Peek = (%d, %v), want (20, true)", v, ok)
+		}
+	}
+	if v, _ := h.Pop(); v != 20 {
+		t.Fatal("Peek consumed an element")
+	}
+	if v, _ := h.Pop(); v != 10 {
+		t.Fatal("stack order disturbed by Peek")
+	}
+}
+
+// RunQuickVsModel drives a single handle with random operation strings
+// and compares every result against the sequential model.
+func RunQuickVsModel(t *testing.T, f Factory) {
+	check := func(ops []int16) bool {
+		s := f()
+		h := s.Register()
+		model := seqstack.New[int64](0)
+		for _, op := range ops {
+			switch {
+			case op >= 0: // push
+				h.Push(int64(op))
+				model.Push(int64(op))
+			case op%2 == 0: // pop
+				gv, gok := h.Pop()
+				wv, wok := model.Pop()
+				if gok != wok || gv != wv {
+					return false
+				}
+			default: // peek
+				gv, gok := h.Peek()
+				wv, wok := model.Peek()
+				if gok != wok || gv != wv {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// RunInterleavedHandles checks that two handles in one goroutine observe
+// a single coherent stack (handles carry session state, not data).
+func RunInterleavedHandles(t *testing.T, f Factory) {
+	s := f()
+	a, b := s.Register(), s.Register()
+	a.Push(1)
+	b.Push(2)
+	if v, ok := a.Pop(); !ok || v != 2 {
+		t.Fatalf("handle a popped (%d, %v), want (2, true)", v, ok)
+	}
+	if v, ok := b.Pop(); !ok || v != 1 {
+		t.Fatalf("handle b popped (%d, %v), want (1, true)", v, ok)
+	}
+}
+
+// RunConservation has g goroutines each push opsPer unique values and
+// pop opsPer times; afterwards (pushed values) must equal (popped
+// values) + (residue on the stack) as multisets.
+func RunConservation(t *testing.T, f Factory, g, opsPer int) {
+	s := f()
+	var (
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		popped = make(map[int64]int)
+	)
+	for w := 0; w < g; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := s.Register()
+			rng := xrand.New(uint64(w) + 1)
+			local := make(map[int64]int)
+			next := int64(w) << 32
+			for i := 0; i < opsPer; i++ {
+				if rng.Intn(2) == 0 {
+					next++
+					h.Push(next)
+				} else if v, ok := h.Pop(); ok {
+					local[v]++
+				}
+			}
+			mu.Lock()
+			for v, c := range local {
+				popped[v] += c
+			}
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+
+	// Drain the residue.
+	h := s.Register()
+	for {
+		v, ok := h.Pop()
+		if !ok {
+			break
+		}
+		popped[v]++
+	}
+	// Every popped value must be unique (pushed exactly once) and carry
+	// a valid worker prefix.
+	for v, c := range popped {
+		if c != 1 {
+			t.Fatalf("value %d popped %d times (duplicated or lost)", v, c)
+		}
+		w := v >> 32
+		if w < 0 || w >= int64(g) {
+			t.Fatalf("value %d was never pushed", v)
+		}
+	}
+}
+
+// RunConservationPopHeavy floods with pops against sparse pushes to
+// exercise empty-stack paths under contention.
+func RunConservationPopHeavy(t *testing.T, f Factory, g, opsPer int) {
+	s := f()
+	var wg sync.WaitGroup
+	var pushedTotal, poppedTotal sync.Map
+	for w := 0; w < g; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := s.Register()
+			rng := xrand.New(uint64(w) * 977)
+			next := int64(w) << 32
+			for i := 0; i < opsPer; i++ {
+				if rng.Intn(4) == 0 {
+					next++
+					h.Push(next)
+					pushedTotal.Store(next, true)
+				} else if v, ok := h.Pop(); ok {
+					if _, dup := poppedTotal.LoadOrStore(v, true); dup {
+						t.Errorf("value %d popped twice", v)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	h := s.Register()
+	for {
+		v, ok := h.Pop()
+		if !ok {
+			break
+		}
+		if _, dup := poppedTotal.LoadOrStore(v, true); dup {
+			t.Errorf("residual value %d popped twice", v)
+		}
+	}
+	poppedTotal.Range(func(k, _ any) bool {
+		if _, ok := pushedTotal.Load(k); !ok {
+			t.Errorf("popped value %d was never pushed", k)
+		}
+		return true
+	})
+}
+
+// RunLIFOResidue checks a weak ordering property that every linearizable
+// stack satisfies: if one goroutine pushes an ascending sequence and
+// nobody pops, a subsequent single-threaded drain must see each
+// goroutine's values in descending order.
+func RunLIFOResidue(t *testing.T, f Factory, g, perG int) {
+	s := f()
+	var wg sync.WaitGroup
+	for w := 0; w < g; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := s.Register()
+			base := int64(w) << 32
+			for i := 1; i <= perG; i++ {
+				h.Push(base + int64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	h := s.Register()
+	last := make(map[int64]int64) // worker -> last seen value
+	count := 0
+	for {
+		v, ok := h.Pop()
+		if !ok {
+			break
+		}
+		count++
+		w := v >> 32
+		seq := v & 0xffffffff
+		if prev, seen := last[w]; seen && seq >= prev {
+			t.Fatalf("worker %d values out of LIFO order: %d then %d", w, prev, seq)
+		}
+		last[w] = seq
+	}
+	if count != g*perG {
+		t.Fatalf("drained %d values, want %d", count, g*perG)
+	}
+}
+
+// RunOversubscribed runs 4x GOMAXPROCS goroutines through a mixed
+// workload with a deadline; a blocking stack whose waits don't yield
+// will time out here.
+func RunOversubscribed(t *testing.T, f Factory) {
+	s := f()
+	g := 4 * runtime.GOMAXPROCS(0)
+	const opsPer = 400
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var wg sync.WaitGroup
+		for w := 0; w < g; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				h := s.Register()
+				rng := xrand.New(uint64(w) + 42)
+				for i := 0; i < opsPer; i++ {
+					switch rng.Intn(3) {
+					case 0:
+						h.Push(int64(i))
+					case 1:
+						h.Pop()
+					default:
+						h.Peek()
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+	}()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("oversubscribed workload did not finish in 60s (probable livelock)")
+	}
+}
+
+// RunPushPopPairsDrain has every goroutine push then pop in pairs, so
+// the stack must be exactly empty at the end.
+func RunPushPopPairsDrain(t *testing.T, f Factory, g, pairs int) {
+	s := f()
+	var wg sync.WaitGroup
+	var popFailures int64
+	var mu sync.Mutex
+	for w := 0; w < g; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := s.Register()
+			fails := int64(0)
+			for i := 0; i < pairs; i++ {
+				h.Push(int64(w*pairs + i))
+				if _, ok := h.Pop(); !ok {
+					fails++
+				}
+			}
+			mu.Lock()
+			popFailures += fails
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	// Each failed pop left one element behind; the residue must match.
+	h := s.Register()
+	residue := int64(0)
+	for {
+		if _, ok := h.Pop(); !ok {
+			break
+		}
+		residue++
+	}
+	if residue != popFailures {
+		t.Fatalf("residue %d != failed pops %d", residue, popFailures)
+	}
+}

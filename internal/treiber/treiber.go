@@ -1,0 +1,119 @@
+// Package treiber implements Treiber's classic lock-free stack
+// (Treiber, 1986), the TRB baseline of the paper's evaluation: a singly
+// linked list whose top pointer is updated with compare-and-swap, plus
+// randomized exponential backoff on CAS failure.
+//
+// In Go there is no ABA problem for fresh nodes (the garbage collector
+// cannot recycle a node while any thread still holds a pointer to it),
+// so no counted pointers or hazard mechanism is needed here.
+package treiber
+
+import (
+	"sync/atomic"
+
+	"secstack/internal/backoff"
+)
+
+// node is one stack cell.
+type node[T any] struct {
+	value T
+	next  *node[T]
+}
+
+// Stack is a lock-free LIFO stack safe for concurrent use through
+// per-goroutine handles obtained with Register.
+type Stack[T any] struct {
+	top atomic.Pointer[node[T]]
+
+	boMin, boMax int
+	seq          atomic.Uint64 // seeds handles
+}
+
+// Option configures a Stack.
+type Option func(*config)
+
+type config struct {
+	boMin, boMax int
+}
+
+// WithBackoff sets the exponential backoff window (spin iterations) used
+// after a failed CAS. Defaults to [4, 1024].
+func WithBackoff(min, max int) Option {
+	return func(c *config) { c.boMin, c.boMax = min, max }
+}
+
+// New returns an empty Treiber stack.
+func New[T any](opts ...Option) *Stack[T] {
+	c := config{boMin: 4, boMax: 1024}
+	for _, o := range opts {
+		o(&c)
+	}
+	return &Stack[T]{boMin: c.boMin, boMax: c.boMax}
+}
+
+// Handle is a per-goroutine session holding the backoff state. Handles
+// must not be shared between goroutines.
+type Handle[T any] struct {
+	s  *Stack[T]
+	bo *backoff.Exp
+}
+
+// Register returns a new handle on the stack.
+func (s *Stack[T]) Register() *Handle[T] {
+	return &Handle[T]{s: s, bo: backoff.NewExp(s.boMin, s.boMax, s.seq.Add(1))}
+}
+
+// Push adds v to the top of the stack.
+func (h *Handle[T]) Push(v T) {
+	n := &node[T]{value: v}
+	s := h.s
+	for {
+		old := s.top.Load()
+		n.next = old
+		if s.top.CompareAndSwap(old, n) {
+			h.bo.Reset()
+			return
+		}
+		h.bo.Backoff()
+	}
+}
+
+// Pop removes and returns the top element; ok is false if the stack was
+// empty at the linearization point.
+func (h *Handle[T]) Pop() (v T, ok bool) {
+	s := h.s
+	for {
+		old := s.top.Load()
+		if old == nil {
+			h.bo.Reset()
+			return v, false
+		}
+		if s.top.CompareAndSwap(old, old.next) {
+			h.bo.Reset()
+			return old.value, true
+		}
+		h.bo.Backoff()
+	}
+}
+
+// Peek returns the top element without removing it; ok is false if the
+// stack is empty. Peek never fails and never retries: it is a single
+// atomic read, as in the paper.
+func (h *Handle[T]) Peek() (v T, ok bool) {
+	old := h.s.top.Load()
+	if old == nil {
+		return v, false
+	}
+	return old.value, true
+}
+
+// Len counts the elements currently on the stack. It is a racy
+// diagnostic traversal intended for tests and quiescent states, not a
+// linearizable operation.
+func (s *Stack[T]) Len() int {
+	n := 0
+	for p := s.top.Load(); p != nil; p = p.next {
+		n++
+	}
+	return n
+}

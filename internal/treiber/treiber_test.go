@@ -1,0 +1,58 @@
+package treiber_test
+
+import (
+	"testing"
+
+	"secstack/internal/stacktest"
+	"secstack/internal/treiber"
+)
+
+type adapter struct{ s *treiber.Stack[int64] }
+
+func (a adapter) Register() stacktest.Handle { return a.s.Register() }
+
+func factory() stacktest.Stack { return adapter{treiber.New[int64]()} }
+
+func TestConformance(t *testing.T) {
+	stacktest.RunAll(t, factory)
+}
+
+func TestLenQuiescent(t *testing.T) {
+	s := treiber.New[int64]()
+	h := s.Register()
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d on empty stack", s.Len())
+	}
+	for i := 0; i < 10; i++ {
+		h.Push(int64(i))
+	}
+	if s.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", s.Len())
+	}
+	h.Pop()
+	if s.Len() != 9 {
+		t.Fatalf("Len = %d, want 9", s.Len())
+	}
+}
+
+func TestWithBackoffOption(t *testing.T) {
+	s := treiber.New[int64](treiber.WithBackoff(1, 8))
+	h := s.Register()
+	h.Push(1)
+	if v, ok := h.Pop(); !ok || v != 1 {
+		t.Fatal("stack with custom backoff broken")
+	}
+}
+
+func TestGenericValueTypes(t *testing.T) {
+	s := treiber.New[string]()
+	h := s.Register()
+	h.Push("hello")
+	h.Push("world")
+	if v, _ := h.Pop(); v != "world" {
+		t.Fatalf("got %q", v)
+	}
+	if v, _ := h.Pop(); v != "hello" {
+		t.Fatalf("got %q", v)
+	}
+}

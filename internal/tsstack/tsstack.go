@@ -1,0 +1,253 @@
+// Package tsstack implements the interval timestamped stack (TS-interval)
+// of Dodds, Haas and Kirsch (POPL '15), the TSI baseline of the paper's
+// evaluation.
+//
+// Each thread pushes into its own single-producer pool, tagging elements
+// with a timestamp *interval*; pop scans all pools for the youngest
+// visible element and takes it with one CAS on the element's taken flag.
+// Pushes therefore never synchronize on a shared top pointer - the cost
+// is shifted onto pop and peek, which must scan every pool. The paper's
+// Figure 3 (push-only vs pop-only asymmetry) is a direct consequence.
+//
+// Substitutions (see DESIGN.md §4):
+//
+//   - The original obtains intervals from two RDTSCP reads separated by
+//     a delay. Go cannot portably read the TSC, so timestamps come from
+//     a shared atomic counter advanced by at most one CAS attempt per
+//     bound (the TS-CAS variant); the push still pays the
+//     interval-widening delay between its two bounds, preserving the
+//     push-latency trade-off the paper discusses.
+//
+//   - The original's pop may take an element whose timestamp is still
+//     unassigned ("elimination rule"), which is sound for a stack with
+//     push/pop only. The paper's benchmark adds peek, and repeated
+//     reads under that rule can pin contradictory linearization orders
+//     (found by this repository's linearizability checker). We
+//     therefore totalize the element order - (timestamp start, pool id)
+//     breaks all ties deterministically - and have pop and peek wait
+//     out in-flight timestamp assignments. Pushes remain scan-free and
+//     synchronization-light, which is the property the paper's Figure 3
+//     exercises.
+package tsstack
+
+import (
+	"sync/atomic"
+
+	"secstack/internal/backoff"
+)
+
+// infTS is the provisional timestamp an element carries between being
+// published and having its interval assigned. An element at infTS is
+// maximally young and, having been pushed concurrently with any
+// operation that sees it, is always eligible for the elimination fast
+// path - exactly the original algorithm's TOP timestamp.
+const infTS = int64(1) << 62
+
+// item is one pooled element. tsStart/tsEnd delimit the timestamp
+// interval (assigned after publication, hence atomic); taken flips once
+// when a pop claims the element.
+type item[T any] struct {
+	value   T
+	tsStart atomic.Int64
+	tsEnd   atomic.Int64
+	taken   atomic.Bool
+	next    *item[T] // toward older elements; immutable once published
+}
+
+// pool is one thread's single-producer pool. Only the owner stores to
+// top; any thread reads it and marks items taken.
+type pool[T any] struct {
+	top atomic.Pointer[item[T]]
+	_   [56]byte
+}
+
+// Stack is an interval timestamped stack supporting up to a fixed
+// number of registered threads.
+type Stack[T any] struct {
+	pools      []pool[T]
+	clock      atomic.Int64
+	delay      int
+	registered atomic.Int32
+}
+
+// Option configures a Stack.
+type Option func(*config)
+
+type config struct {
+	maxThreads int
+	delay      int
+}
+
+// WithMaxThreads bounds the number of handles (pools). Default 256.
+func WithMaxThreads(n int) Option {
+	return func(c *config) {
+		if n > 0 {
+			c.maxThreads = n
+		}
+	}
+}
+
+// WithDelay sets the interval-widening delay in spin iterations between
+// the two clock reads of a push. The original paper tunes this to trade
+// push latency against pop scan success; default 32.
+func WithDelay(d int) Option {
+	return func(c *config) {
+		if d >= 0 {
+			c.delay = d
+		}
+	}
+}
+
+// New returns an empty timestamped stack.
+func New[T any](opts ...Option) *Stack[T] {
+	c := config{maxThreads: 256, delay: 32}
+	for _, o := range opts {
+		o(&c)
+	}
+	return &Stack[T]{pools: make([]pool[T], c.maxThreads), delay: c.delay}
+}
+
+// Handle is a per-goroutine session owning one pool. Handles must not
+// be shared between goroutines.
+type Handle[T any] struct {
+	s  *Stack[T]
+	id int
+}
+
+// Register returns a new handle (and pool) on the stack. It panics if
+// more handles are requested than WithMaxThreads allows.
+func (s *Stack[T]) Register() *Handle[T] {
+	id := int(s.registered.Add(1)) - 1
+	if id >= len(s.pools) {
+		panic("tsstack: too many registered handles")
+	}
+	return &Handle[T]{s: s, id: id}
+}
+
+// newTimestamp produces one interval bound: it reads the clock and tries
+// a single CAS increment so that the clock advances under concurrency
+// (TS-CAS style); contention failures are ignored - another thread's
+// success advanced the clock for us.
+func (s *Stack[T]) newTimestamp() int64 {
+	t := s.clock.Load()
+	s.clock.CompareAndSwap(t, t+1)
+	return t
+}
+
+// Push inserts v into the calling thread's pool with a fresh interval.
+func (h *Handle[T]) Push(v T) {
+	s := h.s
+	p := &s.pools[h.id]
+
+	n := &item[T]{value: v}
+	n.tsStart.Store(infTS)
+	n.tsEnd.Store(infTS)
+	// Unlink the taken prefix while we are here: only the owner moves
+	// top forward, so a plain read-modify-store is safe.
+	oldTop := p.top.Load()
+	for oldTop != nil && oldTop.taken.Load() {
+		oldTop = oldTop.next
+	}
+	n.next = oldTop
+
+	// Publish first, then assign the interval, as in the original:
+	// until the interval lands the element reads as maximally young.
+	p.top.Store(n)
+	a := s.newTimestamp()
+	if s.delay > 0 {
+		backoff.Spin(s.delay)
+	}
+	b := s.newTimestamp()
+	n.tsEnd.Store(b)
+	n.tsStart.Store(a)
+}
+
+// Pop removes and returns the youngest element; ok is false if every
+// pool was observed empty during a full scan.
+func (h *Handle[T]) Pop() (v T, ok bool) {
+	var w backoff.Waiter
+	for {
+		best, empty := h.scan()
+		if best == nil {
+			if empty {
+				return v, false
+			}
+			// Saw untaken items but lost every race; rescan.
+			w.Wait()
+			continue
+		}
+		if best.taken.CompareAndSwap(false, true) {
+			return best.value, true
+		}
+		w.Wait()
+	}
+}
+
+// scan walks all pools and returns the youngest untaken item under the
+// total order (timestamp start, pool id), or nil if none survived, and
+// whether every pool was observed empty-of-untaken. Elements whose
+// timestamp assignment is still in flight are waited out, so every
+// comparison uses final timestamps.
+func (h *Handle[T]) scan() (best *item[T], empty bool) {
+	s := h.s
+	n := int(s.registered.Load())
+	if n > len(s.pools) {
+		n = len(s.pools)
+	}
+	var bestStart int64
+	bestPool := -1
+	empty = true
+	for i := 0; i < n; i++ {
+		top := s.pools[i].top.Load()
+		it := top
+		for it != nil && it.taken.Load() {
+			it = it.next
+		}
+		if it != top {
+			// Help unlink the taken prefix, as the original's pops do;
+			// without this, pop-heavy phases re-walk ever-growing taken
+			// chains. Benign race with the owner's plain store: a lost
+			// CAS just leaves the prefix for the next scan, and taken
+			// flags are sticky so no live element can be unlinked.
+			s.pools[i].top.CompareAndSwap(top, it)
+		}
+		if it == nil {
+			continue
+		}
+		empty = false
+		start := it.tsStart.Load()
+		var w backoff.Waiter
+		for start == infTS { // assignment in flight; it lands right
+			w.Wait() // after the pusher's bounded delay
+			start = it.tsStart.Load()
+		}
+		if best == nil || start > bestStart || (start == bestStart && i > bestPool) {
+			best, bestStart, bestPool = it, start, i
+		}
+	}
+	return best, empty
+}
+
+// Peek returns the youngest element without removing it.
+func (h *Handle[T]) Peek() (v T, ok bool) {
+	best, _ := h.scan()
+	if best == nil {
+		return v, false
+	}
+	return best.value, true
+}
+
+// Len counts untaken elements across pools; a racy diagnostic for tests
+// and quiescent states.
+func (s *Stack[T]) Len() int {
+	total := 0
+	n := int(s.registered.Load())
+	for i := 0; i < n && i < len(s.pools); i++ {
+		for it := s.pools[i].top.Load(); it != nil; it = it.next {
+			if !it.taken.Load() {
+				total++
+			}
+		}
+	}
+	return total
+}

@@ -1,0 +1,125 @@
+package tsstack_test
+
+import (
+	"sync"
+	"testing"
+
+	"secstack/internal/stacktest"
+	"secstack/internal/tsstack"
+)
+
+type adapter struct{ s *tsstack.Stack[int64] }
+
+func (a adapter) Register() stacktest.Handle { return a.s.Register() }
+
+func factory() stacktest.Stack { return adapter{tsstack.New[int64]()} }
+
+func TestConformance(t *testing.T) {
+	stacktest.RunAll(t, factory)
+}
+
+func TestZeroDelay(t *testing.T) {
+	// Zero interval delay degenerates to near-singleton intervals; the
+	// stack must still conserve elements.
+	s := tsstack.New[int64](tsstack.WithDelay(0))
+	var wg sync.WaitGroup
+	const g, per = 8, 1500
+	seen := make([]int32, g*per)
+	var mu sync.Mutex
+	for w := 0; w < g; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := s.Register()
+			local := make([]int64, 0, per)
+			for i := 0; i < per; i++ {
+				h.Push(int64(w*per + i))
+				if v, ok := h.Pop(); ok {
+					local = append(local, v)
+				}
+			}
+			mu.Lock()
+			for _, v := range local {
+				seen[v]++
+			}
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	h := s.Register()
+	for {
+		v, ok := h.Pop()
+		if !ok {
+			break
+		}
+		seen[v]++
+	}
+	for v, c := range seen {
+		if c != 1 {
+			t.Fatalf("value %d seen %d times", v, c)
+		}
+	}
+}
+
+func TestRegisterPanicsPastMaxThreads(t *testing.T) {
+	s := tsstack.New[int64](tsstack.WithMaxThreads(1))
+	s.Register()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on over-registration")
+		}
+	}()
+	s.Register()
+}
+
+func TestOwnPoolLIFO(t *testing.T) {
+	// A thread popping its own pushes must see strict LIFO.
+	s := tsstack.New[int64]()
+	h := s.Register()
+	for i := int64(0); i < 100; i++ {
+		h.Push(i)
+	}
+	for want := int64(99); want >= 0; want-- {
+		v, ok := h.Pop()
+		if !ok || v != want {
+			t.Fatalf("Pop = (%d, %v), want (%d, true)", v, ok, want)
+		}
+	}
+}
+
+func TestLenCountsUntaken(t *testing.T) {
+	s := tsstack.New[int64]()
+	h := s.Register()
+	for i := int64(0); i < 10; i++ {
+		h.Push(i)
+	}
+	if s.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", s.Len())
+	}
+	h.Pop()
+	h.Pop()
+	if s.Len() != 8 {
+		t.Fatalf("Len = %d, want 8", s.Len())
+	}
+}
+
+func TestPushOnlyNoSharedContention(t *testing.T) {
+	// Push-only throughput path: every thread writes only its own pool.
+	s := tsstack.New[int64]()
+	var wg sync.WaitGroup
+	const g, per = 8, 5000
+	for w := 0; w < g; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := s.Register()
+			for i := 0; i < per; i++ {
+				h.Push(int64(w*per + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := s.Len(); got != g*per {
+		t.Fatalf("Len = %d, want %d", got, g*per)
+	}
+}

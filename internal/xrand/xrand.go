@@ -1,0 +1,81 @@
+// Package xrand provides a tiny, allocation-free pseudo-random number
+// generator intended for per-goroutine use in benchmark workloads and
+// randomized backoff. It is NOT cryptographically secure.
+//
+// Each worker goroutine owns its own *State, so no synchronization is
+// required on the hot path. States are seeded through splitmix64 so that
+// adjacent seeds (e.g. thread ids) yield decorrelated streams.
+package xrand
+
+// State is the state of a xorshift64* generator. The zero value is not a
+// valid state; construct with New.
+type State struct {
+	x uint64
+}
+
+// New returns a generator seeded from seed via splitmix64, so that
+// consecutive seeds produce independent-looking streams.
+func New(seed uint64) *State {
+	s := &State{}
+	s.Seed(seed)
+	return s
+}
+
+// Seed resets the generator to a state derived from seed.
+func (s *State) Seed(seed uint64) {
+	// splitmix64 step guarantees a non-zero xorshift state for any seed.
+	z := seed + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	if z == 0 {
+		z = 0x9e3779b97f4a7c15
+	}
+	s.x = z
+}
+
+// Uint64 returns the next pseudo-random 64-bit value (xorshift64*).
+func (s *State) Uint64() uint64 {
+	x := s.x
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	s.x = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// Uint32 returns the next pseudo-random 32-bit value.
+func (s *State) Uint32() uint32 {
+	return uint32(s.Uint64() >> 32)
+}
+
+// Intn returns a pseudo-random int in [0, n). It panics if n <= 0.
+func (s *State) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	// Lemire's multiply-shift range reduction (biased by < 2^-32 for the
+	// n values used in workloads, which is irrelevant here).
+	return int((uint64(s.Uint32()) * uint64(n)) >> 32)
+}
+
+// Int63 returns a non-negative pseudo-random 63-bit integer.
+func (s *State) Int63() int64 {
+	return int64(s.Uint64() >> 1)
+}
+
+// Float64 returns a pseudo-random float64 in [0, 1).
+func (s *State) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Perm returns a pseudo-random permutation of [0, n) as a slice.
+func (s *State) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := s.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}

@@ -1,0 +1,92 @@
+// Package pool implements a concurrent object pool on top of SEC
+// stacks - the "concurrent pools" application the paper's introduction
+// cites as a use of concurrent stacks.
+//
+// A pool relaxes the stack's LIFO contract to "some element": Put and
+// Get may be served by any shard. The implementation shards elements
+// across per-slice SEC stacks; a Get first tries its own shard (which
+// preserves locality and lets SEC's elimination cancel Put/Get pairs of
+// nearby threads) and then steals round-robin from the others.
+package pool
+
+import (
+	"secstack/internal/core"
+)
+
+// Pool is a sharded concurrent object pool. Use Register to obtain
+// per-goroutine handles.
+type Pool[T any] struct {
+	shards []*core.Stack[T]
+}
+
+// Options configures a Pool.
+type Options struct {
+	// Shards is the number of SEC stacks elements spread across
+	// (default 4).
+	Shards int
+	// MaxThreads bounds Register calls (default 256).
+	MaxThreads int
+}
+
+// New returns an empty pool.
+func New[T any](o Options) *Pool[T] {
+	if o.Shards <= 0 {
+		o.Shards = 4
+	}
+	if o.MaxThreads <= 0 {
+		o.MaxThreads = 256
+	}
+	p := &Pool[T]{shards: make([]*core.Stack[T], o.Shards)}
+	for i := range p.shards {
+		// One aggregator per shard: the pool's sharding already spreads
+		// contention, and each shard sees only nearby threads.
+		p.shards[i] = core.New[T](core.Options{Aggregators: 1, MaxThreads: o.MaxThreads})
+	}
+	return p
+}
+
+// Handle is a per-goroutine session. Handles must not be shared between
+// goroutines.
+type Handle[T any] struct {
+	p       *Pool[T]
+	home    int
+	handles []*core.Handle[T]
+}
+
+// Register returns a new handle.
+func (p *Pool[T]) Register() *Handle[T] {
+	h := &Handle[T]{p: p, handles: make([]*core.Handle[T], len(p.shards))}
+	for i, s := range p.shards {
+		h.handles[i] = s.Register()
+	}
+	// Home shard rotates with registration order to spread threads.
+	h.home = int(p.shards[0].RegisteredThreads()-1) % len(p.shards)
+	return h
+}
+
+// Put adds v to the pool.
+func (h *Handle[T]) Put(v T) {
+	h.handles[h.home].Push(v)
+}
+
+// Get removes and returns some element; ok is false only if every shard
+// was observed empty.
+func (h *Handle[T]) Get() (v T, ok bool) {
+	n := len(h.handles)
+	for i := 0; i < n; i++ {
+		idx := (h.home + i) % n
+		if v, ok = h.handles[idx].Pop(); ok {
+			return v, true
+		}
+	}
+	return v, false
+}
+
+// Size counts pooled elements; a racy diagnostic for quiescent states.
+func (p *Pool[T]) Size() int {
+	total := 0
+	for _, s := range p.shards {
+		total += s.Len()
+	}
+	return total
+}

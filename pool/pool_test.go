@@ -1,0 +1,107 @@
+package pool
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestPutGetSingle(t *testing.T) {
+	p := New[int](Options{})
+	h := p.Register()
+	h.Put(42)
+	if v, ok := h.Get(); !ok || v != 42 {
+		t.Fatalf("Get = (%d, %v), want (42, true)", v, ok)
+	}
+	if _, ok := h.Get(); ok {
+		t.Fatal("Get on empty pool succeeded")
+	}
+}
+
+func TestGetStealsAcrossShards(t *testing.T) {
+	p := New[int](Options{Shards: 4})
+	producers := make([]*Handle[int], 8)
+	for i := range producers {
+		producers[i] = p.Register()
+		producers[i].Put(i)
+	}
+	// One consumer must be able to drain everything regardless of which
+	// shards the elements landed on.
+	c := p.Register()
+	seen := make(map[int]bool)
+	for i := 0; i < len(producers); i++ {
+		v, ok := c.Get()
+		if !ok {
+			t.Fatalf("Get #%d failed with %d elements remaining", i, p.Size())
+		}
+		if seen[v] {
+			t.Fatalf("value %d returned twice", v)
+		}
+		seen[v] = true
+	}
+	if p.Size() != 0 {
+		t.Fatalf("Size = %d after drain", p.Size())
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	p := New[int](Options{})
+	if len(p.shards) != 4 {
+		t.Fatalf("default shards = %d, want 4", len(p.shards))
+	}
+}
+
+func TestConcurrentConservation(t *testing.T) {
+	p := New[int64](Options{Shards: 3})
+	const g, per = 8, 3000
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	counts := make(map[int64]int)
+	for w := 0; w < g; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := p.Register()
+			local := make(map[int64]int)
+			for i := 0; i < per; i++ {
+				v := int64(w)<<32 | int64(i)
+				h.Put(v)
+				if got, ok := h.Get(); ok {
+					local[got]++
+				}
+			}
+			mu.Lock()
+			for k, c := range local {
+				counts[k] += c
+			}
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	h := p.Register()
+	for {
+		v, ok := h.Get()
+		if !ok {
+			break
+		}
+		counts[v]++
+	}
+	for v, c := range counts {
+		if c != 1 {
+			t.Fatalf("value %d seen %d times", v, c)
+		}
+	}
+	if len(counts) != g*per {
+		t.Fatalf("recovered %d values, want %d", len(counts), g*per)
+	}
+}
+
+func TestSizeQuiescent(t *testing.T) {
+	p := New[int](Options{Shards: 2})
+	h := p.Register()
+	for i := 0; i < 10; i++ {
+		h.Put(i)
+	}
+	if p.Size() != 10 {
+		t.Fatalf("Size = %d, want 10", p.Size())
+	}
+}

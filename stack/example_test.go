@@ -1,0 +1,66 @@
+package stack_test
+
+import (
+	"fmt"
+
+	"secstack/stack"
+)
+
+// The basic lifecycle: construct once, register a handle per goroutine,
+// operate through the handle.
+func ExampleNewSEC() {
+	s := stack.NewSEC[string](stack.SECOptions{})
+	h := s.Register()
+	h.Push("first")
+	h.Push("second")
+	if v, ok := h.Peek(); ok {
+		fmt.Println("peek:", v)
+	}
+	for {
+		v, ok := h.Pop()
+		if !ok {
+			break
+		}
+		fmt.Println("pop:", v)
+	}
+	// Output:
+	// peek: second
+	// pop: second
+	// pop: first
+}
+
+// Degree metrics report how much work elimination and combining did -
+// the paper's Tables 1-3.
+func ExampleSECStack_Metrics() {
+	s := stack.NewSEC[int](stack.SECOptions{CollectMetrics: true})
+	h := s.Register()
+	for i := 0; i < 100; i++ {
+		h.Push(i)
+		h.Pop()
+	}
+	snap := s.Metrics().Snapshot()
+	fmt.Println("every op accounted:", snap.Eliminated+snap.Combined == snap.Ops)
+	// Output:
+	// every op accounted: true
+}
+
+// All six algorithms of the paper's evaluation share one interface.
+func ExampleNewByName() {
+	for _, alg := range stack.Algorithms() {
+		s, ok := stack.NewByName[int](alg, 2)
+		if !ok {
+			continue
+		}
+		h := s.Register()
+		h.Push(1)
+		v, _ := h.Pop()
+		fmt.Printf("%s popped %d\n", alg, v)
+	}
+	// Output:
+	// SEC popped 1
+	// TRB popped 1
+	// EB popped 1
+	// FC popped 1
+	// CC popped 1
+	// TSI popped 1
+}

@@ -1,0 +1,103 @@
+package stack_test
+
+import (
+	"sync"
+	"testing"
+
+	"secstack/internal/lincheck"
+	"secstack/internal/xrand"
+	"secstack/stack"
+)
+
+// runHistory drives `threads` goroutines, each performing `opsPer`
+// random operations on s, and returns the recorded history.
+func runHistory(s stack.Stack[int64], threads, opsPer int, seed uint64) []lincheck.Op {
+	rec := lincheck.NewRecorder(threads)
+	var wg sync.WaitGroup
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			h := s.Register()
+			rng := xrand.New(seed + uint64(t)*7919)
+			base := int64(t+1) << 32
+			for i := 0; i < opsPer; i++ {
+				switch rng.Intn(4) {
+				case 0, 1:
+					v := base + int64(i)
+					inv := rec.Begin()
+					h.Push(v)
+					rec.RecordPush(t, v, inv)
+				case 2:
+					inv := rec.Begin()
+					v, ok := h.Pop()
+					rec.RecordPop(t, v, ok, inv)
+				default:
+					inv := rec.Begin()
+					v, ok := h.Peek()
+					rec.RecordPeek(t, v, ok, inv)
+				}
+			}
+		}(t)
+	}
+	wg.Wait()
+	return rec.History()
+}
+
+// TestLinearizabilityAllAlgorithms checks many small concurrent
+// histories of every algorithm with the exhaustive checker. History
+// sizes stay small enough (<= 16 ops) for the search to be fast.
+func TestLinearizabilityAllAlgorithms(t *testing.T) {
+	const (
+		threads = 4
+		opsPer  = 4
+		rounds  = 30
+	)
+	for _, alg := range stack.Algorithms() {
+		alg := alg
+		t.Run(string(alg), func(t *testing.T) {
+			t.Parallel()
+			for r := 0; r < rounds; r++ {
+				s, _ := stack.NewByName[int64](alg, 2)
+				h := runHistory(s, threads, opsPer, uint64(r)*104729+1)
+				if !lincheck.CheckStack(h) {
+					for _, op := range h {
+						t.Logf("%s", op)
+					}
+					t.Fatalf("round %d: history not linearizable", r)
+				}
+			}
+		})
+	}
+}
+
+// TestLinearizabilitySECVariants stresses the SEC-specific knobs with
+// the exhaustive checker.
+func TestLinearizabilitySECVariants(t *testing.T) {
+	variants := map[string]stack.SECOptions{
+		"Agg1":        {Aggregators: 1},
+		"Agg5":        {Aggregators: 5},
+		"NoElim":      {NoElimination: true},
+		"Recycle":     {Recycle: true},
+		"NoSpin":      {FreezerSpin: -1},
+		"BigSpin":     {FreezerSpin: 2048},
+		"Everything":  {Aggregators: 3, Recycle: true, CollectMetrics: true, FreezerSpin: 512},
+		"NoElimRecyc": {NoElimination: true, Recycle: true},
+	}
+	for name, opt := range variants {
+		name, opt := name, opt
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			for r := 0; r < 20; r++ {
+				s := stack.NewSEC[int64](opt)
+				h := runHistory(s, 4, 4, uint64(r)*31337+5)
+				if !lincheck.CheckStack(h) {
+					for _, op := range h {
+						t.Logf("%s", op)
+					}
+					t.Fatalf("round %d: history not linearizable", r)
+				}
+			}
+		})
+	}
+}

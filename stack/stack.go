@@ -1,0 +1,187 @@
+// Package stack is the public API of secstack: a uniform interface over
+// the SEC stack of Singh, Metaxakis and Fatourou (PPoPP '26) and the
+// five baseline concurrent stacks its evaluation compares against.
+//
+// Every implementation follows the same registration model: construct a
+// stack once, then have each worker goroutine call Register for its own
+// Handle and perform all operations through it. Handles carry
+// per-thread state (thread ids, backoff state, publication records,
+// pools) and must not be shared between goroutines; stacks themselves
+// may be shared freely.
+//
+//	s := stack.NewSEC[int](stack.SECOptions{})
+//	...
+//	go func() {
+//		h := s.Register()
+//		h.Push(42)
+//		if v, ok := h.Pop(); ok { use(v) }
+//	}()
+package stack
+
+import (
+	"secstack/internal/ccstack"
+	"secstack/internal/core"
+	"secstack/internal/ebstack"
+	"secstack/internal/fcstack"
+	"secstack/internal/metrics"
+	"secstack/internal/treiber"
+	"secstack/internal/tsstack"
+)
+
+// Handle is a per-goroutine session on a concurrent stack. A Handle
+// must be used by the goroutine that obtained it and by no other.
+type Handle[T any] interface {
+	// Push adds v to the top of the stack.
+	Push(v T)
+	// Pop removes and returns the top element; ok is false if the stack
+	// was empty at the operation's linearization point.
+	Pop() (v T, ok bool)
+	// Peek returns the top element without removing it; ok is false if
+	// the stack is empty.
+	Peek() (v T, ok bool)
+}
+
+// Stack is a linearizable concurrent LIFO stack accessed through
+// per-goroutine handles.
+type Stack[T any] interface {
+	// Register returns a fresh Handle for the calling goroutine.
+	Register() Handle[T]
+}
+
+// Algorithm names the implementations available through NewByName,
+// matching the labels of the paper's evaluation.
+type Algorithm string
+
+// The six algorithms of the paper's evaluation.
+const (
+	SEC Algorithm = "SEC" // sharded elimination and combining (the paper's contribution)
+	TRB Algorithm = "TRB" // Treiber's CAS stack
+	EB  Algorithm = "EB"  // elimination-backoff stack
+	FC  Algorithm = "FC"  // flat-combining stack
+	CC  Algorithm = "CC"  // CC-Synch combining stack
+	TSI Algorithm = "TSI" // interval timestamped stack
+)
+
+// Algorithms lists every available algorithm in the paper's
+// presentation order.
+func Algorithms() []Algorithm {
+	return []Algorithm{SEC, TRB, EB, FC, CC, TSI}
+}
+
+// SECOptions configures NewSEC. The zero value matches the paper's
+// defaults (two aggregators; elimination on; no recycling).
+type SECOptions struct {
+	// Aggregators is K, the number of shards (paper default 2).
+	Aggregators int
+	// MaxThreads bounds Register calls (default 256).
+	MaxThreads int
+	// FreezerSpin is the batch-growing backoff of the freezer in spin
+	// iterations (default 128; 0 keeps batches small).
+	FreezerSpin int
+	// NoElimination disables in-batch elimination (ablation).
+	NoElimination bool
+	// Recycle routes nodes through epoch-based reclamation.
+	Recycle bool
+	// CollectMetrics enables batching/elimination/combining degree
+	// counters, retrievable via SECStack.Metrics.
+	CollectMetrics bool
+}
+
+// SECStack is the concrete SEC stack type; it implements Stack and
+// additionally exposes its degree metrics.
+type SECStack[T any] struct {
+	s *core.Stack[T]
+}
+
+// NewSEC returns a SEC stack.
+func NewSEC[T any](o SECOptions) *SECStack[T] {
+	return &SECStack[T]{s: core.New[T](core.Options{
+		Aggregators:    o.Aggregators,
+		MaxThreads:     o.MaxThreads,
+		FreezerSpin:    o.FreezerSpin,
+		NoElimination:  o.NoElimination,
+		Recycle:        o.Recycle,
+		CollectMetrics: o.CollectMetrics,
+	})}
+}
+
+// Register returns a per-goroutine handle.
+func (s *SECStack[T]) Register() Handle[T] { return s.s.Register() }
+
+// Metrics returns the degree snapshot collector, or nil if
+// CollectMetrics was not set.
+func (s *SECStack[T]) Metrics() *metrics.SEC { return s.s.Metrics() }
+
+// Len counts elements; racy diagnostic for quiescent states.
+func (s *SECStack[T]) Len() int { return s.s.Len() }
+
+// treiberStack adapts *treiber.Stack to Stack.
+type treiberStack[T any] struct{ s *treiber.Stack[T] }
+
+func (w treiberStack[T]) Register() Handle[T] { return w.s.Register() }
+
+// NewTreiber returns Treiber's lock-free CAS stack (TRB).
+func NewTreiber[T any]() Stack[T] {
+	return treiberStack[T]{treiber.New[T]()}
+}
+
+// ebStack adapts *ebstack.Stack to Stack.
+type ebStack[T any] struct{ s *ebstack.Stack[T] }
+
+func (w ebStack[T]) Register() Handle[T] { return w.s.Register() }
+
+// NewEB returns the elimination-backoff stack (EB).
+func NewEB[T any]() Stack[T] {
+	return ebStack[T]{ebstack.New[T]()}
+}
+
+// fcStack adapts *fcstack.Stack to Stack.
+type fcStack[T any] struct{ s *fcstack.Stack[T] }
+
+func (w fcStack[T]) Register() Handle[T] { return w.s.Register() }
+
+// NewFC returns the flat-combining stack (FC).
+func NewFC[T any]() Stack[T] {
+	return fcStack[T]{fcstack.New[T]()}
+}
+
+// ccStack adapts *ccstack.Stack to Stack.
+type ccStack[T any] struct{ s *ccstack.Stack[T] }
+
+func (w ccStack[T]) Register() Handle[T] { return w.s.Register() }
+
+// NewCC returns the CC-Synch combining stack (CC).
+func NewCC[T any]() Stack[T] {
+	return ccStack[T]{ccstack.New[T]()}
+}
+
+// tsStack adapts *tsstack.Stack to Stack.
+type tsStack[T any] struct{ s *tsstack.Stack[T] }
+
+func (w tsStack[T]) Register() Handle[T] { return w.s.Register() }
+
+// NewTSI returns the interval timestamped stack (TSI).
+func NewTSI[T any]() Stack[T] {
+	return tsStack[T]{tsstack.New[T]()}
+}
+
+// NewByName constructs the named algorithm with its evaluation-default
+// configuration; SEC takes the aggregator count (ignored by the
+// others). It returns false for unknown names.
+func NewByName[T any](a Algorithm, aggregators int) (Stack[T], bool) {
+	switch a {
+	case SEC:
+		return NewSEC[T](SECOptions{Aggregators: aggregators}), true
+	case TRB:
+		return NewTreiber[T](), true
+	case EB:
+		return NewEB[T](), true
+	case FC:
+		return NewFC[T](), true
+	case CC:
+		return NewCC[T](), true
+	case TSI:
+		return NewTSI[T](), true
+	}
+	return nil, false
+}
