@@ -46,6 +46,7 @@ func benchMix(b *testing.B, f harness.Factory, wl harness.Workload, prefill, par
 		for i := 0; i < prefill; i++ {
 			h.Push(int64(1)<<48 | int64(i))
 		}
+		h.Close()
 	}
 	var tid atomic.Int64
 	b.SetParallelism(par)
@@ -53,6 +54,7 @@ func benchMix(b *testing.B, f harness.Factory, wl harness.Workload, prefill, par
 	b.RunParallel(func(pb *testing.PB) {
 		t := tid.Add(1)
 		h := s.Register()
+		defer h.Close()
 		rng := xrand.New(uint64(t) * 7919)
 		base := t << 32
 		i := int64(0)
@@ -78,7 +80,7 @@ func BenchmarkFig2(b *testing.B) {
 		for _, alg := range stack.Algorithms() {
 			for _, p := range parallelisms {
 				b.Run(fmt.Sprintf("%s/%s/%s", wl.Name, alg, p.name), func(b *testing.B) {
-					benchMix(b, harness.FactoryFor(alg, 2, false), wl, 1000, p.par)
+					benchMix(b, harness.FactoryFor(alg, stack.WithAggregators(2)), wl, 1000, p.par)
 				})
 			}
 		}
@@ -97,7 +99,7 @@ func BenchmarkFig3(b *testing.B) {
 		for _, alg := range stack.Algorithms() {
 			for _, p := range parallelisms {
 				b.Run(fmt.Sprintf("%s/%s/%s", wl.Name, alg, p.name), func(b *testing.B) {
-					benchMix(b, harness.FactoryFor(alg, 2, false), wl, prefill, p.par)
+					benchMix(b, harness.FactoryFor(alg, stack.WithAggregators(2)), wl, prefill, p.par)
 				})
 			}
 		}
@@ -112,7 +114,7 @@ func BenchmarkFig4(b *testing.B) {
 		for aggs := 1; aggs <= 5; aggs++ {
 			for _, p := range parallelisms {
 				b.Run(fmt.Sprintf("%s/SEC_Agg%d/%s", wl.Name, aggs, p.name), func(b *testing.B) {
-					benchMix(b, harness.FactoryFor(stack.SEC, aggs, false), wl, 1000, p.par)
+					benchMix(b, harness.FactoryFor(stack.SEC, stack.WithAggregators(aggs)), wl, 1000, p.par)
 				})
 			}
 		}
@@ -125,7 +127,7 @@ func BenchmarkFig4(b *testing.B) {
 func BenchmarkTable1(b *testing.B) {
 	for _, wl := range harness.UpdateWorkloads() {
 		b.Run(wl.Name, func(b *testing.B) {
-			s := stack.NewSEC[int64](stack.SECOptions{Aggregators: 2, CollectMetrics: true})
+			s := stack.NewSEC[int64](stack.WithAggregators(2), stack.WithMetrics())
 			h0 := s.Register()
 			for i := 0; i < 1000; i++ {
 				h0.Push(int64(i))
@@ -136,6 +138,7 @@ func BenchmarkTable1(b *testing.B) {
 			b.RunParallel(func(pb *testing.PB) {
 				t := tid.Add(1)
 				h := s.Register()
+				defer h.Close()
 				rng := xrand.New(uint64(t) * 104729)
 				i := int64(0)
 				for pb.Next() {
@@ -162,14 +165,10 @@ func BenchmarkTable1(b *testing.B) {
 // BenchmarkAblationFreezerBackoff sweeps the freezer's batch-growing
 // spin (§3.1: "a short backoff ... results in enhanced performance").
 func BenchmarkAblationFreezerBackoff(b *testing.B) {
-	for _, spin := range []int{-1, 32, 128, 512, 2048} {
-		name := fmt.Sprintf("spin=%d", spin)
-		if spin < 0 {
-			name = "spin=0"
-		}
-		b.Run(name, func(b *testing.B) {
+	for _, spin := range []int{0, 32, 128, 512, 2048} {
+		b.Run(fmt.Sprintf("spin=%d", spin), func(b *testing.B) {
 			f := func() stack.Stack[int64] {
-				return stack.NewSEC[int64](stack.SECOptions{Aggregators: 2, FreezerSpin: spin})
+				return stack.NewSEC[int64](stack.WithAggregators(2), stack.WithFreezerSpin(spin))
 			}
 			benchMix(b, f, harness.Update100, 1000, 4)
 		})
@@ -187,7 +186,11 @@ func BenchmarkAblationNoElimination(b *testing.B) {
 		}
 		b.Run(name, func(b *testing.B) {
 			f := func() stack.Stack[int64] {
-				return stack.NewSEC[int64](stack.SECOptions{Aggregators: 2, NoElimination: noElim})
+				opts := []stack.Option{stack.WithAggregators(2)}
+				if noElim {
+					opts = append(opts, stack.WithoutElimination())
+				}
+				return stack.NewSEC[int64](opts...)
 			}
 			benchMix(b, f, harness.Update100, 1000, 4)
 		})
@@ -204,7 +207,11 @@ func BenchmarkAblationReclaim(b *testing.B) {
 		}
 		b.Run(name, func(b *testing.B) {
 			f := func() stack.Stack[int64] {
-				return stack.NewSEC[int64](stack.SECOptions{Aggregators: 2, Recycle: recycle})
+				opts := []stack.Option{stack.WithAggregators(2)}
+				if recycle {
+					opts = append(opts, stack.WithRecycling())
+				}
+				return stack.NewSEC[int64](opts...)
 			}
 			benchMix(b, f, harness.Update100, 1000, 4)
 		})

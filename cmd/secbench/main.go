@@ -134,7 +134,7 @@ func runLatency(st settings) {
 				Duration: st.duration,
 				Prefill:  st.prefill,
 				Workload: harness.Update100,
-			}, harness.FactoryFor(alg, 2, false), 16)
+			}, harness.FactoryFor(alg, stack.WithAggregators(2)), 16)
 			fmt.Println(l)
 		}
 		fmt.Println()
@@ -155,7 +155,7 @@ func algColumns() ([]string, func(string) harness.Factory) {
 		cols = append(cols, string(a))
 	}
 	return cols, func(col string) harness.Factory {
-		return harness.FactoryFor(stack.Algorithm(col), 2, false)
+		return harness.FactoryFor(stack.Algorithm(col), stack.WithAggregators(2))
 	}
 }
 
@@ -164,7 +164,7 @@ func aggColumns() ([]string, func(string) harness.Factory) {
 	cols := []string{"SEC_Agg1", "SEC_Agg2", "SEC_Agg3", "SEC_Agg4", "SEC_Agg5"}
 	return cols, func(col string) harness.Factory {
 		aggs := int(col[len(col)-1] - '0')
-		return harness.FactoryFor(stack.SEC, aggs, false)
+		return harness.FactoryFor(stack.SEC, stack.WithAggregators(aggs))
 	}
 }
 
@@ -299,7 +299,7 @@ func runTable(n int, st settings) {
 				Prefill:  st.prefill,
 				Workload: wl,
 				Runs:     st.runs,
-			}, harness.FactoryFor(stack.SEC, 2, true))
+			}, harness.FactoryFor(stack.SEC, stack.WithAggregators(2), stack.WithMetrics()))
 			agg.Degrees.Batches += r.Degrees.Batches
 			agg.Degrees.Ops += r.Degrees.Ops
 			agg.Degrees.Eliminated += r.Degrees.Eliminated

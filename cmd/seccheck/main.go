@@ -32,8 +32,8 @@ func main() {
 	algs := stack.Algorithms()
 	if *algFlag != "" {
 		algs = []stack.Algorithm{stack.Algorithm(*algFlag)}
-		if _, ok := stack.NewByName[int64](algs[0], 2); !ok {
-			fmt.Fprintf(os.Stderr, "unknown algorithm %q\n", *algFlag)
+		if _, err := stack.New[int64](algs[0]); err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
 			os.Exit(2)
 		}
 	}
@@ -67,7 +67,7 @@ func main() {
 func checkLinearizability(alg stack.Algorithm, rounds, threads, opsPer int) int {
 	bad := 0
 	for r := 0; r < rounds; r++ {
-		s, _ := stack.NewByName[int64](alg, 2)
+		s, _ := stack.New[int64](alg, stack.WithAggregators(2))
 		rec := lincheck.NewRecorder(threads)
 		var wg sync.WaitGroup
 		for t := 0; t < threads; t++ {
@@ -75,6 +75,7 @@ func checkLinearizability(alg stack.Algorithm, rounds, threads, opsPer int) int 
 			go func(t int) {
 				defer wg.Done()
 				h := s.Register()
+				defer h.Close()
 				rng := xrand.New(uint64(r)*1_000_003 + uint64(t)*7919)
 				base := int64(t+1) << 32
 				for i := 0; i < opsPer; i++ {
@@ -111,7 +112,7 @@ func checkLinearizability(alg stack.Algorithm, rounds, threads, opsPer int) int 
 // checkConservation pushes unique values from every thread and verifies
 // that drain(popped) == pushed as multisets.
 func checkConservation(alg stack.Algorithm, threads, opsPer int) error {
-	s, _ := stack.NewByName[int64](alg, 2)
+	s, _ := stack.New[int64](alg, stack.WithAggregators(2))
 	var (
 		wg     sync.WaitGroup
 		mu     sync.Mutex
@@ -123,6 +124,7 @@ func checkConservation(alg stack.Algorithm, threads, opsPer int) error {
 		go func(t int) {
 			defer wg.Done()
 			h := s.Register()
+			defer h.Close()
 			rng := xrand.New(uint64(t) + 99)
 			localPop := make(map[int64]int)
 			localPush := make(map[int64]bool)
@@ -148,6 +150,7 @@ func checkConservation(alg stack.Algorithm, threads, opsPer int) error {
 	}
 	wg.Wait()
 	h := s.Register()
+	defer h.Close()
 	for {
 		v, ok := h.Pop()
 		if !ok {

@@ -23,6 +23,8 @@ import (
 	"sync/atomic"
 
 	"secstack/internal/backoff"
+	"secstack/internal/config"
+	"secstack/internal/tid"
 )
 
 // Side selects a deque end.
@@ -71,30 +73,33 @@ type Deque[T any] struct {
 	ends        [2]end[T]
 	perEnd      int
 	freezerSpin int
-	registered  atomic.Int32
+	tids        *tid.Allocator
 	maxThreads  int
 }
 
-// Options configures a Deque.
-type Options struct {
-	// MaxThreads bounds Register calls (default 256).
-	MaxThreads int
-	// FreezerSpin is the batch-growing backoff (default 128).
-	FreezerSpin int
-}
+// Option configures New; it is the shared option type of the whole
+// repository, so the stack package's WithMaxThreads and WithFreezerSpin
+// work here unchanged.
+type Option = config.Option
+
+// WithMaxThreads bounds concurrently live handles (default 256). Close
+// recycles handle slots, so this is a concurrency bound, not a lifetime
+// bound.
+func WithMaxThreads(n int) Option { return config.WithMaxThreads(n) }
+
+// WithFreezerSpin sets the batch-growing backoff in spin iterations
+// (default 128; 0 disables).
+func WithFreezerSpin(s int) Option { return config.WithFreezerSpin(s) }
 
 // New returns an empty deque.
-func New[T any](o Options) *Deque[T] {
-	if o.MaxThreads <= 0 {
-		o.MaxThreads = 256
+func New[T any](opts ...Option) *Deque[T] {
+	c := config.Resolve(opts)
+	d := &Deque[T]{
+		perEnd:      c.MaxThreads,
+		freezerSpin: c.FreezerSpin,
+		tids:        tid.New(c.MaxThreads),
+		maxThreads:  c.MaxThreads,
 	}
-	if o.FreezerSpin == 0 {
-		o.FreezerSpin = 128
-	}
-	if o.FreezerSpin < 0 {
-		o.FreezerSpin = 0
-	}
-	d := &Deque[T]{perEnd: o.MaxThreads, freezerSpin: o.FreezerSpin, maxThreads: o.MaxThreads}
 	for i := range d.ends {
 		d.ends[i].batch.Store(d.newBatch())
 	}
@@ -102,7 +107,7 @@ func New[T any](o Options) *Deque[T] {
 }
 
 func (d *Deque[T]) newBatch() *ebatch[T] {
-	p := int(d.registered.Load())
+	p := d.tids.InUse()
 	if p < 4 {
 		p = 4
 	}
@@ -116,17 +121,32 @@ func (d *Deque[T]) newBatch() *ebatch[T] {
 }
 
 // Handle is a per-goroutine session. Handles must not be shared between
-// goroutines.
+// goroutines, and should be Closed when their goroutine is done so the
+// handle slot recycles.
 type Handle[T any] struct {
-	d *Deque[T]
+	d  *Deque[T]
+	id int
 }
 
-// Register returns a new handle; it panics past MaxThreads handles.
+// Register returns a new handle. Slots released by Close are recycled,
+// so registration panics only when MaxThreads handles are live at the
+// same time.
 func (d *Deque[T]) Register() *Handle[T] {
-	if int(d.registered.Add(1)) > d.maxThreads {
-		panic(fmt.Sprintf("deque: more than MaxThreads=%d handles registered", d.maxThreads))
+	id, err := d.tids.Acquire()
+	if err != nil {
+		panic(fmt.Sprintf("deque: more than MaxThreads=%d handles live", d.maxThreads))
 	}
-	return &Handle[T]{d: d}
+	return &Handle[T]{d: d, id: id}
+}
+
+// Close releases the handle's slot for reuse by a future Register.
+// Close is idempotent; any other use of a closed handle is a bug.
+func (h *Handle[T]) Close() {
+	if h.id < 0 {
+		return
+	}
+	h.d.tids.Release(h.id)
+	h.id = -1
 }
 
 // PushLeft adds v at the left end.

@@ -82,7 +82,7 @@ func TestRingQuickVsSlice(t *testing.T) {
 }
 
 func TestSequentialDequeSemantics(t *testing.T) {
-	d := New[int](Options{})
+	d := New[int]()
 	h := d.Register()
 	h.PushLeft(2)
 	h.PushLeft(1)
@@ -106,7 +106,7 @@ func TestSequentialDequeSemantics(t *testing.T) {
 }
 
 func TestStackLikeLeftEnd(t *testing.T) {
-	d := New[int](Options{})
+	d := New[int]()
 	h := d.Register()
 	for i := 0; i < 100; i++ {
 		h.PushLeft(i)
@@ -120,7 +120,7 @@ func TestStackLikeLeftEnd(t *testing.T) {
 }
 
 func TestQueueLikeUse(t *testing.T) {
-	d := New[int](Options{})
+	d := New[int]()
 	h := d.Register()
 	for i := 0; i < 100; i++ {
 		h.PushRight(i)
@@ -134,7 +134,7 @@ func TestQueueLikeUse(t *testing.T) {
 }
 
 func TestRegisterPanicsPastMaxThreads(t *testing.T) {
-	d := New[int](Options{MaxThreads: 1})
+	d := New[int](WithMaxThreads(1))
 	d.Register()
 	defer func() {
 		if recover() == nil {
@@ -147,7 +147,7 @@ func TestRegisterPanicsPastMaxThreads(t *testing.T) {
 // TestConcurrentConservation: unique values in, unique values out (via
 // either end), none lost or duplicated.
 func TestConcurrentConservation(t *testing.T) {
-	d := New[int64](Options{})
+	d := New[int64]()
 	const g, per = 8, 2000
 	var wg sync.WaitGroup
 	var mu sync.Mutex
@@ -204,7 +204,7 @@ func TestConcurrentConservation(t *testing.T) {
 // TestOppositeEndsParallel: pushes on the left and pops on the right
 // flow through as a FIFO under concurrency.
 func TestOppositeEndsParallel(t *testing.T) {
-	d := New[int64](Options{})
+	d := New[int64]()
 	const n = 5000
 	var wg sync.WaitGroup
 	wg.Add(2)

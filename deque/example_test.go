@@ -8,7 +8,7 @@ import (
 
 // A deque serves as a stack at either end and as a queue across ends.
 func ExampleNew() {
-	d := deque.New[int](deque.Options{})
+	d := deque.New[int]()
 	h := d.Register()
 	h.PushLeft(2)
 	h.PushLeft(1)

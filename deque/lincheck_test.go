@@ -18,7 +18,7 @@ func TestDequeLinearizability(t *testing.T) {
 		rounds  = 40
 	)
 	for r := 0; r < rounds; r++ {
-		d := deque.New[int64](deque.Options{})
+		d := deque.New[int64]()
 		rec := lincheck.NewDeqRecorder(threads)
 		var wg sync.WaitGroup
 		for w := 0; w < threads; w++ {

@@ -4,7 +4,13 @@
 //
 // The public API lives in secstack/stack: the SEC stack itself plus the
 // five baseline concurrent stacks the paper evaluates against (Treiber,
-// elimination-backoff, flat combining, CC-Synch, interval timestamped).
+// elimination-backoff, flat combining, CC-Synch, interval timestamped),
+// all constructed through one registry (stack.New) and one shared
+// functional-option vocabulary, with closable per-goroutine handles
+// whose slots recycle under goroutine churn. The sibling packages
+// secstack/deque, secstack/pool and secstack/funnel apply the same
+// machinery - and the same option and handle-lifecycle contracts - to a
+// double-ended queue, an object pool and a sharded fetch&add counter.
 // The benchmark families in bench_test.go and the cmd/secbench tool
 // regenerate every figure and table of the paper's evaluation; see
 // DESIGN.md for the experiment index and EXPERIMENTS.md for measured

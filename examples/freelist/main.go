@@ -31,7 +31,7 @@ type freeList struct {
 }
 
 func newFreeList() *freeList {
-	return &freeList{s: stack.NewSEC[*[]byte](stack.SECOptions{CollectMetrics: true})}
+	return &freeList{s: stack.NewSEC[*[]byte](stack.WithMetrics())}
 }
 
 // session is one goroutine's view of the free-list.
@@ -43,6 +43,9 @@ type session struct {
 func (fl *freeList) register() *session {
 	return &session{fl: fl, h: fl.s.Register()}
 }
+
+// close releases the session's handle slot for reuse by later workers.
+func (s *session) close() { s.h.Close() }
 
 // acquire returns a buffer, reusing a released one when available.
 func (s *session) acquire() *[]byte {
@@ -72,6 +75,7 @@ func main() {
 		go func(w int) {
 			defer wg.Done()
 			sess := fl.register()
+			defer sess.close()
 			for i := 0; i < rounds; i++ {
 				buf := sess.acquire()
 				(*buf)[0] = byte(w) // "use" the buffer

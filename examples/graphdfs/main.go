@@ -59,11 +59,12 @@ func buildGraph(n int) *graph {
 }
 
 func explore(g *graph, workers int) (visitedCount int64, elapsed time.Duration, degrees string) {
-	worklist := stack.NewSEC[int32](stack.SECOptions{CollectMetrics: true})
+	worklist := stack.NewSEC[int32](stack.WithMetrics())
 	visited := make([]atomic.Bool, g.vertices())
 
 	seed := worklist.Register()
 	seed.Push(0)
+	seed.Close()
 	visited[0].Store(true)
 
 	var (
@@ -78,6 +79,7 @@ func explore(g *graph, workers int) (visitedCount int64, elapsed time.Duration, 
 		go func() {
 			defer wg.Done()
 			h := worklist.Register()
+			defer h.Close()
 			for pending.Load() > 0 {
 				v, ok := h.Pop()
 				if !ok {

@@ -26,7 +26,7 @@ func main() {
 	const jobs = 200_000
 	workers := runtime.GOMAXPROCS(0)
 
-	d := deque.New[int64](deque.Options{})
+	d := deque.New[int64]()
 	var (
 		fresh  atomic.Int64 // jobs taken hot off the left end
 		stolen atomic.Int64 // jobs stolen from the right end
@@ -42,6 +42,7 @@ func main() {
 		go func(p int) {
 			defer wg.Done()
 			h := d.Register()
+			defer h.Close()
 			for j := p + 1; j <= jobs; j += producers {
 				h.PushLeft(int64(j))
 			}
@@ -54,6 +55,7 @@ func main() {
 		go func(w int) {
 			defer wg.Done()
 			h := d.Register()
+			defer h.Close()
 			for taken.Load() < jobs {
 				if v, ok := h.PopLeft(); ok { // hot path: newest job
 					fresh.Add(1)

@@ -39,6 +39,7 @@ func measure(s stack.Stack[int64], goroutines int) float64 {
 		go func(i int) {
 			defer wg.Done()
 			h := s.Register()
+			defer h.Close()
 			// First half produce, second half consume. (Alternating
 			// roles by parity would segregate producers and consumers
 			// onto different SEC aggregators - tid%K - and make
@@ -71,13 +72,13 @@ func main() {
 	// right-hand region of the paper's throughput plots
 	fmt.Printf("symmetric producers/consumers, %d goroutines, %v window\n\n", goroutines, runWindow)
 
-	sec := stack.NewSEC[int64](stack.SECOptions{CollectMetrics: true})
+	sec := stack.NewSEC[int64](stack.WithMetrics())
 	secMops := measure(sec, goroutines)
 
 	fmt.Printf("%-28s %10s\n", "algorithm", "Mops/s")
 	fmt.Printf("%-28s %10.2f\n", "SEC (2 aggregators)", secMops)
 	for _, alg := range stack.Algorithms()[1:] {
-		s, _ := stack.NewByName[int64](alg, 2)
+		s, _ := stack.New[int64](alg, stack.WithAggregators(2))
 		fmt.Printf("%-28s %10.2f\n", alg, measure(s, goroutines))
 	}
 

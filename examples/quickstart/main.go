@@ -4,9 +4,12 @@
 //
 //	go run ./examples/quickstart
 //
-// It constructs a SEC stack, registers one handle per goroutine (the
-// registration model every stack in this library uses), performs a few
-// operations, and prints the LIFO drain order.
+// It constructs a SEC stack through the registry, performs a few
+// operations with the handle-free convenience API (each call borrows a
+// cached per-goroutine handle behind the scenes - no Register needed),
+// and prints the LIFO drain order. Worker loops that care about the
+// last few percent of throughput register an explicit handle instead;
+// see examples/freelist.
 package main
 
 import (
@@ -19,40 +22,43 @@ import (
 func main() {
 	// A SEC stack with the paper's default configuration: two
 	// aggregators, elimination on.
-	s := stack.NewSEC[string](stack.SECOptions{})
+	s, err := stack.New[string](stack.SEC)
+	if err != nil {
+		panic(err)
+	}
 
-	// Each goroutine registers its own handle; handles carry the
-	// per-thread state (aggregator assignment) and must not be shared.
+	// Goroutines can share the stack directly; handle acquisition,
+	// caching and release happen behind Push/Pop/Peek.
 	var wg sync.WaitGroup
 	for _, word := range []string{"sharded", "elimination", "and", "combining"} {
 		wg.Add(1)
 		go func(word string) {
 			defer wg.Done()
-			h := s.Register()
-			h.Push(word)
+			s.Push(word)
 		}(word)
 	}
 	wg.Wait()
 
-	// Drain from the main goroutine with its own handle.
-	h := s.Register()
-	if top, ok := h.Peek(); ok {
+	if top, ok := s.Peek(); ok {
 		fmt.Printf("top of stack: %q\n", top)
 	}
 	for {
-		w, ok := h.Pop()
+		w, ok := s.Pop()
 		if !ok {
 			break
 		}
 		fmt.Println(w)
 	}
 
-	// Every other algorithm of the paper's evaluation is one call away:
+	// Every other algorithm of the paper's evaluation is one call away,
+	// and one option vocabulary configures them all.
 	for _, alg := range stack.Algorithms() {
-		t, _ := stack.NewByName[int](alg, 2)
-		th := t.Register()
-		th.Push(1)
-		v, _ := th.Pop()
+		t, err := stack.New[int](alg, stack.WithMaxThreads(64))
+		if err != nil {
+			panic(err)
+		}
+		t.Push(1)
+		v, _ := t.Pop()
 		fmt.Printf("%-3s ok (pushed and popped %d)\n", alg, v)
 	}
 }

@@ -9,7 +9,7 @@ import (
 // FetchAdd has the hardware fetch&add contract: it returns the counter
 // value from immediately before the operation's place in the order.
 func ExampleFunnel_sequence() {
-	f := funnel.New(funnel.Options{})
+	f := funnel.New()
 	h := f.Register()
 	fmt.Println(h.FetchAdd(10))
 	fmt.Println(h.FetchAdd(5))

@@ -20,6 +20,8 @@ import (
 	"sync/atomic"
 
 	"secstack/internal/backoff"
+	"secstack/internal/config"
+	"secstack/internal/tid"
 )
 
 // fBatch is one batch of announced add amounts.
@@ -53,40 +55,42 @@ type Funnel struct {
 	aggs       []aggregator
 	maxPerAgg  int
 	spin       int
-	registered atomic.Int32
+	tids       *tid.Allocator
 	maxThreads int
 }
 
-// Options configures a Funnel.
-type Options struct {
-	// Aggregators is the shard count (default 2, as in SEC).
-	Aggregators int
-	// MaxThreads bounds Register calls (default 256).
-	MaxThreads int
-	// DelegateSpin is the freezer's batch-growing backoff (default 128).
-	DelegateSpin int
-	// Initial is the counter's starting value.
-	Initial int64
-}
+// Option configures New; it is the shared option type of the whole
+// repository, so the stack package's WithAggregators, WithMaxThreads
+// and WithFreezerSpin work here unchanged.
+type Option = config.Option
+
+// WithAggregators sets the shard count (default 2, as in SEC).
+func WithAggregators(k int) Option { return config.WithAggregators(k) }
+
+// WithMaxThreads bounds concurrently live handles (default 256). Close
+// recycles handle slots, so this is a concurrency bound, not a lifetime
+// bound.
+func WithMaxThreads(n int) Option { return config.WithMaxThreads(n) }
+
+// WithDelegateSpin sets the delegate's batch-growing backoff in spin
+// iterations (default 128; 0 disables). It is the funnel's name for the
+// freezer spin shared with the stack and deque.
+func WithDelegateSpin(s int) Option { return config.WithFreezerSpin(s) }
+
+// WithInitial sets the counter's starting value.
+func WithInitial(v int64) Option { return config.WithInitial(v) }
 
 // New returns a funnel counter.
-func New(o Options) *Funnel {
-	if o.Aggregators <= 0 {
-		o.Aggregators = 2
-	}
-	if o.MaxThreads <= 0 {
-		o.MaxThreads = 256
-	}
-	if o.DelegateSpin < 0 {
-		o.DelegateSpin = 0
-	}
+func New(opts ...Option) *Funnel {
+	c := config.Resolve(opts)
 	f := &Funnel{
-		aggs:       make([]aggregator, o.Aggregators),
-		maxPerAgg:  (o.MaxThreads + o.Aggregators - 1) / o.Aggregators,
-		spin:       o.DelegateSpin,
-		maxThreads: o.MaxThreads,
+		aggs:       make([]aggregator, c.Aggregators),
+		maxPerAgg:  (c.MaxThreads + c.Aggregators - 1) / c.Aggregators,
+		spin:       c.FreezerSpin,
+		tids:       tid.New(c.MaxThreads),
+		maxThreads: c.MaxThreads,
 	}
-	f.counter.Store(o.Initial)
+	f.counter.Store(c.Initial)
 	for i := range f.aggs {
 		f.aggs[i].batch.Store(f.newBatch())
 	}
@@ -94,7 +98,7 @@ func New(o Options) *Funnel {
 }
 
 func (f *Funnel) newBatch() *fBatch {
-	n := int(f.registered.Load())
+	n := f.tids.InUse()
 	p := (n + len(f.aggs) - 1) / len(f.aggs)
 	if p < 4 {
 		p = 4
@@ -109,19 +113,33 @@ func (f *Funnel) newBatch() *fBatch {
 }
 
 // Handle is a per-goroutine session. Handles must not be shared between
-// goroutines.
+// goroutines, and should be Closed when their goroutine is done so the
+// handle slot recycles.
 type Handle struct {
 	f   *Funnel
 	agg *aggregator
+	id  int
 }
 
-// Register returns a new handle; it panics past MaxThreads handles.
+// Register returns a new handle. Thread ids released by Close are
+// recycled, so registration panics only when MaxThreads handles are
+// live at the same time.
 func (f *Funnel) Register() *Handle {
-	tid := int(f.registered.Add(1)) - 1
-	if tid >= f.maxThreads {
-		panic(fmt.Sprintf("funnel: more than MaxThreads=%d handles registered", f.maxThreads))
+	id, err := f.tids.Acquire()
+	if err != nil {
+		panic(fmt.Sprintf("funnel: more than MaxThreads=%d handles live", f.maxThreads))
 	}
-	return &Handle{f: f, agg: &f.aggs[tid%len(f.aggs)]}
+	return &Handle{f: f, agg: &f.aggs[id%len(f.aggs)], id: id}
+}
+
+// Close releases the handle's thread id for reuse by a future Register.
+// Close is idempotent; any other use of a closed handle is a bug.
+func (h *Handle) Close() {
+	if h.id < 0 {
+		return
+	}
+	h.f.tids.Release(h.id)
+	h.id = -1
 }
 
 // Load returns the counter's current value. Batched amounts become

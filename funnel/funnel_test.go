@@ -7,7 +7,7 @@ import (
 )
 
 func TestSingleThreadSequence(t *testing.T) {
-	f := New(Options{})
+	f := New()
 	h := f.Register()
 	for i := int64(0); i < 100; i++ {
 		if got := h.FetchAdd(1); got != i {
@@ -20,7 +20,7 @@ func TestSingleThreadSequence(t *testing.T) {
 }
 
 func TestInitialValue(t *testing.T) {
-	f := New(Options{Initial: 40})
+	f := New(WithInitial(40))
 	h := f.Register()
 	if got := h.FetchAdd(2); got != 40 {
 		t.Fatalf("FetchAdd = %d, want 40", got)
@@ -32,7 +32,7 @@ func TestInitialValue(t *testing.T) {
 
 func TestZeroAmount(t *testing.T) {
 	// Amount 0 must be distinguishable from an unwritten slot.
-	f := New(Options{})
+	f := New()
 	h := f.Register()
 	h.FetchAdd(5)
 	if got := h.FetchAdd(0); got != 5 {
@@ -44,7 +44,7 @@ func TestZeroAmount(t *testing.T) {
 }
 
 func TestNegativeAmounts(t *testing.T) {
-	f := New(Options{})
+	f := New()
 	h := f.Register()
 	h.FetchAdd(10)
 	if got := h.FetchAdd(-3); got != 10 {
@@ -56,7 +56,7 @@ func TestNegativeAmounts(t *testing.T) {
 }
 
 func TestRegisterPanicsPastMaxThreads(t *testing.T) {
-	f := New(Options{MaxThreads: 1})
+	f := New(WithMaxThreads(1))
 	f.Register()
 	defer func() {
 		if recover() == nil {
@@ -73,7 +73,7 @@ func TestRegisterPanicsPastMaxThreads(t *testing.T) {
 func TestConcurrentSumAndUniqueness(t *testing.T) {
 	const g, per = 16, 5000
 	for _, aggs := range []int{1, 2, 4} {
-		f := New(Options{Aggregators: aggs})
+		f := New(WithAggregators(aggs))
 		seen := make([]int32, g*per)
 		var wg sync.WaitGroup
 		for w := 0; w < g; w++ {
@@ -103,7 +103,7 @@ func TestConcurrentSumAndUniqueness(t *testing.T) {
 // per-thread amounts.
 func TestConcurrentMixedAmounts(t *testing.T) {
 	const g, per = 8, 3000
-	f := New(Options{})
+	f := New()
 	var wg sync.WaitGroup
 	var want int64
 	var mu sync.Mutex
@@ -134,7 +134,7 @@ func TestConcurrentMixedAmounts(t *testing.T) {
 // by its program order).
 func TestPerThreadMonotonicity(t *testing.T) {
 	const g, per = 8, 2000
-	f := New(Options{})
+	f := New()
 	var wg sync.WaitGroup
 	errs := make(chan string, g)
 	for w := 0; w < g; w++ {
@@ -162,7 +162,7 @@ func TestPerThreadMonotonicity(t *testing.T) {
 
 func TestQuickSequentialMatchesPlainCounter(t *testing.T) {
 	check := func(amounts []int8) bool {
-		f := New(Options{})
+		f := New()
 		h := f.Register()
 		plain := int64(0)
 		for _, a := range amounts {
@@ -179,7 +179,7 @@ func TestQuickSequentialMatchesPlainCounter(t *testing.T) {
 }
 
 func BenchmarkFetchAddContended(b *testing.B) {
-	f := New(Options{})
+	f := New()
 	b.RunParallel(func(pb *testing.PB) {
 		h := f.Register()
 		for pb.Next() {

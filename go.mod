@@ -1,0 +1,3 @@
+module secstack
+
+go 1.24

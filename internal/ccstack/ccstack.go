@@ -87,6 +87,12 @@ func (s *Stack[T]) Register() *Handle[T] {
 	return &Handle[T]{s: s, node: &ccNode[T]{}}
 }
 
+// Close releases the handle. A CC-Synch handle owns one spare queue
+// node, which the garbage collector reclaims with the handle; nothing
+// is registered centrally, so Close is a no-op that exists to satisfy
+// the uniform handle-lifecycle contract. Idempotent.
+func (h *Handle[T]) Close() {}
+
 // submit runs one operation through the CC-Synch protocol.
 func (h *Handle[T]) submit(op int32, v T) (T, bool) {
 	s := h.s

@@ -1,0 +1,195 @@
+// Package config is the single configuration type behind every public
+// constructor in the repository. The public packages (stack, deque,
+// pool, funnel) each re-export the functional options relevant to them
+// as aliases of Option, so one option value - say WithMaxThreads(64) -
+// is meaningful to any constructor and the four packages can never
+// drift apart on defaults again (the seed had four divergent Options
+// structs with subtly different zero-value semantics).
+//
+// Zero-value handling: Default() bakes in the paper's evaluation
+// defaults; options overwrite fields directly. An option that would set
+// a nonsensical value clamps instead of failing, matching the seed's
+// constructors.
+package config
+
+// Config carries every knob any algorithm in the repository accepts.
+// Constructors read the fields they understand and ignore the rest,
+// which is what lets one option set configure all six stack algorithms
+// through the registry.
+type Config struct {
+	// Aggregators is K, the number of SEC shards (also the funnel's
+	// aggregator count). The paper's evaluation defaults to 2.
+	Aggregators int
+
+	// MaxThreads bounds *concurrently live* handles. With Close-based
+	// slot recycling this is a concurrency bound, not a lifetime bound:
+	// any number of handles may be registered over time as long as at
+	// most MaxThreads are open at once.
+	MaxThreads int
+
+	// FreezerSpin is the freezer's batch-growing pre-freeze backoff in
+	// spin iterations (§3.1 of the paper; also the funnel delegate's
+	// spin). Default 128; 0 disables it and keeps batches small.
+	FreezerSpin int
+
+	// NoElimination disables in-batch elimination (the SEC ablation).
+	NoElimination bool
+
+	// Recycle routes SEC stack nodes through epoch-based reclamation
+	// instead of fresh allocation.
+	Recycle bool
+
+	// CollectMetrics enables the batching/elimination/combining degree
+	// counters behind the paper's Tables 1-3.
+	CollectMetrics bool
+
+	// Shards is the pool's SEC-stack count.
+	Shards int
+
+	// Initial is the funnel counter's starting value.
+	Initial int64
+
+	// BackoffMin/BackoffMax bound Treiber's randomized exponential
+	// backoff window in spin iterations.
+	BackoffMin, BackoffMax int
+
+	// ElimArraySize and ElimPatience configure the EB stack's
+	// elimination array and per-visit patience.
+	ElimArraySize, ElimPatience int
+
+	// CombinerRounds is the FC combiner's publication-list scan count
+	// per lock acquisition.
+	CombinerRounds int
+
+	// ServeLimit is CC-Synch's H: requests served per combiner session.
+	ServeLimit int
+
+	// TimestampDelay is the TS-interval stack's interval-widening spin
+	// between a push's two clock reads.
+	TimestampDelay int
+}
+
+// Option mutates a Config. The public packages alias this type, so
+// options compose across packages.
+type Option func(*Config)
+
+// Default returns the paper-evaluation defaults shared by every
+// constructor.
+func Default() Config {
+	return Config{
+		Aggregators:    2,
+		MaxThreads:     256,
+		FreezerSpin:    128,
+		Shards:         4,
+		BackoffMin:     4,
+		BackoffMax:     1024,
+		ElimArraySize:  16,
+		ElimPatience:   64,
+		CombinerRounds: 2,
+		ServeLimit:     64,
+		TimestampDelay: 32,
+	}
+}
+
+// Resolve applies opts over the defaults.
+func Resolve(opts []Option) Config {
+	c := Default()
+	for _, o := range opts {
+		if o != nil {
+			o(&c)
+		}
+	}
+	return c
+}
+
+// WithAggregators sets K, the shard count of SEC stacks and funnels
+// (clamped to at least 1).
+func WithAggregators(k int) Option {
+	return func(c *Config) { c.Aggregators = max(k, 1) }
+}
+
+// WithMaxThreads bounds concurrently live handles (clamped to at
+// least 1).
+func WithMaxThreads(n int) Option {
+	return func(c *Config) { c.MaxThreads = max(n, 1) }
+}
+
+// WithFreezerSpin sets the batch-growing backoff in spin iterations; 0
+// (or less) disables it.
+func WithFreezerSpin(s int) Option {
+	return func(c *Config) { c.FreezerSpin = max(s, 0) }
+}
+
+// WithoutElimination disables in-batch elimination, leaving freezing
+// and combining intact (the paper's ablation).
+func WithoutElimination() Option {
+	return func(c *Config) { c.NoElimination = true }
+}
+
+// WithRecycling routes SEC stack nodes through epoch-based reclamation
+// instead of the garbage collector.
+func WithRecycling() Option {
+	return func(c *Config) { c.Recycle = true }
+}
+
+// WithMetrics enables degree counters (batching, elimination,
+// combining).
+func WithMetrics() Option {
+	return func(c *Config) { c.CollectMetrics = true }
+}
+
+// WithShards sets the pool's shard count (clamped to at least 1).
+func WithShards(n int) Option {
+	return func(c *Config) { c.Shards = max(n, 1) }
+}
+
+// WithInitial sets the funnel counter's starting value.
+func WithInitial(v int64) Option {
+	return func(c *Config) { c.Initial = v }
+}
+
+// WithBackoff sets Treiber's exponential backoff window.
+func WithBackoff(min, max int) Option {
+	return func(c *Config) {
+		if min > 0 && max >= min {
+			c.BackoffMin, c.BackoffMax = min, max
+		}
+	}
+}
+
+// WithElimArray sets the EB stack's elimination array size and
+// patience.
+func WithElimArray(size, patience int) Option {
+	return func(c *Config) {
+		if size > 0 {
+			c.ElimArraySize = size
+		}
+		if patience > 0 {
+			c.ElimPatience = patience
+		}
+	}
+}
+
+// WithCombinerRounds sets the FC combiner's scan rounds per lock hold.
+func WithCombinerRounds(r int) Option {
+	return func(c *Config) {
+		if r > 0 {
+			c.CombinerRounds = r
+		}
+	}
+}
+
+// WithServeLimit sets CC-Synch's per-combiner serve limit H.
+func WithServeLimit(h int) Option {
+	return func(c *Config) {
+		if h > 0 {
+			c.ServeLimit = h
+		}
+	}
+}
+
+// WithTimestampDelay sets the TS-interval push's interval-widening
+// delay; 0 (or less) disables it.
+func WithTimestampDelay(d int) Option {
+	return func(c *Config) { c.TimestampDelay = max(d, 0) }
+}

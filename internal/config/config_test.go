@@ -1,0 +1,67 @@
+package config_test
+
+import (
+	"testing"
+
+	"secstack/internal/config"
+)
+
+func TestDefaultsMatchPaper(t *testing.T) {
+	c := config.Resolve(nil)
+	if c.Aggregators != 2 || c.MaxThreads != 256 || c.FreezerSpin != 128 {
+		t.Fatalf("defaults = %+v", c)
+	}
+	if c.NoElimination || c.Recycle || c.CollectMetrics {
+		t.Fatalf("boolean knobs default on: %+v", c)
+	}
+	if c.Shards != 4 {
+		t.Fatalf("Shards default = %d, want 4", c.Shards)
+	}
+}
+
+func TestOptionsCompose(t *testing.T) {
+	c := config.Resolve([]config.Option{
+		config.WithAggregators(5),
+		config.WithMaxThreads(32),
+		config.WithFreezerSpin(0),
+		config.WithoutElimination(),
+		config.WithRecycling(),
+		config.WithMetrics(),
+		config.WithShards(2),
+		config.WithInitial(-7),
+		nil, // nil options are tolerated
+	})
+	if c.Aggregators != 5 || c.MaxThreads != 32 || c.FreezerSpin != 0 {
+		t.Fatalf("resolved = %+v", c)
+	}
+	if !c.NoElimination || !c.Recycle || !c.CollectMetrics {
+		t.Fatalf("boolean options dropped: %+v", c)
+	}
+	if c.Shards != 2 || c.Initial != -7 {
+		t.Fatalf("resolved = %+v", c)
+	}
+}
+
+func TestClamping(t *testing.T) {
+	c := config.Resolve([]config.Option{
+		config.WithAggregators(0),
+		config.WithMaxThreads(-3),
+		config.WithFreezerSpin(-1),
+		config.WithTimestampDelay(-5),
+		config.WithBackoff(0, 10),    // rejected: min must be positive
+		config.WithElimArray(0, 0),   // rejected wholesale
+		config.WithCombinerRounds(0), // rejected
+		config.WithServeLimit(-1),    // rejected
+	})
+	if c.Aggregators != 1 || c.MaxThreads != 1 {
+		t.Fatalf("clamps wrong: %+v", c)
+	}
+	if c.FreezerSpin != 0 || c.TimestampDelay != 0 {
+		t.Fatalf("spin clamps wrong: %+v", c)
+	}
+	d := config.Default()
+	if c.BackoffMin != d.BackoffMin || c.ElimArraySize != d.ElimArraySize ||
+		c.CombinerRounds != d.CombinerRounds || c.ServeLimit != d.ServeLimit {
+		t.Fatalf("invalid options mutated defaults: %+v", c)
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"secstack/internal/backoff"
 	"secstack/internal/ebr"
 	"secstack/internal/metrics"
+	"secstack/internal/tid"
 )
 
 // node is one cell of the shared stack (and of batch substacks).
@@ -139,7 +140,7 @@ type Stack[T any] struct {
 
 	m          *metrics.SEC // nil when metrics are disabled
 	rec        *ebr.Manager[node[T]]
-	registered atomic.Int32
+	tids       *tid.Allocator
 	maxThreads int
 }
 
@@ -153,6 +154,7 @@ func New[T any](opts Options) *Stack[T] {
 		freezerSpin: o.FreezerSpin,
 		noElim:      o.NoElimination,
 		maxThreads:  o.MaxThreads,
+		tids:        tid.New(o.MaxThreads),
 	}
 	if o.CollectMetrics {
 		s.m = metrics.NewSEC(o.Aggregators)
@@ -174,7 +176,7 @@ func New[T any](opts Options) *Stack[T] {
 // batch was created) are pushed to the next, larger batch by the
 // snapshot clamp in freezeBatch.
 func (s *Stack[T]) newBatch() *batch[T] {
-	n := int(s.registered.Load())
+	n := s.tids.InUse()
 	p := (n + len(s.aggs) - 1) / len(s.aggs)
 	if p < 4 {
 		p = 4
@@ -197,22 +199,52 @@ type Handle[T any] struct {
 	aggIdx int
 	agg    *aggregator[T]
 	rec    *ebr.Handle[node[T]] // nil when recycling is off
+	closed bool
 }
 
-// Register returns a new handle. Thread ids are assigned round-robin
-// across aggregators, giving the even distribution the paper prescribes.
-// It panics once more than MaxThreads handles exist.
+// Register returns a new handle. Thread ids are drawn from a lock-free
+// free list and assigned round-robin across aggregators, giving the
+// even distribution the paper prescribes; ids released by Close are
+// reused, so MaxThreads bounds concurrently live handles rather than
+// lifetime registrations. It panics once MaxThreads handles are live at
+// the same time.
 func (s *Stack[T]) Register() *Handle[T] {
-	tid := int(s.registered.Add(1)) - 1
-	if tid >= s.maxThreads {
-		panic(fmt.Sprintf("core: more than MaxThreads=%d handles registered", s.maxThreads))
+	h, err := s.TryRegister()
+	if err != nil {
+		panic(err.Error())
+	}
+	return h
+}
+
+// TryRegister is Register with an error in place of the exhaustion
+// panic, for callers that prefer backpressure over crashing.
+func (s *Stack[T]) TryRegister() (*Handle[T], error) {
+	tid, err := s.tids.Acquire()
+	if err != nil {
+		return nil, fmt.Errorf("core: more than MaxThreads=%d handles live", s.maxThreads)
 	}
 	h := &Handle[T]{s: s, tid: tid, aggIdx: tid % len(s.aggs)}
 	h.agg = &s.aggs[h.aggIdx]
 	if s.rec != nil {
 		h.rec = s.rec.Register()
 	}
-	return h
+	return h, nil
+}
+
+// Close releases the handle's thread id (and its reclamation slot) for
+// reuse by a future Register, so goroutine churn cannot exhaust
+// MaxThreads. Close is idempotent; any other use of a closed handle is
+// a bug. It must not be called while an operation on the handle is in
+// flight.
+func (h *Handle[T]) Close() {
+	if h.closed {
+		return
+	}
+	h.closed = true
+	if h.rec != nil {
+		h.rec.Close()
+	}
+	h.s.tids.Release(h.tid)
 }
 
 // alloc produces an initialized node, recycled when possible.
@@ -489,5 +521,6 @@ func (s *Stack[T]) Len() int {
 // Aggregators reports K, for harness labeling.
 func (s *Stack[T]) Aggregators() int { return len(s.aggs) }
 
-// RegisteredThreads reports how many handles have been registered.
-func (s *Stack[T]) RegisteredThreads() int { return int(s.registered.Load()) }
+// RegisteredThreads reports how many handles are currently live
+// (registered and not yet closed).
+func (s *Stack[T]) RegisteredThreads() int { return s.tids.InUse() }

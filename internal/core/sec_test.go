@@ -283,3 +283,55 @@ func TestManyAggregatorsFewThreads(t *testing.T) {
 		t.Fatal("LIFO broken with idle aggregators")
 	}
 }
+
+// TestCloseRecyclesThreadIDs checks that MaxThreads bounds live
+// handles, not lifetime registrations: closed handles' thread ids flow
+// back and Register succeeds forever under churn.
+func TestCloseRecyclesThreadIDs(t *testing.T) {
+	s := core.New[int64](core.Options{MaxThreads: 2})
+	for i := 0; i < 10; i++ {
+		h := s.Register()
+		h.Push(int64(i))
+		h.Close()
+		h.Close() // idempotent
+	}
+	if got := s.RegisteredThreads(); got != 0 {
+		t.Fatalf("RegisteredThreads = %d after closing all handles, want 0", got)
+	}
+	a, b := s.Register(), s.Register() // exactly MaxThreads live handles fit
+	if v, ok := a.Pop(); !ok || v != 9 {
+		t.Fatalf("Pop = (%d, %v) after churn, want (9, true)", v, ok)
+	}
+	a.Close()
+	b.Close()
+}
+
+func TestTryRegisterBackpressure(t *testing.T) {
+	s := core.New[int64](core.Options{MaxThreads: 1})
+	h, err := s.TryRegister()
+	if err != nil {
+		t.Fatalf("first TryRegister: %v", err)
+	}
+	if _, err := s.TryRegister(); err == nil {
+		t.Fatal("TryRegister succeeded past MaxThreads live handles")
+	}
+	h.Close()
+	h2, err := s.TryRegister()
+	if err != nil {
+		t.Fatalf("TryRegister after Close: %v", err)
+	}
+	h2.Close()
+}
+
+// TestCloseWithRecyclingReleasesEBRSlot checks that Close releases the
+// epoch-reclamation slot too: with MaxThreads=1 and recycling on, churn
+// would exhaust the EBR manager if slots leaked.
+func TestCloseWithRecyclingReleasesEBRSlot(t *testing.T) {
+	s := core.New[int64](core.Options{MaxThreads: 1, Recycle: true})
+	for i := 0; i < 5; i++ {
+		h := s.Register()
+		h.Push(int64(i))
+		h.Pop()
+		h.Close()
+	}
+}

@@ -24,6 +24,8 @@ package ebr
 import (
 	"fmt"
 	"sync/atomic"
+
+	"secstack/internal/tid"
 )
 
 const (
@@ -46,9 +48,9 @@ type paddedSlot struct {
 // Manager coordinates epochs across up to maxThreads participants and
 // recycles objects of type T.
 type Manager[T any] struct {
-	epoch      atomic.Uint64
-	slots      []paddedSlot
-	registered atomic.Int32
+	epoch atomic.Uint64
+	slots []paddedSlot
+	ids   *tid.Allocator
 }
 
 // NewManager returns a manager supporting up to maxThreads concurrently
@@ -57,23 +59,26 @@ func NewManager[T any](maxThreads int) *Manager[T] {
 	if maxThreads < 1 {
 		maxThreads = 1
 	}
-	return &Manager[T]{slots: make([]paddedSlot, maxThreads)}
+	return &Manager[T]{slots: make([]paddedSlot, maxThreads), ids: tid.New(maxThreads)}
 }
 
 // Epoch reports the current global epoch, for tests and monitoring.
 func (m *Manager[T]) Epoch() uint64 { return m.epoch.Load() }
 
-// Register allocates a handle for one thread (goroutine). It panics if
-// more than maxThreads handles are requested. Handles are not safe for
+// Register allocates a handle for one thread (goroutine). Slot ids are
+// recycled through Close, so maxThreads bounds concurrently live
+// handles, not lifetime registrations; Register panics only when that
+// many handles are simultaneously open. Handles are not safe for
 // concurrent use; each worker goroutine owns exactly one.
 func (m *Manager[T]) Register() *Handle[T] {
-	id := int(m.registered.Add(1)) - 1
-	if id >= len(m.slots) {
-		panic(fmt.Sprintf("ebr: more than %d handles registered", len(m.slots)))
+	id, err := m.ids.Acquire()
+	if err != nil {
+		panic(fmt.Sprintf("ebr: more than %d handles live", len(m.slots)))
 	}
 	h := &Handle[T]{m: m, id: id}
+	h.localEpoch = m.epoch.Load()
 	// Start quiescent at the current epoch.
-	m.slots[id].ann.Store(m.epoch.Load() << 1)
+	m.slots[id].ann.Store(h.localEpoch << 1)
 	return h
 }
 
@@ -82,10 +87,7 @@ func (m *Manager[T]) Register() *Handle[T] {
 // thread).
 func (m *Manager[T]) tryAdvance() bool {
 	e := m.epoch.Load()
-	n := int(m.registered.Load())
-	if n > len(m.slots) {
-		n = len(m.slots)
-	}
+	n := m.ids.HighWater()
 	for i := 0; i < n; i++ {
 		a := m.slots[i].ann.Load()
 		if a&activeBit != 0 && a>>1 != e {
@@ -111,6 +113,7 @@ type Handle[T any] struct {
 	free        []*T
 	retireCount int
 	depth       int // critical-section nesting depth
+	closed      bool
 
 	// Stats, exposed for tests and the reclamation ablation bench.
 	Recycled int64 // objects moved from limbo to the free list
@@ -193,6 +196,31 @@ func (h *Handle[T]) Alloc() *T {
 	}
 	h.Fresh++
 	return new(T)
+}
+
+// Close releases the handle's slot for reuse by a future Register.
+// Close must be called outside any critical section; it panics between
+// Enter and Exit. The handle's limbo bags and free list are dropped to
+// the garbage collector - an object in limbo may still be referenced by
+// a concurrent critical section, and letting the GC reclaim it is
+// always safe in Go, whereas handing it to another handle's free list
+// would not be. Close is idempotent; any other use of a closed handle
+// is a bug.
+func (h *Handle[T]) Close() {
+	if h.closed {
+		return
+	}
+	if h.depth != 0 {
+		panic("ebr: Close inside critical section")
+	}
+	h.closed = true
+	for i := range h.bags {
+		h.bags[i].items = nil
+	}
+	h.free = nil
+	// The slot was left quiescent by the last Exit (or never activated),
+	// so a released slot can never block epoch advance.
+	h.m.ids.Release(h.id)
 }
 
 // FreeCount reports the number of objects currently on the free list.

@@ -293,3 +293,42 @@ func BenchmarkRetireAllocCycle(b *testing.B) {
 		}
 	}
 }
+
+// TestCloseRecyclesSlot checks that Close returns the handle's slot for
+// reuse: a capacity-1 manager must support unbounded register/close
+// churn, and a closed (quiescent) slot must never block epoch advance.
+func TestCloseRecyclesSlot(t *testing.T) {
+	m := NewManager[int](1)
+	for i := 0; i < 5; i++ {
+		h := m.Register()
+		h.Enter()
+		h.Retire(new(int))
+		h.Exit()
+		h.Close()
+		h.Close() // idempotent
+	}
+	// The survivor can still advance epochs: closed slots are quiescent.
+	h := m.Register()
+	before := m.Epoch()
+	for i := 0; i < 200; i++ {
+		h.Enter()
+		h.Retire(new(int))
+		h.Exit()
+	}
+	if m.Epoch() == before {
+		t.Fatal("epoch never advanced after churned slots were closed")
+	}
+	h.Close()
+}
+
+func TestClosePanicsInsideCriticalSection(t *testing.T) {
+	m := NewManager[int](1)
+	h := m.Register()
+	h.Enter()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on Close inside critical section")
+		}
+	}()
+	h.Close()
+}

@@ -83,6 +83,12 @@ func (s *Stack[T]) Register() *Handle[T] {
 	return &Handle[T]{s: s, rng: xrand.New(s.seq.Add(1)), rangE: 1}
 }
 
+// Close releases the handle. EB handles hold only a private RNG and the
+// adaptive elimination range, so Close is a no-op beyond marking the end
+// of the session; it exists to satisfy the uniform handle-lifecycle
+// contract. Idempotent.
+func (h *Handle[T]) Close() {}
+
 // adapt widens the range after a hit and narrows it after a miss.
 func (h *Handle[T]) adapt(hit bool) {
 	if hit {

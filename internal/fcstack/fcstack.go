@@ -11,6 +11,7 @@
 package fcstack
 
 import (
+	"sync"
 	"sync/atomic"
 
 	"secstack/internal/backoff"
@@ -44,6 +45,14 @@ type Stack[T any] struct {
 	lock atomic.Bool // the combiner lock (test-and-test-and-set)
 	head atomic.Pointer[record[T]]
 	stk  *seqstack.Stack[T]
+
+	// freeMu guards freeRecs, the records returned by Close and awaiting
+	// a new owner. Registration is a lifecycle operation, not a hot
+	// path, so a mutex is fine here; reusing records through a Treiber
+	// free list would reintroduce the ABA hazard that fresh-node
+	// allocation avoids.
+	freeMu   sync.Mutex
+	freeRecs []*record[T]
 
 	// rounds is how many passes over the publication list a combiner
 	// makes per lock acquisition; >1 lets the combiner pick up requests
@@ -82,10 +91,21 @@ type Handle[T any] struct {
 	rec *record[T]
 }
 
-// Register adds a publication record for the calling goroutine and
-// returns its handle. Records are never removed: the paper's dynamic
-// aging/cleanup is unnecessary for benchmark-style fixed thread sets.
+// Register returns a handle owning one publication record, reusing a
+// record released by Close when one is available and publishing a fresh
+// one otherwise. Records are never unlinked from the publication list -
+// the combiner simply skips records with no pending request - so the
+// list length is bounded by the peak number of simultaneously live
+// handles, not by registration churn.
 func (s *Stack[T]) Register() *Handle[T] {
+	s.freeMu.Lock()
+	if n := len(s.freeRecs); n > 0 {
+		r := s.freeRecs[n-1]
+		s.freeRecs = s.freeRecs[:n-1]
+		s.freeMu.Unlock()
+		return &Handle[T]{s: s, rec: r}
+	}
+	s.freeMu.Unlock()
 	r := &record[T]{}
 	for {
 		old := s.head.Load()
@@ -94,6 +114,21 @@ func (s *Stack[T]) Register() *Handle[T] {
 			return &Handle[T]{s: s, rec: r}
 		}
 	}
+}
+
+// Close returns the handle's publication record for reuse by a future
+// Register. The record is quiescent between operations (op is opNone),
+// so the combiner ignores it until a new owner posts on it. Close is
+// idempotent; any other use of a closed handle is a bug.
+func (h *Handle[T]) Close() {
+	if h.rec == nil {
+		return
+	}
+	r := h.rec
+	h.rec = nil
+	h.s.freeMu.Lock()
+	h.s.freeRecs = append(h.s.freeRecs, r)
+	h.s.freeMu.Unlock()
 }
 
 // apply executes one request against the sequential stack.

@@ -80,6 +80,7 @@ func RunLatency(cfg Config, f Factory, sampleEvery int) LatencyResult {
 	for t := 0; t < cfg.Threads; t++ {
 		go func(t int) {
 			h := s.Register()
+			defer h.Close()
 			rng := newWorkerRNG(cfg.Seed, t)
 			base := int64(t+1) << 32
 			var w workerOut

@@ -49,7 +49,7 @@ func TestRunLatencyCollectsSamples(t *testing.T) {
 		Workload: Update100,
 		Label:    "SEC",
 	}
-	l := RunLatency(cfg, FactoryFor(stack.SEC, 2, false), 8)
+	l := RunLatency(cfg, FactoryFor(stack.SEC, stack.WithAggregators(2)), 8)
 	if l.Samples == 0 {
 		t.Fatal("no latency samples collected")
 	}
@@ -66,7 +66,7 @@ func TestRunLatencyCollectsSamples(t *testing.T) {
 
 func TestRunLatencySampleEveryClamped(t *testing.T) {
 	cfg := Config{Threads: 1, Duration: 20 * time.Millisecond, Workload: PushOnly}
-	l := RunLatency(cfg, FactoryFor(stack.TRB, 0, false), 0) // clamps to 1
+	l := RunLatency(cfg, FactoryFor(stack.TRB), 0) // clamps to 1
 	if l.Samples == 0 {
 		t.Fatal("no samples with sampleEvery=0")
 	}

@@ -79,7 +79,7 @@ func TestRunProducesThroughput(t *testing.T) {
 		Workload: Update100,
 		Runs:     2,
 	}
-	r := Run(cfg, FactoryFor(stack.SEC, 2, false))
+	r := Run(cfg, FactoryFor(stack.SEC, stack.WithAggregators(2)))
 	if r.Mops <= 0 {
 		t.Fatalf("Mops = %v, want > 0", r.Mops)
 	}
@@ -100,7 +100,7 @@ func TestRunCollectsDegrees(t *testing.T) {
 		Duration: 50 * time.Millisecond,
 		Workload: Update100,
 	}
-	r := Run(cfg, FactoryFor(stack.SEC, 2, true))
+	r := Run(cfg, FactoryFor(stack.SEC, stack.WithAggregators(2), stack.WithMetrics()))
 	if !r.HasDegree {
 		t.Fatal("no degrees from metric-collecting SEC")
 	}
@@ -117,7 +117,7 @@ func TestRunAllAlgorithmsSmoke(t *testing.T) {
 			Prefill:  50,
 			Workload: Update50,
 		}
-		r := Run(cfg, FactoryFor(alg, 2, false))
+		r := Run(cfg, FactoryFor(alg, stack.WithAggregators(2)))
 		if r.Mops <= 0 {
 			t.Fatalf("%s: zero throughput", alg)
 		}
@@ -130,11 +130,11 @@ func TestRunPanicsOnBadWorkload(t *testing.T) {
 			t.Fatal("expected panic on invalid workload")
 		}
 	}()
-	Run(Config{Workload: Workload{Name: "bad", PushPct: 1}}, FactoryFor(stack.TRB, 0, false))
+	Run(Config{Workload: Workload{Name: "bad", PushPct: 1}}, FactoryFor(stack.TRB))
 }
 
 func TestFactoryForUnknownPanics(t *testing.T) {
-	f := FactoryFor(stack.Algorithm("NOPE"), 2, false)
+	f := FactoryFor(stack.Algorithm("NOPE"))
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic for unknown algorithm")
@@ -191,7 +191,7 @@ func TestSweepSmall(t *testing.T) {
 	var progress []string
 	s := Sweep("mini", SweepOptions{
 		Columns:  []string{"TRB", "SEC"},
-		Factory:  func(col string) Factory { return FactoryFor(stack.Algorithm(col), 2, false) },
+		Factory:  func(col string) Factory { return FactoryFor(stack.Algorithm(col), stack.WithAggregators(2)) },
 		Ladder:   []int{1, 2},
 		Workload: Update100,
 		Duration: 10 * time.Millisecond,
@@ -223,7 +223,7 @@ func TestRunDrainMode(t *testing.T) {
 		Runs:     1,
 	}
 	for _, alg := range []stack.Algorithm{stack.SEC, stack.TRB} {
-		r := Run(cfg, FactoryFor(alg, 2, false))
+		r := Run(cfg, FactoryFor(alg, stack.WithAggregators(2)))
 		if r.Mops <= 0 {
 			t.Fatalf("%s: drain produced no throughput", alg)
 		}
@@ -238,7 +238,7 @@ func TestRunDrainMode(t *testing.T) {
 
 func TestRunDrainDefaultPrefill(t *testing.T) {
 	cfg := Config{Threads: 8, Prefill: 5000, Workload: PopOnly, Drain: true}
-	r := Run(cfg, FactoryFor(stack.EB, 2, false))
+	r := Run(cfg, FactoryFor(stack.EB))
 	if r.TotalOps <= 0 {
 		t.Fatal("no pops recorded in drain mode")
 	}

@@ -20,19 +20,15 @@ import (
 // Factory builds a fresh stack for one measurement run.
 type Factory func() stack.Stack[int64]
 
-// FactoryFor returns a Factory for a named algorithm; SEC is built with
-// the given aggregator count and metric collection flag.
-func FactoryFor(alg stack.Algorithm, aggregators int, collectMetrics bool) Factory {
+// FactoryFor returns a Factory for a named algorithm, forwarding opts
+// through the stack registry, so every harness sweep configures SEC and
+// the baselines through the same functional options the public API
+// uses.
+func FactoryFor(alg stack.Algorithm, opts ...stack.Option) Factory {
 	return func() stack.Stack[int64] {
-		if alg == stack.SEC {
-			return stack.NewSEC[int64](stack.SECOptions{
-				Aggregators:    aggregators,
-				CollectMetrics: collectMetrics,
-			})
-		}
-		s, ok := stack.NewByName[int64](alg, aggregators)
-		if !ok {
-			panic(fmt.Sprintf("harness: unknown algorithm %q", alg))
+		s, err := stack.New[int64](alg, opts...)
+		if err != nil {
+			panic(fmt.Sprintf("harness: %v", err))
 		}
 		return s
 	}
@@ -133,6 +129,7 @@ func runOnce(cfg Config, s stack.Stack[int64], seed uint64) (int64, metrics.Snap
 		for i := 0; i < cfg.Prefill; i++ {
 			h.Push(int64(1)<<48 | int64(i))
 		}
+		h.Close()
 	}
 
 	var (
@@ -148,6 +145,7 @@ func runOnce(cfg Config, s stack.Stack[int64], seed uint64) (int64, metrics.Snap
 		go func(t int) {
 			defer done.Done()
 			h := s.Register()
+			defer h.Close()
 			rng := newWorkerRNG(seed, t)
 			base := int64(t+1) << 32
 			started.Done()
@@ -195,6 +193,7 @@ func runDrain(cfg Config, s stack.Stack[int64]) (int64, time.Duration) {
 	for i := 0; i < prefill; i++ {
 		h.Push(int64(i))
 	}
+	h.Close()
 
 	var (
 		started sync.WaitGroup
@@ -208,6 +207,7 @@ func runDrain(cfg Config, s stack.Stack[int64]) (int64, time.Duration) {
 		go func() {
 			defer done.Done()
 			h := s.Register()
+			defer h.Close()
 			started.Done()
 			<-gate
 			ops := int64(0)

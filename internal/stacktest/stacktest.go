@@ -10,6 +10,7 @@ package stacktest
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 	"time"
@@ -25,11 +26,14 @@ type Stack interface {
 	Register() Handle
 }
 
-// Handle is a per-goroutine session on a Stack.
+// Handle is a per-goroutine session on a Stack. Close ends the session
+// and releases any per-thread slot for reuse; the churn subtests rely
+// on it being callable once per handle and idempotent.
 type Handle interface {
 	Push(int64)
 	Pop() (int64, bool)
 	Peek() (int64, bool)
+	Close()
 }
 
 // Factory creates a fresh, empty stack for one test.
@@ -47,6 +51,7 @@ func RunAll(t *testing.T, f Factory) {
 	t.Run("LIFOResidue", func(t *testing.T) { RunLIFOResidue(t, f, 4, 500) })
 	t.Run("Oversubscribed", func(t *testing.T) { RunOversubscribed(t, f) })
 	t.Run("PushPopPairsDrain", func(t *testing.T) { RunPushPopPairsDrain(t, f, 8, 1000) })
+	t.Run("HandleChurn", func(t *testing.T) { RunHandleChurn(t, f, 8, 8) })
 }
 
 // RunEmptyPop checks that popping and peeking an empty stack reports
@@ -289,6 +294,50 @@ func RunLIFOResidue(t *testing.T, f Factory, g, perG int) {
 	}
 	if count != g*perG {
 		t.Fatalf("drained %d values, want %d", count, g*perG)
+	}
+}
+
+// RunHandleChurn runs `waves` successive waves of g goroutines; every
+// goroutine registers its own handle, pushes and pops through it, and
+// closes it. Conservation must hold across the whole run, and closed
+// handles' values must remain reachable by later waves - handle
+// lifecycle must not leak or lose elements.
+func RunHandleChurn(t *testing.T, f Factory, waves, g int) {
+	s := f()
+	var pushed, popped atomic.Int64
+	for wave := 0; wave < waves; wave++ {
+		var wg sync.WaitGroup
+		for w := 0; w < g; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				h := s.Register()
+				defer h.Close()
+				base := int64(wave*g+w) << 32
+				for i := int64(1); i <= 20; i++ {
+					h.Push(base + i)
+					pushed.Add(1)
+					if i%2 == 0 {
+						if _, ok := h.Pop(); ok {
+							popped.Add(1)
+						}
+					}
+				}
+				h.Close() // idempotent: double close must be safe
+			}(w)
+		}
+		wg.Wait()
+	}
+	h := s.Register()
+	defer h.Close()
+	for {
+		if _, ok := h.Pop(); !ok {
+			break
+		}
+		popped.Add(1)
+	}
+	if pushed.Load() != popped.Load() {
+		t.Fatalf("pushed %d != popped %d after churn drain", pushed.Load(), popped.Load())
 	}
 }
 

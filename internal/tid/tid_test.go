@@ -1,0 +1,144 @@
+package tid_test
+
+import (
+	"sync"
+	"testing"
+
+	"secstack/internal/tid"
+)
+
+func TestSequentialAcquireRelease(t *testing.T) {
+	a := tid.New(4)
+	got := make([]int, 0, 4)
+	for i := 0; i < 4; i++ {
+		id, err := a.Acquire()
+		if err != nil {
+			t.Fatalf("Acquire %d: %v", i, err)
+		}
+		got = append(got, id)
+	}
+	if _, err := a.Acquire(); err == nil {
+		t.Fatal("Acquire past capacity succeeded")
+	}
+	if a.InUse() != 4 || a.HighWater() != 4 {
+		t.Fatalf("InUse=%d HighWater=%d, want 4/4", a.InUse(), a.HighWater())
+	}
+	seen := map[int]bool{}
+	for _, id := range got {
+		if id < 0 || id >= a.Cap() || seen[id] {
+			t.Fatalf("bad or duplicate id %d in %v", id, got)
+		}
+		seen[id] = true
+	}
+
+	// Release one, reacquire it: capacity is a live-handle bound, not a
+	// lifetime bound.
+	a.Release(got[2])
+	id, err := a.Acquire()
+	if err != nil {
+		t.Fatalf("reacquire: %v", err)
+	}
+	if id != got[2] {
+		t.Fatalf("reacquired id %d, want recycled %d", id, got[2])
+	}
+	if a.HighWater() != 4 {
+		t.Fatalf("HighWater=%d after recycling, want 4", a.HighWater())
+	}
+}
+
+func TestRecycledPreferredOverFresh(t *testing.T) {
+	a := tid.New(64)
+	id0, _ := a.Acquire()
+	a.Release(id0)
+	id, _ := a.Acquire()
+	if id != id0 {
+		t.Fatalf("Acquire = %d, want recycled %d", id, id0)
+	}
+	if a.HighWater() != 1 {
+		t.Fatalf("HighWater=%d, want 1", a.HighWater())
+	}
+}
+
+func TestReleaseOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Release(-1) did not panic")
+		}
+	}()
+	tid.New(2).Release(-1)
+}
+
+// TestChurnNoDuplicates hammers the allocator from many goroutines,
+// each holding a window of ids, and checks no id is ever live twice.
+func TestChurnNoDuplicates(t *testing.T) {
+	const (
+		capacity = 32
+		workers  = 8
+		rounds   = 5000
+	)
+	a := tid.New(capacity)
+	owned := make([]bool, capacity)
+	var mu sync.Mutex
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			held := make([]int, 0, 4)
+			for r := 0; r < rounds; r++ {
+				if len(held) < 3 {
+					id, err := a.Acquire()
+					if err == nil {
+						mu.Lock()
+						if owned[id] {
+							mu.Unlock()
+							t.Errorf("id %d acquired while live", id)
+							return
+						}
+						owned[id] = true
+						mu.Unlock()
+						held = append(held, id)
+					}
+				}
+				if len(held) > 0 && r%2 == 1 {
+					id := held[len(held)-1]
+					held = held[:len(held)-1]
+					mu.Lock()
+					owned[id] = false
+					mu.Unlock()
+					a.Release(id)
+				}
+			}
+			for _, id := range held {
+				mu.Lock()
+				owned[id] = false
+				mu.Unlock()
+				a.Release(id)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if a.InUse() != 0 {
+		t.Fatalf("InUse=%d after all releases, want 0", a.InUse())
+	}
+	if hw := a.HighWater(); hw < 1 || hw > capacity {
+		t.Fatalf("HighWater=%d out of [1,%d]", hw, capacity)
+	}
+	// Every id must be acquirable exactly once more.
+	seen := map[int]bool{}
+	for i := 0; i < capacity; i++ {
+		id, err := a.Acquire()
+		if err != nil {
+			t.Fatalf("drain acquire %d: %v", i, err)
+		}
+		if seen[id] {
+			t.Fatalf("id %d handed out twice on drain", id)
+		}
+		seen[id] = true
+	}
+	if _, err := a.Acquire(); err == nil {
+		t.Fatal("allocator over capacity after churn")
+	}
+}

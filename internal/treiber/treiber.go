@@ -63,6 +63,11 @@ func (s *Stack[T]) Register() *Handle[T] {
 	return &Handle[T]{s: s, bo: backoff.NewExp(s.boMin, s.boMax, s.seq.Add(1))}
 }
 
+// Close releases the handle. Treiber handles hold only private backoff
+// state, so Close is a no-op beyond marking the end of the session; it
+// exists to satisfy the uniform handle-lifecycle contract. Idempotent.
+func (h *Handle[T]) Close() {}
+
 // Push adds v to the top of the stack.
 func (h *Handle[T]) Push(v T) {
 	n := &node[T]{value: v}

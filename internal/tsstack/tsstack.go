@@ -31,9 +31,11 @@
 package tsstack
 
 import (
+	"fmt"
 	"sync/atomic"
 
 	"secstack/internal/backoff"
+	"secstack/internal/tid"
 )
 
 // infTS is the provisional timestamp an element carries between being
@@ -64,10 +66,10 @@ type pool[T any] struct {
 // Stack is an interval timestamped stack supporting up to a fixed
 // number of registered threads.
 type Stack[T any] struct {
-	pools      []pool[T]
-	clock      atomic.Int64
-	delay      int
-	registered atomic.Int32
+	pools []pool[T]
+	clock atomic.Int64
+	delay int
+	ids   *tid.Allocator
 }
 
 // Option configures a Stack.
@@ -104,7 +106,7 @@ func New[T any](opts ...Option) *Stack[T] {
 	for _, o := range opts {
 		o(&c)
 	}
-	return &Stack[T]{pools: make([]pool[T], c.maxThreads), delay: c.delay}
+	return &Stack[T]{pools: make([]pool[T], c.maxThreads), delay: c.delay, ids: tid.New(c.maxThreads)}
 }
 
 // Handle is a per-goroutine session owning one pool. Handles must not
@@ -114,14 +116,28 @@ type Handle[T any] struct {
 	id int
 }
 
-// Register returns a new handle (and pool) on the stack. It panics if
-// more handles are requested than WithMaxThreads allows.
+// Register returns a new handle (and pool) on the stack. Pool ids
+// released by Close are recycled, so WithMaxThreads bounds concurrently
+// live handles; Register panics only when that many are open at once.
 func (s *Stack[T]) Register() *Handle[T] {
-	id := int(s.registered.Add(1)) - 1
-	if id >= len(s.pools) {
-		panic("tsstack: too many registered handles")
+	id, err := s.ids.Acquire()
+	if err != nil {
+		panic(fmt.Sprintf("tsstack: more than %d handles live", len(s.pools)))
 	}
 	return &Handle[T]{s: s, id: id}
+}
+
+// Close releases the handle's pool id for reuse by a future Register.
+// Elements still in the pool stay poppable: scans cover every pool ever
+// used, and a pool's untaken items are owned by the stack, not the
+// handle. Close is idempotent; any other use of a closed handle is a
+// bug.
+func (h *Handle[T]) Close() {
+	if h.id < 0 {
+		return
+	}
+	h.s.ids.Release(h.id)
+	h.id = -1
 }
 
 // newTimestamp produces one interval bound: it reads the clock and tries
@@ -190,10 +206,7 @@ func (h *Handle[T]) Pop() (v T, ok bool) {
 // comparison uses final timestamps.
 func (h *Handle[T]) scan() (best *item[T], empty bool) {
 	s := h.s
-	n := int(s.registered.Load())
-	if n > len(s.pools) {
-		n = len(s.pools)
-	}
+	n := s.ids.HighWater()
 	var bestStart int64
 	bestPool := -1
 	empty = true
@@ -241,8 +254,8 @@ func (h *Handle[T]) Peek() (v T, ok bool) {
 // and quiescent states.
 func (s *Stack[T]) Len() int {
 	total := 0
-	n := int(s.registered.Load())
-	for i := 0; i < n && i < len(s.pools); i++ {
+	n := s.ids.HighWater()
+	for i := 0; i < n; i++ {
 		for it := s.pools[i].top.Load(); it != nil; it = it.next {
 			if !it.taken.Load() {
 				total++

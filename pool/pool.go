@@ -10,58 +10,86 @@
 package pool
 
 import (
+	"secstack/internal/config"
 	"secstack/internal/core"
+	"secstack/internal/tid"
 )
 
 // Pool is a sharded concurrent object pool. Use Register to obtain
 // per-goroutine handles.
 type Pool[T any] struct {
 	shards []*core.Stack[T]
+	tids   *tid.Allocator
 }
 
-// Options configures a Pool.
-type Options struct {
-	// Shards is the number of SEC stacks elements spread across
-	// (default 4).
-	Shards int
-	// MaxThreads bounds Register calls (default 256).
-	MaxThreads int
-}
+// Option configures New; it is the shared option type of the whole
+// repository, so the stack package's WithMaxThreads works here
+// unchanged.
+type Option = config.Option
+
+// WithShards sets the number of SEC stacks elements spread across
+// (default 4).
+func WithShards(n int) Option { return config.WithShards(n) }
+
+// WithMaxThreads bounds concurrently live handles (default 256). Close
+// recycles handle slots, so this is a concurrency bound, not a lifetime
+// bound.
+func WithMaxThreads(n int) Option { return config.WithMaxThreads(n) }
 
 // New returns an empty pool.
-func New[T any](o Options) *Pool[T] {
-	if o.Shards <= 0 {
-		o.Shards = 4
+func New[T any](opts ...Option) *Pool[T] {
+	c := config.Resolve(opts)
+	p := &Pool[T]{
+		shards: make([]*core.Stack[T], c.Shards),
+		tids:   tid.New(c.MaxThreads),
 	}
-	if o.MaxThreads <= 0 {
-		o.MaxThreads = 256
-	}
-	p := &Pool[T]{shards: make([]*core.Stack[T], o.Shards)}
 	for i := range p.shards {
 		// One aggregator per shard: the pool's sharding already spreads
 		// contention, and each shard sees only nearby threads.
-		p.shards[i] = core.New[T](core.Options{Aggregators: 1, MaxThreads: o.MaxThreads})
+		p.shards[i] = core.New[T](core.Options{Aggregators: 1, MaxThreads: c.MaxThreads})
 	}
 	return p
 }
 
 // Handle is a per-goroutine session. Handles must not be shared between
-// goroutines.
+// goroutines, and should be Closed when their goroutine is done so the
+// handle slots - here and in every shard - recycle.
 type Handle[T any] struct {
 	p       *Pool[T]
+	id      int
 	home    int
 	handles []*core.Handle[T]
 }
 
-// Register returns a new handle.
+// Register returns a new handle. Slots released by Close are recycled,
+// so registration panics only when MaxThreads handles are live at the
+// same time.
 func (p *Pool[T]) Register() *Handle[T] {
-	h := &Handle[T]{p: p, handles: make([]*core.Handle[T], len(p.shards))}
+	id, err := p.tids.Acquire()
+	if err != nil {
+		panic("pool: more than MaxThreads handles live")
+	}
+	h := &Handle[T]{p: p, id: id, handles: make([]*core.Handle[T], len(p.shards))}
 	for i, s := range p.shards {
 		h.handles[i] = s.Register()
 	}
-	// Home shard rotates with registration order to spread threads.
-	h.home = int(p.shards[0].RegisteredThreads()-1) % len(p.shards)
+	// Home shard rotates with the thread id to spread threads.
+	h.home = id % len(p.shards)
 	return h
+}
+
+// Close releases the handle and its per-shard sessions for reuse by a
+// future Register. Close is idempotent; any other use of a closed
+// handle is a bug.
+func (h *Handle[T]) Close() {
+	if h.id < 0 {
+		return
+	}
+	for _, sh := range h.handles {
+		sh.Close()
+	}
+	h.p.tids.Release(h.id)
+	h.id = -1
 }
 
 // Put adds v to the pool.

@@ -6,7 +6,7 @@ import (
 )
 
 func TestPutGetSingle(t *testing.T) {
-	p := New[int](Options{})
+	p := New[int]()
 	h := p.Register()
 	h.Put(42)
 	if v, ok := h.Get(); !ok || v != 42 {
@@ -18,7 +18,7 @@ func TestPutGetSingle(t *testing.T) {
 }
 
 func TestGetStealsAcrossShards(t *testing.T) {
-	p := New[int](Options{Shards: 4})
+	p := New[int](WithShards(4))
 	producers := make([]*Handle[int], 8)
 	for i := range producers {
 		producers[i] = p.Register()
@@ -44,14 +44,14 @@ func TestGetStealsAcrossShards(t *testing.T) {
 }
 
 func TestDefaultsApplied(t *testing.T) {
-	p := New[int](Options{})
+	p := New[int]()
 	if len(p.shards) != 4 {
 		t.Fatalf("default shards = %d, want 4", len(p.shards))
 	}
 }
 
 func TestConcurrentConservation(t *testing.T) {
-	p := New[int64](Options{Shards: 3})
+	p := New[int64](WithShards(3))
 	const g, per = 8, 3000
 	var wg sync.WaitGroup
 	var mu sync.Mutex
@@ -96,7 +96,7 @@ func TestConcurrentConservation(t *testing.T) {
 }
 
 func TestSizeQuiescent(t *testing.T) {
-	p := New[int](Options{Shards: 2})
+	p := New[int](WithShards(2))
 	h := p.Register()
 	for i := 0; i < 10; i++ {
 		h.Put(i)

@@ -6,11 +6,38 @@ import (
 	"secstack/stack"
 )
 
-// The basic lifecycle: construct once, register a handle per goroutine,
-// operate through the handle.
+// The handle-free quickstart: the stack's own Push/Pop/Peek methods
+// borrow a cached per-goroutine handle behind the scenes.
+func ExampleNew() {
+	s, err := stack.New[string](stack.SEC)
+	if err != nil {
+		panic(err)
+	}
+	s.Push("first")
+	s.Push("second")
+	if v, ok := s.Peek(); ok {
+		fmt.Println("peek:", v)
+	}
+	for {
+		v, ok := s.Pop()
+		if !ok {
+			break
+		}
+		fmt.Println("pop:", v)
+	}
+	// Output:
+	// peek: second
+	// pop: second
+	// pop: first
+}
+
+// The explicit-handle lifecycle is the fast path for worker loops:
+// register a handle per goroutine, operate through it, close it when
+// done so the thread-id slot recycles.
 func ExampleNewSEC() {
-	s := stack.NewSEC[string](stack.SECOptions{})
+	s := stack.NewSEC[string]()
 	h := s.Register()
+	defer h.Close()
 	h.Push("first")
 	h.Push("second")
 	if v, ok := h.Peek(); ok {
@@ -32,8 +59,9 @@ func ExampleNewSEC() {
 // Degree metrics report how much work elimination and combining did -
 // the paper's Tables 1-3.
 func ExampleSECStack_Metrics() {
-	s := stack.NewSEC[int](stack.SECOptions{CollectMetrics: true})
+	s := stack.NewSEC[int](stack.WithMetrics())
 	h := s.Register()
+	defer h.Close()
 	for i := 0; i < 100; i++ {
 		h.Push(i)
 		h.Pop()
@@ -44,16 +72,18 @@ func ExampleSECStack_Metrics() {
 	// every op accounted: true
 }
 
-// All six algorithms of the paper's evaluation share one interface.
-func ExampleNewByName() {
+// All six algorithms of the paper's evaluation share one interface and
+// one option vocabulary.
+func ExampleNew_allAlgorithms() {
 	for _, alg := range stack.Algorithms() {
-		s, ok := stack.NewByName[int](alg, 2)
-		if !ok {
+		s, err := stack.New[int](alg, stack.WithAggregators(2), stack.WithMaxThreads(64))
+		if err != nil {
 			continue
 		}
 		h := s.Register()
 		h.Push(1)
 		v, _ := h.Pop()
+		h.Close()
 		fmt.Printf("%s popped %d\n", alg, v)
 	}
 	// Output:

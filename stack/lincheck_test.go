@@ -58,7 +58,7 @@ func TestLinearizabilityAllAlgorithms(t *testing.T) {
 		t.Run(string(alg), func(t *testing.T) {
 			t.Parallel()
 			for r := 0; r < rounds; r++ {
-				s, _ := stack.NewByName[int64](alg, 2)
+				s, _ := stack.New[int64](alg)
 				h := runHistory(s, threads, opsPer, uint64(r)*104729+1)
 				if !lincheck.CheckStack(h) {
 					for _, op := range h {
@@ -71,25 +71,91 @@ func TestLinearizabilityAllAlgorithms(t *testing.T) {
 	}
 }
 
+// TestLinearizabilityRecycledHandleSlots checks linearizability while
+// handle slots churn: MaxThreads equals the goroutine count, and every
+// goroutine closes and re-registers its handle between operations, so
+// each operation may run on a thread id (and aggregator slot) that
+// another goroutine's closed handle just vacated. Histories must stay
+// linearizable across the recycling boundary.
+func TestLinearizabilityRecycledHandleSlots(t *testing.T) {
+	const (
+		threads = 4
+		opsPer  = 4
+		rounds  = 25
+	)
+	for _, alg := range stack.Algorithms() {
+		alg := alg
+		t.Run(string(alg), func(t *testing.T) {
+			t.Parallel()
+			for r := 0; r < rounds; r++ {
+				s, err := stack.New[int64](alg, stack.WithMaxThreads(threads))
+				if err != nil {
+					t.Fatal(err)
+				}
+				rec := lincheck.NewRecorder(threads)
+				var wg sync.WaitGroup
+				for tt := 0; tt < threads; tt++ {
+					wg.Add(1)
+					go func(tt int) {
+						defer wg.Done()
+						h := s.Register()
+						rng := xrand.New(uint64(r)*65537 + uint64(tt)*7919)
+						base := int64(tt+1) << 32
+						for i := 0; i < opsPer; i++ {
+							switch rng.Intn(4) {
+							case 0, 1:
+								v := base + int64(i)
+								inv := rec.Begin()
+								h.Push(v)
+								rec.RecordPush(tt, v, inv)
+							case 2:
+								inv := rec.Begin()
+								v, ok := h.Pop()
+								rec.RecordPop(tt, v, ok, inv)
+							default:
+								inv := rec.Begin()
+								v, ok := h.Peek()
+								rec.RecordPeek(tt, v, ok, inv)
+							}
+							// Churn the slot: the next operation runs on
+							// whatever id the free list hands back.
+							h.Close()
+							h = s.Register()
+						}
+						h.Close()
+					}(tt)
+				}
+				wg.Wait()
+				if h := rec.History(); !lincheck.CheckStack(h) {
+					for _, op := range h {
+						t.Logf("%s", op)
+					}
+					t.Fatalf("round %d: recycled-slot history not linearizable", r)
+				}
+			}
+		})
+	}
+}
+
 // TestLinearizabilitySECVariants stresses the SEC-specific knobs with
 // the exhaustive checker.
 func TestLinearizabilitySECVariants(t *testing.T) {
-	variants := map[string]stack.SECOptions{
-		"Agg1":        {Aggregators: 1},
-		"Agg5":        {Aggregators: 5},
-		"NoElim":      {NoElimination: true},
-		"Recycle":     {Recycle: true},
-		"NoSpin":      {FreezerSpin: -1},
-		"BigSpin":     {FreezerSpin: 2048},
-		"Everything":  {Aggregators: 3, Recycle: true, CollectMetrics: true, FreezerSpin: 512},
-		"NoElimRecyc": {NoElimination: true, Recycle: true},
+	variants := map[string][]stack.Option{
+		"Agg1":        {stack.WithAggregators(1)},
+		"Agg5":        {stack.WithAggregators(5)},
+		"NoElim":      {stack.WithoutElimination()},
+		"Recycle":     {stack.WithRecycling()},
+		"NoSpin":      {stack.WithFreezerSpin(0)},
+		"BigSpin":     {stack.WithFreezerSpin(2048)},
+		"Everything":  {stack.WithAggregators(3), stack.WithRecycling(), stack.WithMetrics(), stack.WithFreezerSpin(512)},
+		"NoElimRecyc": {stack.WithoutElimination(), stack.WithRecycling()},
 	}
 	for name, opt := range variants {
 		name, opt := name, opt
 		t.Run(name, func(t *testing.T) {
 			t.Parallel()
 			for r := 0; r < 20; r++ {
-				s := stack.NewSEC[int64](opt)
+				s := stack.NewSEC[int64](opt...)
 				h := runHistory(s, 4, 4, uint64(r)*31337+5)
 				if !lincheck.CheckStack(h) {
 					for _, op := range h {

@@ -1,0 +1,61 @@
+package stack
+
+import "secstack/internal/config"
+
+// Option configures a stack constructor. Options are shared across the
+// whole repository - the deque, pool and funnel packages alias the same
+// underlying type - so one vocabulary configures every structure, and
+// options an algorithm does not understand are simply ignored (the
+// registry forwards the full set to all six algorithms).
+type Option = config.Option
+
+// WithAggregators sets K, the number of shards threads are partitioned
+// into (SEC; also the funnel's aggregator count). The paper's
+// evaluation defaults to 2.
+func WithAggregators(k int) Option { return config.WithAggregators(k) }
+
+// WithMaxThreads bounds the number of concurrently live handles
+// (default 256). With Close-based slot recycling this is a concurrency
+// bound, not a lifetime bound: any number of handles may be registered
+// over time as long as at most n are open at once.
+func WithMaxThreads(n int) Option { return config.WithMaxThreads(n) }
+
+// WithFreezerSpin sets the freezer's batch-growing pre-freeze backoff
+// in spin iterations (SEC, deque, funnel; §3.1 of the paper). Default
+// 128; 0 disables it, keeping batches small.
+func WithFreezerSpin(s int) Option { return config.WithFreezerSpin(s) }
+
+// WithoutElimination disables SEC's in-batch elimination, leaving
+// freezing and combining intact - the paper's ablation isolating how
+// much of the win comes from elimination versus combining.
+func WithoutElimination() Option { return config.WithoutElimination() }
+
+// WithRecycling routes SEC stack nodes through DEBRA-style epoch-based
+// reclamation instead of fresh allocation, the Go analogue of the
+// paper's DEBRA deployment (§4).
+func WithRecycling() Option { return config.WithRecycling() }
+
+// WithMetrics enables the batching/elimination/combining degree
+// counters behind the paper's Tables 1-3, retrievable via
+// SECStack.Metrics.
+func WithMetrics() Option { return config.WithMetrics() }
+
+// WithBackoff sets the Treiber stack's randomized exponential backoff
+// window in spin iterations (default [4, 1024]).
+func WithBackoff(min, max int) Option { return config.WithBackoff(min, max) }
+
+// WithElimArray sets the EB stack's elimination array size (default 16)
+// and per-visit patience in wait steps (default 64).
+func WithElimArray(size, patience int) Option { return config.WithElimArray(size, patience) }
+
+// WithCombinerRounds sets the FC combiner's publication-list scan
+// rounds per lock acquisition (default 2).
+func WithCombinerRounds(r int) Option { return config.WithCombinerRounds(r) }
+
+// WithServeLimit sets CC-Synch's H, the maximum requests one combiner
+// serves before passing the role on (default 64).
+func WithServeLimit(h int) Option { return config.WithServeLimit(h) }
+
+// WithTimestampDelay sets the TS-interval stack's interval-widening
+// delay between a push's two clock reads (default 32; 0 disables).
+func WithTimestampDelay(d int) Option { return config.WithTimestampDelay(d) }

@@ -2,24 +2,46 @@
 // the SEC stack of Singh, Metaxakis and Fatourou (PPoPP '26) and the
 // five baseline concurrent stacks its evaluation compares against.
 //
-// Every implementation follows the same registration model: construct a
-// stack once, then have each worker goroutine call Register for its own
-// Handle and perform all operations through it. Handles carry
-// per-thread state (thread ids, backoff state, publication records,
-// pools) and must not be shared between goroutines; stacks themselves
-// may be shared freely.
+// The quickstart needs no handle management at all - every stack type
+// carries convenience Push/Pop/Peek methods that borrow a cached
+// per-goroutine handle behind the scenes:
 //
-//	s := stack.NewSEC[int](stack.SECOptions{})
+//	s, err := stack.New[int](stack.SEC)
+//	...
+//	s.Push(42)
+//	if v, ok := s.Pop(); ok { use(v) }
+//
+// The explicit-handle path remains the fast path for worker loops:
+// construct a stack once, have each worker goroutine Register its own
+// Handle, operate through it, and Close it when the goroutine is done.
+// Handles carry per-thread state (thread ids, backoff state,
+// publication records, pools) and must not be shared between
+// goroutines; stacks themselves may be shared freely. Closing a handle
+// returns its thread-id slot to a lock-free free list for reuse, so
+// goroutine churn never exhausts WithMaxThreads:
+//
+//	s := stack.NewSEC[int]()
 //	...
 //	go func() {
 //		h := s.Register()
+//		defer h.Close()
 //		h.Push(42)
 //		if v, ok := h.Pop(); ok { use(v) }
 //	}()
+//
+// Configuration is uniform functional options (see Option); the same
+// option set configures all six algorithms through New, each algorithm
+// reading the knobs it understands.
 package stack
 
 import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
 	"secstack/internal/ccstack"
+	"secstack/internal/config"
 	"secstack/internal/core"
 	"secstack/internal/ebstack"
 	"secstack/internal/fcstack"
@@ -29,7 +51,9 @@ import (
 )
 
 // Handle is a per-goroutine session on a concurrent stack. A Handle
-// must be used by the goroutine that obtained it and by no other.
+// must be used by the goroutine that obtained it and by no other, and
+// Closed when its goroutine is done with the stack so the handle's
+// thread-id slot can be recycled.
 type Handle[T any] interface {
 	// Push adds v to the top of the stack.
 	Push(v T)
@@ -39,17 +63,30 @@ type Handle[T any] interface {
 	// Peek returns the top element without removing it; ok is false if
 	// the stack is empty.
 	Peek() (v T, ok bool)
+	// Close releases the handle's per-thread resources (thread id,
+	// reclamation slot, publication record) for reuse by a future
+	// Register. Close is idempotent; any other use of a closed handle
+	// is a bug.
+	Close()
 }
 
-// Stack is a linearizable concurrent LIFO stack accessed through
-// per-goroutine handles.
+// Stack is a linearizable concurrent LIFO stack. Register hands out
+// per-goroutine handles (the fast path); the direct Push/Pop/Peek
+// methods transparently borrow a pooled handle per call, trading a
+// little overhead for zero session management.
 type Stack[T any] interface {
 	// Register returns a fresh Handle for the calling goroutine.
 	Register() Handle[T]
+	// Push adds v to the top of the stack through a cached handle.
+	Push(v T)
+	// Pop removes and returns the top element through a cached handle.
+	Pop() (v T, ok bool)
+	// Peek returns the top element through a cached handle.
+	Peek() (v T, ok bool)
 }
 
-// Algorithm names the implementations available through NewByName,
-// matching the labels of the paper's evaluation.
+// Algorithm names the implementations available through New, matching
+// the labels of the paper's evaluation.
 type Algorithm string
 
 // The six algorithms of the paper's evaluation.
@@ -62,126 +99,251 @@ const (
 	TSI Algorithm = "TSI" // interval timestamped stack
 )
 
+// registry describes every algorithm New can construct, in the paper's
+// presentation order. Construction itself happens in New's switch -
+// Go's generics keep type-parameterized constructors out of table
+// values - so a new entry here must be matched by a case there;
+// TestConformanceAllAlgorithms constructs every listed algorithm and
+// fails the build of any entry the switch does not cover.
+var registry = []struct {
+	Alg  Algorithm
+	Desc string
+}{
+	{SEC, "sharded elimination and combining (PPoPP '26, the paper's contribution)"},
+	{TRB, "Treiber's lock-free CAS stack (1986)"},
+	{EB, "elimination-backoff stack (SPAA '04)"},
+	{FC, "flat-combining stack (SPAA '10)"},
+	{CC, "CC-Synch combining stack (PPoPP '12)"},
+	{TSI, "interval timestamped stack (POPL '15)"},
+}
+
 // Algorithms lists every available algorithm in the paper's
 // presentation order.
 func Algorithms() []Algorithm {
-	return []Algorithm{SEC, TRB, EB, FC, CC, TSI}
+	out := make([]Algorithm, len(registry))
+	for i, e := range registry {
+		out[i] = e.Alg
+	}
+	return out
 }
 
-// SECOptions configures NewSEC. The zero value matches the paper's
-// defaults (two aggregators; elimination on; no recycling).
-type SECOptions struct {
-	// Aggregators is K, the number of shards (paper default 2).
-	Aggregators int
-	// MaxThreads bounds Register calls (default 256).
-	MaxThreads int
-	// FreezerSpin is the batch-growing backoff of the freezer in spin
-	// iterations (default 128; 0 keeps batches small).
-	FreezerSpin int
-	// NoElimination disables in-batch elimination (ablation).
-	NoElimination bool
-	// Recycle routes nodes through epoch-based reclamation.
-	Recycle bool
-	// CollectMetrics enables batching/elimination/combining degree
-	// counters, retrievable via SECStack.Metrics.
-	CollectMetrics bool
+// Describe returns a one-line description of the algorithm, or "" for
+// unknown names.
+func Describe(a Algorithm) string {
+	for _, e := range registry {
+		if e.Alg == a {
+			return e.Desc
+		}
+	}
+	return ""
+}
+
+// New constructs the named algorithm, forwarding the full option set;
+// each algorithm applies the knobs it understands (every one honours
+// WithMaxThreads-style lifecycle options where it keeps per-thread
+// state). Unknown algorithms are reported as an error rather than a
+// silent false.
+func New[T any](alg Algorithm, opts ...Option) (Stack[T], error) {
+	switch alg {
+	case SEC:
+		return NewSEC[T](opts...), nil
+	case TRB:
+		return NewTreiber[T](opts...), nil
+	case EB:
+		return NewEB[T](opts...), nil
+	case FC:
+		return NewFC[T](opts...), nil
+	case CC:
+		return NewCC[T](opts...), nil
+	case TSI:
+		return NewTSI[T](opts...), nil
+	}
+	return nil, fmt.Errorf("stack: unknown algorithm %q (known: %v)", alg, Algorithms())
+}
+
+// NewByName constructs the named algorithm with the given SEC
+// aggregator count.
+//
+// Deprecated: NewByName predates the registry and drops every knob
+// except the aggregator count. Use New, which forwards full option sets
+// to all algorithms and reports unknown names as errors.
+func NewByName[T any](a Algorithm, aggregators int) (Stack[T], bool) {
+	var opts []Option
+	if aggregators > 0 {
+		opts = append(opts, WithAggregators(aggregators))
+	} // else: keep the old zero-value semantics (paper default of 2)
+	s, err := New[T](a, opts...)
+	return s, err == nil
+}
+
+// sessions implements the implicit-handle convenience layer every
+// public stack type embeds: a sync.Pool of ready-to-use handles that
+// the direct Push/Pop/Peek methods borrow per call. Handles the pool
+// drops under GC pressure are closed by a runtime cleanup, so their
+// thread-id slots always flow back to the free list and the implicit
+// path can never leak MaxThreads capacity.
+type sessions[T any] struct {
+	register func() Handle[T]
+	pool     *sync.Pool
+}
+
+// pooled wraps a cached handle so a cleanup can be attached to the
+// wrapper's lifetime (the handle itself stays reachable from the
+// cleanup's argument).
+type pooled[T any] struct{ h Handle[T] }
+
+func makeSessions[T any](register func() Handle[T]) sessions[T] {
+	return sessions[T]{register: register, pool: &sync.Pool{}}
+}
+
+// Register returns a fresh Handle for the calling goroutine.
+func (s *sessions[T]) Register() Handle[T] { return s.register() }
+
+// borrow returns a cached handle for one implicit operation,
+// registering a fresh one on pool miss. Registration can transiently
+// fail with every MaxThreads slot held even though fewer operations are
+// in flight: sync.Pool is free to drop cached handles (it does so on
+// every GC, and aggressively under the race detector), and a dropped
+// handle's slot only returns once its cleanup has run. On exhaustion,
+// borrow forces a collection to flush those cleanups and retries; only
+// when that makes no progress - a genuine overload of MaxThreads
+// concurrent implicit operations - does it surface the algorithm's own
+// exhaustion panic.
+func (s *sessions[T]) borrow() *pooled[T] {
+	if v := s.pool.Get(); v != nil {
+		return v.(*pooled[T])
+	}
+	for attempt := 0; attempt < 64; attempt++ {
+		if c := s.tryNew(); c != nil {
+			return c
+		}
+		runtime.GC() // queue cleanups of dropped pool entries
+		runtime.Gosched()
+		if v := s.pool.Get(); v != nil {
+			return v.(*pooled[T])
+		}
+	}
+	// Last attempt, unguarded: lets the algorithm's own exhaustion
+	// panic surface. Wrapped like every other pooled handle so that a
+	// success here cannot leak its slot either.
+	return newPooled(s.register())
+}
+
+// newPooled wraps a registered handle for pooling, attaching the
+// cleanup that closes it should the pool drop it.
+func newPooled[T any](h Handle[T]) *pooled[T] {
+	c := &pooled[T]{h: h}
+	runtime.AddCleanup(c, func(h Handle[T]) { h.Close() }, h)
+	return c
+}
+
+// tryNew registers a handle, absorbing the slot-exhaustion panic into
+// a nil return for borrow's retry loop. Every exhaustion panic in the
+// repository says "handles live"; anything else is a genuine bug and
+// is re-raised.
+func (s *sessions[T]) tryNew() (c *pooled[T]) {
+	defer func() {
+		if r := recover(); r != nil {
+			if msg, ok := r.(string); !ok || !strings.Contains(msg, "handles live") {
+				panic(r)
+			}
+		}
+	}()
+	return newPooled(s.register())
+}
+
+// Push adds v to the top of the stack through a cached handle.
+func (s *sessions[T]) Push(v T) {
+	c := s.borrow()
+	c.h.Push(v)
+	s.pool.Put(c)
+}
+
+// Pop removes and returns the top element through a cached handle.
+func (s *sessions[T]) Pop() (v T, ok bool) {
+	c := s.borrow()
+	v, ok = c.h.Pop()
+	s.pool.Put(c)
+	return v, ok
+}
+
+// Peek returns the top element through a cached handle.
+func (s *sessions[T]) Peek() (v T, ok bool) {
+	c := s.borrow()
+	v, ok = c.h.Peek()
+	s.pool.Put(c)
+	return v, ok
 }
 
 // SECStack is the concrete SEC stack type; it implements Stack and
 // additionally exposes its degree metrics.
 type SECStack[T any] struct {
+	sessions[T]
 	s *core.Stack[T]
 }
 
-// NewSEC returns a SEC stack.
-func NewSEC[T any](o SECOptions) *SECStack[T] {
-	return &SECStack[T]{s: core.New[T](core.Options{
-		Aggregators:    o.Aggregators,
-		MaxThreads:     o.MaxThreads,
-		FreezerSpin:    o.FreezerSpin,
-		NoElimination:  o.NoElimination,
-		Recycle:        o.Recycle,
-		CollectMetrics: o.CollectMetrics,
+// NewSEC returns a SEC stack. With no options it uses the paper's
+// defaults: two aggregators, elimination on, freezer spin 128, no
+// recycling, up to 256 concurrently live handles.
+func NewSEC[T any](opts ...Option) *SECStack[T] {
+	c := config.Resolve(opts)
+	st := &SECStack[T]{s: core.New[T](core.Options{
+		Aggregators:    c.Aggregators,
+		MaxThreads:     c.MaxThreads,
+		FreezerSpin:    c.FreezerSpin,
+		NoElimination:  c.NoElimination,
+		Recycle:        c.Recycle,
+		CollectMetrics: c.CollectMetrics,
 	})}
+	st.sessions = makeSessions[T](func() Handle[T] { return st.s.Register() })
+	return st
 }
 
-// Register returns a per-goroutine handle.
-func (s *SECStack[T]) Register() Handle[T] { return s.s.Register() }
-
-// Metrics returns the degree snapshot collector, or nil if
-// CollectMetrics was not set.
+// Metrics returns the degree snapshot collector, or nil if WithMetrics
+// was not given.
 func (s *SECStack[T]) Metrics() *metrics.SEC { return s.s.Metrics() }
 
 // Len counts elements; racy diagnostic for quiescent states.
 func (s *SECStack[T]) Len() int { return s.s.Len() }
 
-// treiberStack adapts *treiber.Stack to Stack.
-type treiberStack[T any] struct{ s *treiber.Stack[T] }
+// wrapped adapts any registerable implementation to Stack.
+type wrapped[T any] struct{ sessions[T] }
 
-func (w treiberStack[T]) Register() Handle[T] { return w.s.Register() }
+func wrap[T any](register func() Handle[T]) Stack[T] {
+	return &wrapped[T]{makeSessions(register)}
+}
 
 // NewTreiber returns Treiber's lock-free CAS stack (TRB).
-func NewTreiber[T any]() Stack[T] {
-	return treiberStack[T]{treiber.New[T]()}
+func NewTreiber[T any](opts ...Option) Stack[T] {
+	c := config.Resolve(opts)
+	s := treiber.New[T](treiber.WithBackoff(c.BackoffMin, c.BackoffMax))
+	return wrap(func() Handle[T] { return s.Register() })
 }
-
-// ebStack adapts *ebstack.Stack to Stack.
-type ebStack[T any] struct{ s *ebstack.Stack[T] }
-
-func (w ebStack[T]) Register() Handle[T] { return w.s.Register() }
 
 // NewEB returns the elimination-backoff stack (EB).
-func NewEB[T any]() Stack[T] {
-	return ebStack[T]{ebstack.New[T]()}
+func NewEB[T any](opts ...Option) Stack[T] {
+	c := config.Resolve(opts)
+	s := ebstack.New[T](ebstack.WithArraySize(c.ElimArraySize), ebstack.WithPatience(c.ElimPatience))
+	return wrap(func() Handle[T] { return s.Register() })
 }
-
-// fcStack adapts *fcstack.Stack to Stack.
-type fcStack[T any] struct{ s *fcstack.Stack[T] }
-
-func (w fcStack[T]) Register() Handle[T] { return w.s.Register() }
 
 // NewFC returns the flat-combining stack (FC).
-func NewFC[T any]() Stack[T] {
-	return fcStack[T]{fcstack.New[T]()}
+func NewFC[T any](opts ...Option) Stack[T] {
+	c := config.Resolve(opts)
+	s := fcstack.New[T](fcstack.WithCombinerRounds(c.CombinerRounds))
+	return wrap(func() Handle[T] { return s.Register() })
 }
-
-// ccStack adapts *ccstack.Stack to Stack.
-type ccStack[T any] struct{ s *ccstack.Stack[T] }
-
-func (w ccStack[T]) Register() Handle[T] { return w.s.Register() }
 
 // NewCC returns the CC-Synch combining stack (CC).
-func NewCC[T any]() Stack[T] {
-	return ccStack[T]{ccstack.New[T]()}
+func NewCC[T any](opts ...Option) Stack[T] {
+	c := config.Resolve(opts)
+	s := ccstack.New[T](ccstack.WithServeLimit(c.ServeLimit))
+	return wrap(func() Handle[T] { return s.Register() })
 }
-
-// tsStack adapts *tsstack.Stack to Stack.
-type tsStack[T any] struct{ s *tsstack.Stack[T] }
-
-func (w tsStack[T]) Register() Handle[T] { return w.s.Register() }
 
 // NewTSI returns the interval timestamped stack (TSI).
-func NewTSI[T any]() Stack[T] {
-	return tsStack[T]{tsstack.New[T]()}
-}
-
-// NewByName constructs the named algorithm with its evaluation-default
-// configuration; SEC takes the aggregator count (ignored by the
-// others). It returns false for unknown names.
-func NewByName[T any](a Algorithm, aggregators int) (Stack[T], bool) {
-	switch a {
-	case SEC:
-		return NewSEC[T](SECOptions{Aggregators: aggregators}), true
-	case TRB:
-		return NewTreiber[T](), true
-	case EB:
-		return NewEB[T](), true
-	case FC:
-		return NewFC[T](), true
-	case CC:
-		return NewCC[T](), true
-	case TSI:
-		return NewTSI[T](), true
-	}
-	return nil, false
+func NewTSI[T any](opts ...Option) Stack[T] {
+	c := config.Resolve(opts)
+	s := tsstack.New[T](tsstack.WithMaxThreads(c.MaxThreads), tsstack.WithDelay(c.TimestampDelay))
+	return wrap(func() Handle[T] { return s.Register() })
 }

@@ -16,15 +16,15 @@ type adapter struct{ s stack.Stack[int64] }
 func (a adapter) Register() stacktest.Handle { return a.s.Register() }
 
 // TestConformanceAllAlgorithms runs the full conformance suite against
-// every algorithm reachable through the public constructor.
+// every algorithm reachable through the registry.
 func TestConformanceAllAlgorithms(t *testing.T) {
 	for _, alg := range stack.Algorithms() {
 		alg := alg
 		t.Run(string(alg), func(t *testing.T) {
 			stacktest.RunAll(t, func() stacktest.Stack {
-				s, ok := stack.NewByName[int64](alg, 2)
-				if !ok {
-					t.Fatalf("NewByName(%q) not found", alg)
+				s, err := stack.New[int64](alg, stack.WithAggregators(2))
+				if err != nil {
+					t.Fatalf("New(%q): %v", alg, err)
 				}
 				return adapter{s}
 			})
@@ -32,9 +32,72 @@ func TestConformanceAllAlgorithms(t *testing.T) {
 	}
 }
 
-func TestNewByNameUnknown(t *testing.T) {
+func TestNewUnknownAlgorithm(t *testing.T) {
+	if _, err := stack.New[int](stack.Algorithm("NOPE")); err == nil {
+		t.Fatal("New accepted an unknown algorithm")
+	}
+	// The deprecated shim keeps its (Stack, bool) contract.
 	if _, ok := stack.NewByName[int](stack.Algorithm("NOPE"), 2); ok {
 		t.Fatal("NewByName accepted an unknown algorithm")
+	}
+	if s, ok := stack.NewByName[int](stack.SEC, 3); !ok || s == nil {
+		t.Fatal("NewByName rejected SEC")
+	}
+	// The seed's zero-value semantics: aggregators<=0 means "default".
+	if s, ok := stack.NewByName[int](stack.SEC, 0); !ok || s == nil {
+		t.Fatal("NewByName rejected aggregators=0 (old default spelling)")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	for _, alg := range stack.Algorithms() {
+		if stack.Describe(alg) == "" {
+			t.Fatalf("Describe(%q) empty", alg)
+		}
+	}
+	if stack.Describe("NOPE") != "" {
+		t.Fatal("Describe of unknown algorithm non-empty")
+	}
+}
+
+// TestImplicitHandleAPI drives the handle-free Push/Pop/Peek methods
+// from many goroutines on every algorithm.
+func TestImplicitHandleAPI(t *testing.T) {
+	for _, alg := range stack.Algorithms() {
+		alg := alg
+		t.Run(string(alg), func(t *testing.T) {
+			t.Parallel()
+			s, err := stack.New[int64](alg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			for w := 0; w < 8; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					base := int64(w) << 32
+					for i := int64(0); i < 500; i++ {
+						s.Push(base | i)
+						s.Peek()
+						s.Pop()
+					}
+				}(w)
+			}
+			wg.Wait()
+			// Workers pushed and popped in pairs, so a final drain must
+			// terminate (residue only from pops that lost races).
+			n := 0
+			for {
+				if _, ok := s.Pop(); !ok {
+					break
+				}
+				n++
+			}
+			if n > 8*500 {
+				t.Fatalf("drained %d elements, more than were pushed", n)
+			}
+		})
 	}
 }
 
@@ -52,7 +115,7 @@ func TestAlgorithmsOrder(t *testing.T) {
 }
 
 func TestSECMetricsExposed(t *testing.T) {
-	s := stack.NewSEC[int](stack.SECOptions{CollectMetrics: true})
+	s := stack.NewSEC[int](stack.WithMetrics())
 	h := s.Register()
 	h.Push(1)
 	h.Pop()
@@ -62,14 +125,14 @@ func TestSECMetricsExposed(t *testing.T) {
 	if snap := s.Metrics().Snapshot(); snap.Ops == 0 {
 		t.Fatalf("no ops recorded: %+v", snap)
 	}
-	s2 := stack.NewSEC[int](stack.SECOptions{})
+	s2 := stack.NewSEC[int]()
 	if s2.Metrics() != nil {
 		t.Fatal("Metrics() non-nil without CollectMetrics")
 	}
 }
 
 func TestSECLen(t *testing.T) {
-	s := stack.NewSEC[int](stack.SECOptions{})
+	s := stack.NewSEC[int]()
 	h := s.Register()
 	for i := 0; i < 5; i++ {
 		h.Push(i)
@@ -84,7 +147,7 @@ func TestSECLen(t *testing.T) {
 func TestStructValues(t *testing.T) {
 	type point struct{ X, Y, Z float64 }
 	for _, alg := range stack.Algorithms() {
-		s, _ := stack.NewByName[point](alg, 2)
+		s, _ := stack.New[point](alg)
 		h := s.Register()
 		h.Push(point{1, 2, 3})
 		h.Push(point{4, 5, 6})
@@ -122,7 +185,7 @@ func TestCrossAlgorithmAgreement(t *testing.T) {
 	}
 	ref := ""
 	for i, alg := range stack.Algorithms() {
-		s, _ := stack.NewByName[int64](alg, 2)
+		s, _ := stack.New[int64](alg)
 		got := trace(s)
 		if i == 0 {
 			ref = got
@@ -141,7 +204,7 @@ func TestConcurrentSmokeAllAlgorithms(t *testing.T) {
 		alg := alg
 		t.Run(string(alg), func(t *testing.T) {
 			t.Parallel()
-			s, _ := stack.NewByName[int64](alg, 2)
+			s, _ := stack.New[int64](alg)
 			var wg sync.WaitGroup
 			for w := 0; w < 8; w++ {
 				wg.Add(1)
