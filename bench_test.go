@@ -158,6 +158,7 @@ func BenchmarkTable1(b *testing.B) {
 			b.ReportMetric(snap.BatchingDegree(), "batch-degree")
 			b.ReportMetric(snap.EliminationPct(), "%elim")
 			b.ReportMetric(snap.CombiningPct(), "%comb")
+			b.ReportMetric(snap.OccupancyPct(), "%occ")
 		})
 	}
 }

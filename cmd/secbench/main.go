@@ -6,14 +6,17 @@
 //	secbench -fig 2a          # Figure 2a: update mixes on the Emerald ladder
 //	secbench -fig 3           # Figure 3: push-only / pop-only, Emerald
 //	secbench -fig 4           # Figure 4: SEC aggregator sweep, Emerald
-//	secbench -table 1         # Table 1: SEC degrees, Emerald
+//	secbench -table 1         # Table 1: degree/occupancy tables, Emerald
 //	secbench -all             # everything
 //	secbench -all -paper      # paper-fidelity settings (5s x 5 runs)
 //	secbench -all -quick      # fast smoke settings (100ms x 1 run)
+//	secbench -fig 2a -json out/   # also write out/BENCH_fig2a.json
 //
 // Figures 5-8 and Table 2 are the IceLake repeats; Figures 9-12 and
 // Table 3 the Sapphire repeats. Output is text tables with the same
-// rows/series the paper plots.
+// rows/series the paper plots; -table additionally prints the batch
+// occupancy and elimination-rate counters the agg engine records for
+// the deque and funnel next to the paper's SEC stack degrees.
 package main
 
 import (
@@ -35,25 +38,22 @@ type settings struct {
 	prefill  int
 	verbose  bool
 	csvDir   string
+	jsonDir  string
 }
 
-// emit prints the series as a text table and, when -csv is set, also
-// writes it in long-form CSV for external plotting.
-func emit(s *harness.Series, st settings) {
+// emit prints the series as a text table, records it into doc (when
+// -json is set), and, when -csv is set, also writes it in long-form CSV
+// for external plotting.
+func emit(s *harness.Series, st settings, doc *harness.BenchDoc) {
 	s.WriteTo(os.Stdout)
 	fmt.Println()
+	if doc != nil {
+		doc.AddSeries(s)
+	}
 	if st.csvDir == "" {
 		return
 	}
-	name := strings.Map(func(r rune) rune {
-		switch {
-		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
-			return r
-		default:
-			return '_'
-		}
-	}, s.Title)
-	f, err := os.Create(filepath.Join(st.csvDir, name+".csv"))
+	f, err := os.Create(filepath.Join(st.csvDir, sanitize(s.Title)+".csv"))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "csv: %v\n", err)
 		return
@@ -61,6 +61,43 @@ func emit(s *harness.Series, st settings) {
 	defer f.Close()
 	if err := s.WriteCSV(f); err != nil {
 		fmt.Fprintf(os.Stderr, "csv: %v\n", err)
+	}
+}
+
+func sanitize(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
+}
+
+// newDoc returns a collector for one figure/table when -json is set,
+// else nil.
+func newDoc(st settings, fig string) *harness.BenchDoc {
+	if st.jsonDir == "" {
+		return nil
+	}
+	return harness.NewBenchDoc(fig)
+}
+
+// writeDoc emits doc as BENCH_<fig>.json into the -json directory.
+func writeDoc(st settings, doc *harness.BenchDoc) {
+	if doc == nil {
+		return
+	}
+	path := filepath.Join(st.jsonDir, "BENCH_"+sanitize(doc.Fig)+".json")
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "json: %v\n", err)
+		return
+	}
+	defer f.Close()
+	if err := doc.WriteJSON(f); err != nil {
+		fmt.Fprintf(os.Stderr, "json: %v\n", err)
 	}
 }
 
@@ -76,16 +113,23 @@ func main() {
 		prefill = flag.Int("prefill", 1000, "elements prefilled before measuring (paper: 1000)")
 		verbose = flag.Bool("v", false, "print per-point progress")
 		csvDir  = flag.String("csv", "", "directory to also write long-form CSVs into")
+		jsonDir = flag.String("json", "", "directory to write one machine-readable BENCH_<fig>.json per sweep into")
 		latency = flag.Bool("latency", false, "print a per-algorithm latency comparison (companion measurement)")
 	)
 	flag.Parse()
 
-	st := settings{duration: *dur, runs: *runs, prefill: *prefill, verbose: *verbose, csvDir: *csvDir}
+	st := settings{duration: *dur, runs: *runs, prefill: *prefill, verbose: *verbose, csvDir: *csvDir, jsonDir: *jsonDir}
 	if *paper {
 		st.duration, st.runs = 5*time.Second, 5
 	}
 	if *quick {
 		st.duration, st.runs = 100*time.Millisecond, 1
+	}
+	if st.jsonDir != "" {
+		if err := os.MkdirAll(st.jsonDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "json: %v\n", err)
+			os.Exit(2)
+		}
 	}
 
 	fmt.Printf("# secbench: GOMAXPROCS=%d, window=%v, runs=%d, prefill=%d\n",
@@ -169,38 +213,40 @@ func aggColumns() ([]string, func(string) harness.Factory) {
 }
 
 func runFig(fig string, st settings) {
+	doc := newDoc(st, "fig"+fig)
 	switch fig {
 	case "2a":
-		figUpdates("Figure 2a", harness.Emerald, st)
+		figUpdates("Figure 2a", harness.Emerald, st, doc)
 	case "2b", "5":
-		figUpdates("Figure "+fig, harness.IceLake, st)
+		figUpdates("Figure "+fig, harness.IceLake, st, doc)
 	case "9":
-		figUpdates("Figure 9", harness.Sapphire, st)
+		figUpdates("Figure 9", harness.Sapphire, st, doc)
 	case "3":
-		figOneSided("Figure 3", harness.Emerald, st)
+		figOneSided("Figure 3", harness.Emerald, st, doc)
 	case "6":
-		figOneSided("Figure 6", harness.IceLake, st)
+		figOneSided("Figure 6", harness.IceLake, st, doc)
 	case "10":
-		figOneSided("Figure 10", harness.Sapphire, st)
+		figOneSided("Figure 10", harness.Sapphire, st, doc)
 	case "4":
-		figAggSweep("Figure 4", harness.Emerald, append(harness.UpdateWorkloads(), harness.PushOnly), st)
+		figAggSweep("Figure 4", harness.Emerald, append(harness.UpdateWorkloads(), harness.PushOnly), st, doc)
 	case "7":
-		figAggSweep("Figure 7", harness.IceLake, harness.UpdateWorkloads(), st)
+		figAggSweep("Figure 7", harness.IceLake, harness.UpdateWorkloads(), st, doc)
 	case "8":
-		figAggSweep("Figure 8", harness.IceLake, []harness.Workload{harness.PushOnly, harness.PopOnly}, st)
+		figAggSweep("Figure 8", harness.IceLake, []harness.Workload{harness.PushOnly, harness.PopOnly}, st, doc)
 	case "11":
-		figAggSweep("Figure 11", harness.Sapphire, harness.UpdateWorkloads(), st)
+		figAggSweep("Figure 11", harness.Sapphire, harness.UpdateWorkloads(), st, doc)
 	case "12":
-		figAggSweep("Figure 12", harness.Sapphire, []harness.Workload{harness.PushOnly, harness.PopOnly}, st)
+		figAggSweep("Figure 12", harness.Sapphire, []harness.Workload{harness.PushOnly, harness.PopOnly}, st, doc)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown figure %q\n", fig)
 		os.Exit(2)
 	}
+	writeDoc(st, doc)
 }
 
 // figUpdates renders one Figure 2/5/9-style panel set: throughput under
 // the three update mixes across the machine's thread ladder.
-func figUpdates(title string, m harness.Machine, st settings) {
+func figUpdates(title string, m harness.Machine, st settings, doc *harness.BenchDoc) {
 	cols, factory := algColumns()
 	for _, wl := range harness.UpdateWorkloads() {
 		s := harness.Sweep(fmt.Sprintf("%s %s, %s", title, m.Name, wl.Name), harness.SweepOptions{
@@ -213,14 +259,14 @@ func figUpdates(title string, m harness.Machine, st settings) {
 			Runs:     st.runs,
 			Progress: progress(st),
 		})
-		emit(s, st)
+		emit(s, st, doc)
 	}
 }
 
 // figOneSided renders a Figure 3/6/10-style panel pair: push-only and
 // pop-only throughput. Pop-only uses a deep prefill so pops mostly hit
 // a non-empty stack.
-func figOneSided(title string, m harness.Machine, st settings) {
+func figOneSided(title string, m harness.Machine, st settings, doc *harness.BenchDoc) {
 	cols, factory := algColumns()
 	for _, wl := range []harness.Workload{harness.PushOnly, harness.PopOnly} {
 		drain := wl.Name == harness.PopOnly.Name
@@ -243,13 +289,13 @@ func figOneSided(title string, m harness.Machine, st settings) {
 			Drain:    drain,
 			Progress: progress(st),
 		})
-		emit(s, st)
+		emit(s, st, doc)
 	}
 }
 
 // figAggSweep renders a Figure 4/7/8/11/12-style panel set: SEC with
 // one to five aggregators.
-func figAggSweep(title string, m harness.Machine, workloads []harness.Workload, st settings) {
+func figAggSweep(title string, m harness.Machine, workloads []harness.Workload, st settings, doc *harness.BenchDoc) {
 	cols, factory := aggColumns()
 	for _, wl := range workloads {
 		drain := wl.Name == harness.PopOnly.Name
@@ -268,13 +314,16 @@ func figAggSweep(title string, m harness.Machine, workloads []harness.Workload, 
 			Drain:    drain,
 			Progress: progress(st),
 		})
-		emit(s, st)
+		emit(s, st, doc)
 	}
 }
 
-// runTable renders a Table 1/2/3-style degree table: the instrumented
-// SEC stack's batching degree, %elimination and %combining per update
-// mix, averaged across the machine's thread ladder as the paper does.
+// runTable renders a Table 1/2/3-style degree table set - batching
+// degree, %elimination, %combining and %occupancy per update mix,
+// averaged across the machine's thread ladder as the paper does - for
+// each of the three batch-protocol structures: the SEC stack (the
+// paper's Tables 1-3), the deque and the funnel (whose degree counters
+// the shared agg engine records identically).
 func runTable(n int, st settings) {
 	var m harness.Machine
 	switch n {
@@ -288,33 +337,45 @@ func runTable(n int, st settings) {
 		fmt.Fprintf(os.Stderr, "unknown table %d\n", n)
 		os.Exit(2)
 	}
-	rows := make([]harness.DegreeRow, 0, 3)
-	for _, wl := range harness.UpdateWorkloads() {
-		var agg harness.Result
-		for _, threads := range m.Ladder {
-			r := harness.Run(harness.Config{
-				Label:    "SEC",
-				Threads:  threads,
-				Duration: st.duration,
-				Prefill:  st.prefill,
-				Workload: wl,
-				Runs:     st.runs,
-			}, harness.FactoryFor(stack.SEC, stack.WithAggregators(2), stack.WithMetrics()))
-			agg.Degrees.Batches += r.Degrees.Batches
-			agg.Degrees.Ops += r.Degrees.Ops
-			agg.Degrees.Eliminated += r.Degrees.Eliminated
-			agg.Degrees.Combined += r.Degrees.Combined
-			if st.verbose {
-				fmt.Fprintf(os.Stderr, "  table %d %s threads=%d: degree=%.1f elim=%.0f%%\n",
-					n, wl.Name, threads, r.Degrees.BatchingDegree(), r.Degrees.EliminationPct())
-			}
-		}
-		rows = append(rows, harness.DegreeRow{
-			Workload:       wl.Name,
-			BatchingDegree: agg.Degrees.BatchingDegree(),
-			EliminationPct: agg.Degrees.EliminationPct(),
-			CombiningPct:   agg.Degrees.CombiningPct(),
-		})
+	doc := newDoc(st, fmt.Sprintf("table%d", n))
+
+	structures := []struct {
+		name string
+		run  func(cfg harness.Config) harness.Result
+	}{
+		{"stack", func(cfg harness.Config) harness.Result {
+			return harness.Run(cfg, harness.FactoryFor(stack.SEC, stack.WithAggregators(2), stack.WithMetrics()))
+		}},
+		{"deque", harness.RunDeque},
+		{"funnel", harness.RunFunnel},
 	}
-	fmt.Println(harness.DegreeTable(fmt.Sprintf("Table %d (%s): SEC degrees", n, m.Name), rows))
+	for _, sc := range structures {
+		rows := make([]harness.DegreeRow, 0, 3)
+		for _, wl := range harness.UpdateWorkloads() {
+			var agg harness.Result
+			for _, threads := range m.Ladder {
+				r := sc.run(harness.Config{
+					Label:    sc.name,
+					Threads:  threads,
+					Duration: st.duration,
+					Prefill:  st.prefill,
+					Workload: wl,
+					Runs:     st.runs,
+				})
+				agg.Degrees.Accumulate(r.Degrees)
+				if st.verbose {
+					fmt.Fprintf(os.Stderr, "  table %d %s %s threads=%d: degree=%.1f elim=%.0f%% occ=%.0f%%\n",
+						n, sc.name, wl.Name, threads, r.Degrees.BatchingDegree(),
+						r.Degrees.EliminationPct(), r.Degrees.OccupancyPct())
+				}
+			}
+			rows = append(rows, harness.DegreeRowFrom(wl.Name, agg.Degrees))
+		}
+		title := fmt.Sprintf("Table %d (%s): %s degrees", n, m.Name, sc.name)
+		fmt.Println(harness.DegreeTable(title, rows))
+		if doc != nil {
+			doc.AddTable(title, sc.name, rows)
+		}
+	}
+	writeDoc(st, doc)
 }

@@ -4,33 +4,33 @@
 // combining techniques ... can be applied in other contexts, such as
 // designing efficient concurrent deques").
 //
-// Each end of the deque runs the SEC batch protocol independently:
-// operations on one end announce themselves with fetch&increment on the
-// end's active batch, the first announcer freezes the batch after a
-// batch-growing backoff, opposite operations with equal sequence
-// numbers eliminate (a PushLeft and a PopLeft cancel exactly like a
-// push/pop pair on a stack, and symmetrically on the right), and a
-// single combiner per batch applies the survivors to the shared deque.
-// Survivors are applied under a central mutex rather than a CAS-able
-// top pointer - a deque has no single word that one CAS can move, so
-// combining (batching many operations per lock acquisition) is exactly
-// what makes the lock cheap.
+// Each end of the deque runs the SEC batch protocol independently, as
+// an aggregator of the shared internal/agg engine: operations on one
+// end announce themselves with fetch&increment on the end's active
+// batch, the first announcer freezes the batch after a batch-growing
+// backoff, opposite operations with equal sequence numbers eliminate
+// (a PushLeft and a PopLeft cancel exactly like a push/pop pair on a
+// stack, and symmetrically on the right), and a single combiner per
+// batch applies the survivors to the shared deque. The appliers run
+// under a central mutex rather than a CAS-able top pointer - a deque
+// has no single word that one CAS can move, so combining (batching
+// many operations per lock acquisition) is exactly what makes the lock
+// cheap.
 package deque
 
 import (
 	"fmt"
 	"sync"
-	"sync/atomic"
 
-	"secstack/internal/backoff"
+	"secstack/internal/agg"
 	"secstack/internal/config"
-	"secstack/internal/tid"
+	"secstack/internal/metrics"
 )
 
 // Side selects a deque end.
 type Side int
 
-// The two ends.
+// The two ends; each is one aggregator of the engine.
 const (
 	Left Side = iota
 	Right
@@ -42,27 +42,13 @@ type popResult[T any] struct {
 	ok bool
 }
 
-// ebatch is one end's batch: the SEC batch structure with values in
-// place of stack nodes and a result table in place of the substack.
-type ebatch[T any] struct {
-	pushCount atomic.Int64
-	popCount  atomic.Int64
-	pushAtF   atomic.Int64
-	popAtF    atomic.Int64
-	decided   atomic.Bool
-	applied   atomic.Bool
-
-	// elim[i] is the value announced by push sequence number i.
-	elim []atomic.Pointer[T]
-	// results[i] is the response of surviving pop offset i.
-	results []popResult[T]
-}
-
-// end is one deque end's aggregator.
-type end[T any] struct {
-	batch atomic.Pointer[ebatch[T]]
-	_     [56]byte
-}
+// dqBatch and dqEngine name this package's engine instantiation: the
+// announced record is the pushed value itself, and the per-batch
+// payload is the pop combiner's result table.
+type (
+	dqBatch[T any]  = agg.Batch[T, []popResult[T]]
+	dqEngine[T any] = agg.Engine[T, []popResult[T]]
+)
 
 // Deque is a blocking linearizable double-ended queue. Use Register to
 // obtain per-goroutine handles.
@@ -70,11 +56,7 @@ type Deque[T any] struct {
 	mu    sync.Mutex
 	items ring[T]
 
-	ends        [2]end[T]
-	perEnd      int
-	freezerSpin int
-	tids        *tid.Allocator
-	maxThreads  int
+	eng *dqEngine[T]
 }
 
 // Option configures New; it is the shared option type of the whole
@@ -91,34 +73,39 @@ func WithMaxThreads(n int) Option { return config.WithMaxThreads(n) }
 // (default 128; 0 disables).
 func WithFreezerSpin(s int) Option { return config.WithFreezerSpin(s) }
 
+// WithMetrics enables the per-end batch occupancy and elimination-rate
+// counters, retrievable via Metrics.
+func WithMetrics() Option { return config.WithMetrics() }
+
 // New returns an empty deque.
 func New[T any](opts ...Option) *Deque[T] {
 	c := config.Resolve(opts)
-	d := &Deque[T]{
-		perEnd:      c.MaxThreads,
-		freezerSpin: c.FreezerSpin,
-		tids:        tid.New(c.MaxThreads),
-		maxThreads:  c.MaxThreads,
+	d := &Deque[T]{}
+	var m *metrics.SEC
+	if c.CollectMetrics {
+		m = metrics.NewSEC(2)
 	}
-	for i := range d.ends {
-		d.ends[i].batch.Store(d.newBatch())
-	}
+	d.eng = agg.New(agg.Spec[T, []popResult[T]]{
+		// One aggregator per end. Ends are chosen per operation, not per
+		// session, so the engine is unpartitioned: any handle may
+		// announce on either aggregator, and batches are sized for every
+		// live handle.
+		Aggregators: 2,
+		MaxThreads:  c.MaxThreads,
+		FreezerSpin: c.FreezerSpin,
+		Partitioned: false,
+		Eliminate:   agg.PairElim,
+		MakeData:    func(n int) []popResult[T] { return make([]popResult[T], n) },
+		ApplyPush:   d.applyPush,
+		ApplyPop:    d.applyPop,
+		Metrics:     m,
+	})
 	return d
 }
 
-func (d *Deque[T]) newBatch() *ebatch[T] {
-	p := d.tids.InUse()
-	if p < 4 {
-		p = 4
-	}
-	if p > d.perEnd {
-		p = d.perEnd
-	}
-	return &ebatch[T]{
-		elim:    make([]atomic.Pointer[T], p),
-		results: make([]popResult[T], p),
-	}
-}
+// Metrics returns the per-end degree collector, or nil if WithMetrics
+// was not given. Shard 0 tallies the left end, shard 1 the right.
+func (d *Deque[T]) Metrics() *metrics.SEC { return d.eng.Metrics() }
 
 // Handle is a per-goroutine session. Handles must not be shared between
 // goroutines, and should be Closed when their goroutine is done so the
@@ -132,9 +119,9 @@ type Handle[T any] struct {
 // so registration panics only when MaxThreads handles are live at the
 // same time.
 func (d *Deque[T]) Register() *Handle[T] {
-	id, err := d.tids.Acquire()
+	id, err := d.eng.Register()
 	if err != nil {
-		panic(fmt.Sprintf("deque: more than MaxThreads=%d handles live", d.maxThreads))
+		panic(fmt.Sprintf("deque: more than MaxThreads=%d handles live", d.eng.MaxThreads()))
 	}
 	return &Handle[T]{d: d, id: id}
 }
@@ -145,7 +132,7 @@ func (h *Handle[T]) Close() {
 	if h.id < 0 {
 		return
 	}
-	h.d.tids.Release(h.id)
+	h.d.eng.Release(h.id)
 	h.id = -1
 }
 
@@ -162,128 +149,51 @@ func (h *Handle[T]) PopLeft() (T, bool) { return h.pop(Left) }
 // PopRight removes and returns the rightmost element.
 func (h *Handle[T]) PopRight() (T, bool) { return h.pop(Right) }
 
-// freeze snapshots both counters (clamped to the announcement arrays)
-// and installs a fresh batch on the end.
-func (h *Handle[T]) freeze(e *end[T], b *ebatch[T]) {
-	if h.d.freezerSpin > 0 {
-		backoff.Spin(h.d.freezerSpin)
-	}
-	limit := int64(len(b.elim))
-	b.popAtF.Store(min(b.popCount.Load(), limit))
-	b.pushAtF.Store(min(b.pushCount.Load(), limit))
-	e.batch.Store(h.d.newBatch())
+func (h *Handle[T]) push(side Side, v T) {
+	h.d.eng.Push(int(side), &v)
+	// Eliminated pushes return right away: the paired pop reads the
+	// value from the batch's announcement slots. Survivors return once
+	// the end's combiner applied them under the lock.
 }
 
-func (h *Handle[T]) push(side Side, v T) {
-	d := h.d
-	e := &d.ends[side]
-	val := &v
-	for {
-		b := e.batch.Load()
-		seq := b.pushCount.Add(1) - 1
-		if int(seq) < len(b.elim) {
-			b.elim[seq].Store(val)
-		}
-
-		if seq == 0 && !b.decided.Swap(true) {
-			h.freeze(e, b)
+// applyPush is the push-side combiner body: apply the surviving pushes
+// of one end's frozen batch to the sequential deque under the lock.
+func (d *Deque[T]) applyPush(end int, b *dqBatch[T], seq, pushAtF int64) {
+	d.mu.Lock()
+	for i := seq; i < pushAtF; i++ {
+		p := b.WaitSlot(i)
+		if Side(end) == Left {
+			d.items.pushFront(*p)
 		} else {
-			var w backoff.Waiter
-			for e.batch.Load() == b {
-				w.Wait()
-			}
+			d.items.pushBack(*p)
 		}
-
-		pushAtF, popAtF := b.pushAtF.Load(), b.popAtF.Load()
-		if seq >= pushAtF {
-			continue
-		}
-		el := min(pushAtF, popAtF)
-		if seq >= el { // survivor
-			if seq == el { // combiner: apply surviving pushes under the lock
-				d.mu.Lock()
-				var w backoff.Waiter
-				for i := seq; i < pushAtF; i++ {
-					var p *T
-					for {
-						if p = b.elim[i].Load(); p != nil {
-							break
-						}
-						w.Wait()
-					}
-					if side == Left {
-						d.items.pushFront(*p)
-					} else {
-						d.items.pushBack(*p)
-					}
-				}
-				d.mu.Unlock()
-				b.applied.Store(true)
-			} else {
-				var w backoff.Waiter
-				for !b.applied.Load() {
-					w.Wait()
-				}
-			}
-		}
-		return
 	}
+	d.mu.Unlock()
 }
 
 func (h *Handle[T]) pop(side Side) (v T, ok bool) {
-	d := h.d
-	e := &d.ends[side]
-	for {
-		b := e.batch.Load()
-		seq := b.popCount.Add(1) - 1
-
-		if seq == 0 && !b.decided.Swap(true) {
-			h.freeze(e, b)
-		} else {
-			var w backoff.Waiter
-			for e.batch.Load() == b {
-				w.Wait()
-			}
-		}
-
-		pushAtF, popAtF := b.pushAtF.Load(), b.popAtF.Load()
-		if seq >= popAtF {
-			continue
-		}
-		el := min(pushAtF, popAtF)
-		if seq < el { // eliminated against push with the same number
-			var w backoff.Waiter
-			var p *T
-			for {
-				if p = b.elim[seq].Load(); p != nil {
-					break
-				}
-				w.Wait()
-			}
-			return *p, true
-		}
-
-		if seq == el { // combiner: apply surviving pops under the lock
-			k := popAtF - el
-			d.mu.Lock()
-			for i := int64(0); i < k; i++ {
-				if side == Left {
-					b.results[i].v, b.results[i].ok = d.items.popFront()
-				} else {
-					b.results[i].v, b.results[i].ok = d.items.popBack()
-				}
-			}
-			d.mu.Unlock()
-			b.applied.Store(true)
-		} else {
-			var w backoff.Waiter
-			for !b.applied.Load() {
-				w.Wait()
-			}
-		}
-		r := b.results[seq-el]
-		return r.v, r.ok
+	t := h.d.eng.Pop(int(side))
+	if t.Elim != nil { // eliminated against the push with the same number
+		return *t.Elim, true
 	}
+	r := t.B.Data[t.Off]
+	return r.v, r.ok
+}
+
+// applyPop is the pop-side combiner body: serve the surviving pops of
+// one end's frozen batch from the sequential deque under the lock,
+// publishing their responses through the batch's result table.
+func (d *Deque[T]) applyPop(end int, b *dqBatch[T], e, popAtF int64) {
+	k := popAtF - e
+	d.mu.Lock()
+	for i := int64(0); i < k; i++ {
+		if Side(end) == Left {
+			b.Data[i].v, b.Data[i].ok = d.items.popFront()
+		} else {
+			b.Data[i].v, b.Data[i].ok = d.items.popBack()
+		}
+	}
+	d.mu.Unlock()
 }
 
 // Len counts elements; a racy diagnostic for quiescent states.

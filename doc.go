@@ -11,6 +11,17 @@
 // secstack/deque, secstack/pool and secstack/funnel apply the same
 // machinery - and the same option and handle-lifecycle contracts - to a
 // double-ended queue, an object pool and a sharded fetch&add counter.
+//
+// One implementation of the paper's aggregator/batch lifecycle -
+// announcement, the freezer race and its batch-growing backoff,
+// elimination, combiner election, session recycling, degree metrics -
+// lives in internal/agg; the stack (internal/core, which the pool
+// builds on), the deque and the funnel instantiate that engine with
+// their own eliminator (pairwise for stack and deque, identity for the
+// funnel) and appliers (a splice-substack CAS, a per-end mutex apply,
+// a hardware fetch&add plus prefix sums). See DESIGN.md §1 for the
+// instantiation table.
+//
 // The benchmark families in bench_test.go and the cmd/secbench tool
 // regenerate every figure and table of the paper's evaluation; see
 // DESIGN.md for the experiment index and EXPERIMENTS.md for measured

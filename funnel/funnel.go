@@ -4,59 +4,42 @@
 // idea. It demonstrates that SEC's aggregator/batch/freeze machinery is
 // of independent interest: the exact same protocol, minus elimination
 // and with a prefix-sum in place of a substack, yields a scalable
-// shared counter.
+// shared counter. Concretely, the package instantiates the shared
+// internal/agg engine with the identity eliminator (fetch&add has no
+// opposite operation type to cancel against) and a single-sided
+// applier: the batch's delegate - its combiner - applies the batch
+// total to the central counter with one hardware fetch&add and
+// publishes per-operation prefix sums.
 //
 // Threads are partitioned across aggregators; each aggregator batches
 // the fetch&add amounts announced by its threads. The first announcer
 // of a batch freezes it (after a batch-growing backoff) and acts as the
-// delegate: it applies the batch's total to the central counter with a
-// single hardware fetch&add and publishes per-operation prefix sums, so
-// every announcer receives the value it would have seen had the
-// operations run in sequence-number order.
+// delegate, so every announcer receives the value it would have seen
+// had the operations run in sequence-number order.
 package funnel
 
 import (
 	"fmt"
 	"sync/atomic"
 
-	"secstack/internal/backoff"
+	"secstack/internal/agg"
 	"secstack/internal/config"
-	"secstack/internal/tid"
+	"secstack/internal/metrics"
 )
 
-// fBatch is one batch of announced add amounts.
-type fBatch struct {
-	count         atomic.Int64
-	countAtFreeze atomic.Int64
-	frozen        atomic.Bool // plays isFreezerDecided's role; seq 0 wins by F&I
-	applied       atomic.Bool
-
-	// slots[i] holds the amount announced by sequence number i, encoded
-	// as amount<<1|1 so that zero amounts are distinguishable from
-	// unwritten slots.
-	slots []atomic.Int64
-
-	// results[i] is the central counter value operation i returns;
-	// written by the delegate before applied is set.
-	results []int64
-}
-
-// aggregator holds the active batch pointer, padded against false
-// sharing.
-type aggregator struct {
-	batch atomic.Pointer[fBatch]
-	_     [56]byte
-}
+// fnBatch and fnEngine name this package's engine instantiation: the
+// announced record is the add amount, and the per-batch payload is the
+// delegate's prefix-sum table.
+type (
+	fnBatch  = agg.Batch[int64, []int64]
+	fnEngine = agg.Engine[int64, []int64]
+)
 
 // Funnel is a sharded fetch&add counter. Use Register for per-goroutine
 // handles.
 type Funnel struct {
-	counter    atomic.Int64
-	aggs       []aggregator
-	maxPerAgg  int
-	spin       int
-	tids       *tid.Allocator
-	maxThreads int
+	counter atomic.Int64
+	eng     *fnEngine
 }
 
 // Option configures New; it is the shared option type of the whole
@@ -80,56 +63,67 @@ func WithDelegateSpin(s int) Option { return config.WithFreezerSpin(s) }
 // WithInitial sets the counter's starting value.
 func WithInitial(v int64) Option { return config.WithInitial(v) }
 
+// WithMetrics enables the per-aggregator batch occupancy counters,
+// retrievable via Metrics. A funnel's elimination rate is zero by
+// construction (the identity eliminator).
+func WithMetrics() Option { return config.WithMetrics() }
+
 // New returns a funnel counter.
 func New(opts ...Option) *Funnel {
 	c := config.Resolve(opts)
-	f := &Funnel{
-		aggs:       make([]aggregator, c.Aggregators),
-		maxPerAgg:  (c.MaxThreads + c.Aggregators - 1) / c.Aggregators,
-		spin:       c.FreezerSpin,
-		tids:       tid.New(c.MaxThreads),
-		maxThreads: c.MaxThreads,
-	}
+	f := &Funnel{}
 	f.counter.Store(c.Initial)
-	for i := range f.aggs {
-		f.aggs[i].batch.Store(f.newBatch())
+	var m *metrics.SEC
+	if c.CollectMetrics {
+		m = metrics.NewSEC(c.Aggregators)
 	}
+	f.eng = agg.New(agg.Spec[int64, []int64]{
+		Aggregators: c.Aggregators,
+		MaxThreads:  c.MaxThreads,
+		FreezerSpin: c.FreezerSpin,
+		Partitioned: true,
+		SingleSided: true, // announcements use the push side only
+		Eliminate:   agg.NoElim,
+		MakeData:    func(n int) []int64 { return make([]int64, n) },
+		ApplyPush:   f.applyBatch,
+		// ApplyPop is never reached: the funnel announces on the push
+		// side only.
+		Metrics: m,
+	})
 	return f
 }
 
-func (f *Funnel) newBatch() *fBatch {
-	n := f.tids.InUse()
-	p := (n + len(f.aggs) - 1) / len(f.aggs)
-	if p < 4 {
-		p = 4
-	}
-	if p > f.maxPerAgg {
-		p = f.maxPerAgg
-	}
-	return &fBatch{
-		slots:   make([]atomic.Int64, p),
-		results: make([]int64, p),
-	}
-}
+// Metrics returns the per-aggregator degree collector, or nil if
+// WithMetrics was not given.
+func (f *Funnel) Metrics() *metrics.SEC { return f.eng.Metrics() }
 
 // Handle is a per-goroutine session. Handles must not be shared between
 // goroutines, and should be Closed when their goroutine is done so the
 // handle slot recycles.
 type Handle struct {
-	f   *Funnel
-	agg *aggregator
-	id  int
+	f      *Funnel
+	id     int
+	aggIdx int
+
+	// amt is the handle's announcement record. One scratch word per
+	// handle suffices: every slot of a frozen batch is read by its
+	// delegate before the applied flag is raised, and the announcing
+	// operation returns only after that flag (or after a post-freeze
+	// retry, whose abandoned slot is never read) - so by the time this
+	// handle's next FetchAdd overwrites amt, no reader can still need
+	// the previous value.
+	amt int64
 }
 
 // Register returns a new handle. Thread ids released by Close are
 // recycled, so registration panics only when MaxThreads handles are
 // live at the same time.
 func (f *Funnel) Register() *Handle {
-	id, err := f.tids.Acquire()
+	id, err := f.eng.Register()
 	if err != nil {
-		panic(fmt.Sprintf("funnel: more than MaxThreads=%d handles live", f.maxThreads))
+		panic(fmt.Sprintf("funnel: more than MaxThreads=%d handles live", f.eng.MaxThreads()))
 	}
-	return &Handle{f: f, agg: &f.aggs[id%len(f.aggs)], id: id}
+	return &Handle{f: f, id: id, aggIdx: f.eng.AggOf(id)}
 }
 
 // Close releases the handle's thread id for reuse by a future Register.
@@ -138,7 +132,7 @@ func (h *Handle) Close() {
 	if h.id < 0 {
 		return
 	}
-	h.f.tids.Release(h.id)
+	h.f.eng.Release(h.id)
 	h.id = -1
 }
 
@@ -150,64 +144,24 @@ func (f *Funnel) Load() int64 { return f.counter.Load() }
 // the counter held immediately before this operation's place in the
 // batch order - the same contract as a hardware fetch&add.
 func (h *Handle) FetchAdd(amount int64) int64 {
-	f := h.f
-	for {
-		b := h.agg.batch.Load()
-		seq := b.count.Add(1) - 1
-		if int(seq) < len(b.slots) {
-			b.slots[seq].Store(amount<<1 | 1)
-		}
-
-		if seq == 0 && !b.frozen.Swap(true) {
-			h.freeze(b)
-		} else {
-			var w backoff.Waiter
-			for h.agg.batch.Load() == b {
-				w.Wait()
-			}
-		}
-
-		frozen := b.countAtFreeze.Load()
-		if seq >= frozen {
-			continue // announced after the freeze: retry in a later batch
-		}
-
-		if seq == 0 { // delegate: aggregate, apply, publish prefix sums
-			var w backoff.Waiter
-			total := int64(0)
-			for i := int64(0); i < frozen; i++ {
-				var enc int64
-				for {
-					if enc = b.slots[i].Load(); enc != 0 {
-						break
-					}
-					w.Wait()
-				}
-				b.results[i] = total // prefix before operation i
-				total += enc >> 1
-			}
-			base := f.counter.Add(total) - total
-			for i := int64(0); i < frozen; i++ {
-				b.results[i] += base
-			}
-			b.applied.Store(true)
-		} else {
-			var w backoff.Waiter
-			for !b.applied.Load() {
-				w.Wait()
-			}
-		}
-		return b.results[seq]
-	}
+	h.amt = amount
+	t := h.f.eng.Push(h.aggIdx, &h.amt)
+	return t.B.Data[t.Seq]
 }
 
-// freeze snapshots the announcement count (clamped to the slot array,
-// as in SEC) and installs a fresh batch.
-func (h *Handle) freeze(b *fBatch) {
-	if h.f.spin > 0 {
-		backoff.Spin(h.f.spin)
+// applyBatch is the delegate's combiner body: walk the frozen batch's
+// announced amounts in sequence order accumulating prefix sums, apply
+// the total to the central counter with a single hardware fetch&add,
+// and rebase the prefixes on the value the counter held before the
+// batch.
+func (f *Funnel) applyBatch(_ int, b *fnBatch, seq, frozen int64) {
+	total := int64(0)
+	for i := seq; i < frozen; i++ {
+		b.Data[i] = total // prefix before operation i
+		total += *b.WaitSlot(i)
 	}
-	n := min(b.count.Load(), int64(len(b.slots)))
-	b.countAtFreeze.Store(n)
-	h.agg.batch.Store(h.f.newBatch())
+	base := f.counter.Add(total) - total
+	for i := seq; i < frozen; i++ {
+		b.Data[i] += base
+	}
 }

@@ -1,0 +1,436 @@
+// Package agg is the generic sharded-batching engine underneath every
+// SEC-style structure in the repository: the aggregator/batch lifecycle
+// of Singh, Metaxakis and Fatourou (PPoPP '26), factored out of the
+// concrete stack so that the deque and the aggregating-funnel counter
+// (Roh et al., PPoPP '24 - the work the paper credits for SEC's
+// nested-sharding idea) instantiate the same protocol instead of
+// re-implementing it.
+//
+// The engine owns everything that is structure-agnostic:
+//
+//   - aggregators (padded active-batch pointers) and the thread-id
+//     free list that assigns sessions to them;
+//   - announcement by fetch&increment into per-batch push/pop counters,
+//     with the push side's value slots;
+//   - the freezer race (first announcer of either side wins a test&set),
+//     the batch-growing freezer backoff, the clamped counter snapshot,
+//     and the fresh-batch install that releases spinning announcers;
+//   - elimination bookkeeping, combiner election (the first survivor of
+//     a side), and the applied-flag handshake waiters block on;
+//   - batch sizing that tracks live sessions, and the per-batch
+//     occupancy / elimination-rate counters behind the paper's tables.
+//
+// A structure parameterises the engine with an Eliminator - how
+// opposite-type sequence numbers cancel (pairwise for stack and deque,
+// identity for the funnel, which has no opposite type) - and with
+// appliers: the push-side and pop-side combiner bodies that apply a
+// frozen batch's survivors to the shared structure (a splice-substack
+// CAS for the stack, a per-end mutex apply for the deque, one hardware
+// fetch&add plus prefix sums for the funnel).
+package agg
+
+import (
+	"errors"
+	"sync/atomic"
+
+	"secstack/internal/backoff"
+	"secstack/internal/metrics"
+	"secstack/internal/tid"
+)
+
+// Eliminator decides e, the number of eliminated pairs of a frozen
+// batch, from the two counter snapshots: operations with sequence
+// number < e are eliminated against the opposite side; the combiner of
+// each surviving side is the operation with sequence number exactly e.
+type Eliminator func(pushAtFreeze, popAtFreeze int64) int64
+
+// PairElim cancels equal sequence numbers of opposite type - SEC's
+// elimination rule, shared by the stack and (per end) the deque.
+func PairElim(pushAtFreeze, popAtFreeze int64) int64 {
+	return min(pushAtFreeze, popAtFreeze)
+}
+
+// NoElim eliminates nothing: the identity eliminator of the funnel
+// (which has no opposite operation type) and of the paper's
+// combining-only ablation.
+func NoElim(pushAtFreeze, popAtFreeze int64) int64 { return 0 }
+
+// Batch is the unit of freezing, elimination and combining (Figure 1
+// of the paper). S is the announced record type (a stack node, a deque
+// value, a funnel amount); P is the structure's per-batch payload (the
+// detached substack, a pop-result table, a prefix-sum table). The
+// counter fields are exported for the structures' appliers and
+// whitebox tests; the freeze and applied flags belong to the engine.
+type Batch[S, P any] struct {
+	PushCount atomic.Int64
+	PopCount  atomic.Int64
+
+	// Snapshots taken by the freezer; published to the other threads by
+	// the aggregator's batch-pointer swap (release) that every
+	// non-freezer waits on (acquire).
+	PushAtFreeze atomic.Int64
+	PopAtFreeze  atomic.Int64
+
+	frozen      atomic.Bool // the freezer race's test&set bit
+	pushApplied atomic.Bool // push combiner finished
+	popApplied  atomic.Bool // pop combiner finished; payload valid
+
+	// slots[i] is the record announced by the push-side operation with
+	// sequence number i.
+	slots []atomic.Pointer[S]
+
+	// Data is the structure-specific payload the pop combiner (or the
+	// funnel's delegate) publishes results through.
+	Data P
+}
+
+// Cap is the batch's per-side capacity (the announcement-slot count).
+func (b *Batch[S, P]) Cap() int { return len(b.slots) }
+
+// Slot returns the record announced with sequence number i, or nil if
+// the announcer is still between its fetch&increment and its store.
+func (b *Batch[S, P]) Slot(i int64) *S { return b.slots[i].Load() }
+
+// StoreSlot announces a record directly; used by the engine's push path
+// and by whitebox tests that assemble batches by hand.
+func (b *Batch[S, P]) StoreSlot(i int64, v *S) { b.slots[i].Store(v) }
+
+// WaitSlot returns the record announced with sequence number i,
+// waiting out the announcer's window between its fetch&increment and
+// its slot store.
+func (b *Batch[S, P]) WaitSlot(i int64) *S {
+	var w backoff.Waiter
+	for {
+		if p := b.slots[i].Load(); p != nil {
+			return p
+		}
+		w.Wait()
+	}
+}
+
+// aggregator holds the pointer to its currently active batch, padded so
+// that distinct aggregators do not share a cache line.
+type aggregator[S, P any] struct {
+	batch atomic.Pointer[Batch[S, P]]
+	_     [56]byte
+}
+
+// Spec parameterises an Engine. Aggregators and MaxThreads are clamped
+// to at least 1; MinBatch defaults to 4.
+type Spec[S, P any] struct {
+	// Aggregators is K, the number of shards. The deque instantiates
+	// one aggregator per end.
+	Aggregators int
+
+	// MaxThreads bounds concurrently live sessions; it also caps batch
+	// slot arrays.
+	MaxThreads int
+
+	// FreezerSpin is the freezer's batch-growing pre-freeze backoff in
+	// spin iterations (§3.1 of the paper); 0 disables it.
+	FreezerSpin int
+
+	// MinBatch floors the slot-array size of freshly allocated batches
+	// (default 4).
+	MinBatch int
+
+	// Partitioned selects how sessions map to aggregators. True (stack,
+	// funnel): session tid mod K fixes the aggregator, and batches are
+	// sized for ceil(live/K) threads. False (deque): any session may
+	// announce on any aggregator - ends are chosen per operation - so
+	// batches are sized for every live session and capped at MaxThreads.
+	Partitioned bool
+
+	// SingleSided marks engines whose structures announce on the push
+	// side only (the funnel); it halves the occupancy denominator the
+	// metrics record per frozen batch.
+	SingleSided bool
+
+	// Eliminate is the eliminator; nil defaults to PairElim.
+	Eliminate Eliminator
+
+	// MakeData builds the per-batch payload for a batch with n slots;
+	// nil leaves Data as P's zero value.
+	MakeData func(n int) P
+
+	// ApplyPush is the push-side combiner body: apply the surviving
+	// pushes (sequence numbers seq..pushAtFreeze-1, seq the combiner's
+	// own) of batch b on aggregator agg to the shared structure. It runs
+	// on exactly one thread per frozen batch; the engine publishes its
+	// completion to the batch's waiting survivors.
+	ApplyPush func(agg int, b *Batch[S, P], seq, pushAtFreeze int64)
+
+	// ApplyPop is the pop-side combiner body: serve the surviving pops
+	// (offsets 0..popAtFreeze-e-1) of batch b on aggregator agg,
+	// publishing their results through b.Data. Like ApplyPush it runs on
+	// exactly one thread per frozen batch.
+	ApplyPop func(agg int, b *Batch[S, P], e, popAtFreeze int64)
+
+	// Metrics, when non-nil, receives one occupancy/elimination record
+	// per frozen batch.
+	Metrics *metrics.SEC
+}
+
+// Engine runs the aggregator/batch lifecycle for one shared structure.
+type Engine[S, P any] struct {
+	aggs        []aggregator[S, P]
+	perAgg      int // slot-array cap per aggregator
+	minBatch    int
+	freezerSpin int
+	partitioned bool
+	singleSided bool
+	eliminate   Eliminator
+	makeData    func(n int) P
+	applyPush   func(agg int, b *Batch[S, P], seq, pushAtFreeze int64)
+	applyPop    func(agg int, b *Batch[S, P], e, popAtFreeze int64)
+	m           *metrics.SEC
+	tids        *tid.Allocator
+	maxThreads  int
+}
+
+// New returns an engine with one freshly installed batch per
+// aggregator.
+func New[S, P any](spec Spec[S, P]) *Engine[S, P] {
+	if spec.Aggregators < 1 {
+		spec.Aggregators = 1
+	}
+	if spec.MaxThreads < 1 {
+		spec.MaxThreads = 1
+	}
+	if spec.MinBatch < 1 {
+		spec.MinBatch = 4
+	}
+	if spec.Eliminate == nil {
+		spec.Eliminate = PairElim
+	}
+	perAgg := spec.MaxThreads
+	if spec.Partitioned {
+		perAgg = (spec.MaxThreads + spec.Aggregators - 1) / spec.Aggregators
+	}
+	e := &Engine[S, P]{
+		aggs:        make([]aggregator[S, P], spec.Aggregators),
+		perAgg:      perAgg,
+		minBatch:    spec.MinBatch,
+		freezerSpin: spec.FreezerSpin,
+		partitioned: spec.Partitioned,
+		singleSided: spec.SingleSided,
+		eliminate:   spec.Eliminate,
+		makeData:    spec.MakeData,
+		applyPush:   spec.ApplyPush,
+		applyPop:    spec.ApplyPop,
+		m:           spec.Metrics,
+		tids:        tid.New(spec.MaxThreads),
+		maxThreads:  spec.MaxThreads,
+	}
+	for i := range e.aggs {
+		e.aggs[i].batch.Store(e.NewBatch())
+	}
+	return e
+}
+
+// NewBatch allocates a batch sized for the sessions currently live, not
+// for the MaxThreads worst case: batches are allocated on every freeze,
+// so a worst-case array would dominate the allocation rate at low
+// thread counts. Announcers past the array (registered after the batch
+// was created) are pushed to the next, larger batch by the snapshot
+// clamp in Freeze.
+func (e *Engine[S, P]) NewBatch() *Batch[S, P] {
+	p := e.tids.InUse()
+	if e.partitioned {
+		p = (p + len(e.aggs) - 1) / len(e.aggs)
+	}
+	if p < e.minBatch {
+		p = e.minBatch
+	}
+	if p > e.perAgg {
+		p = e.perAgg
+	}
+	b := &Batch[S, P]{slots: make([]atomic.Pointer[S], p)}
+	if e.makeData != nil {
+		b.Data = e.makeData(p)
+	}
+	return b
+}
+
+// ErrExhausted is returned by Register when MaxThreads sessions are
+// live at the same time.
+var ErrExhausted = errors.New("agg: all MaxThreads session slots live")
+
+// Register acquires a session: a thread id drawn from the lock-free
+// free list. Ids released by Release are reused, so MaxThreads bounds
+// concurrently live sessions rather than lifetime registrations.
+func (e *Engine[S, P]) Register() (id int, err error) {
+	id, err = e.tids.Acquire()
+	if err != nil {
+		return 0, ErrExhausted
+	}
+	return id, nil
+}
+
+// Release returns a session's id to the free list for reuse.
+func (e *Engine[S, P]) Release(id int) { e.tids.Release(id) }
+
+// AggOf maps a session id to its fixed aggregator (partitioned engines
+// assign round-robin, giving the even distribution the paper
+// prescribes; unpartitioned engines have no fixed assignment and ops
+// name their aggregator directly).
+func (e *Engine[S, P]) AggOf(id int) int { return id % len(e.aggs) }
+
+// Aggregators reports K.
+func (e *Engine[S, P]) Aggregators() int { return len(e.aggs) }
+
+// InUse reports how many sessions are currently live.
+func (e *Engine[S, P]) InUse() int { return e.tids.InUse() }
+
+// MaxThreads reports the live-session bound.
+func (e *Engine[S, P]) MaxThreads() int { return e.maxThreads }
+
+// Metrics returns the engine's degree collector, or nil when metrics
+// are disabled.
+func (e *Engine[S, P]) Metrics() *metrics.SEC { return e.m }
+
+// ActiveBatch returns aggregator agg's currently installed batch
+// (diagnostics and whitebox tests; the batch may freeze at any time).
+func (e *Engine[S, P]) ActiveBatch(agg int) *Batch[S, P] {
+	return e.aggs[agg].batch.Load()
+}
+
+// Freeze is the paper's FreezeBatch: after the batch-growing backoff,
+// snapshot both counters clamped to the slot capacity, then install a
+// fresh batch on aggregator agg, which releases every spinning
+// announcer. Exactly one thread per batch - the freezer-race winner -
+// calls it.
+func (e *Engine[S, P]) Freeze(agg int, b *Batch[S, P]) {
+	if e.freezerSpin > 0 {
+		backoff.Spin(e.freezerSpin) // grow the batch (§3.1)
+	}
+	limit := int64(len(b.slots))
+	pops := min(b.PopCount.Load(), limit)
+	pushes := min(b.PushCount.Load(), limit)
+	b.PopAtFreeze.Store(pops)
+	b.PushAtFreeze.Store(pushes)
+	e.aggs[agg].batch.Store(e.NewBatch())
+	if e.m != nil {
+		capacity := 2 * len(b.slots)
+		if e.singleSided {
+			capacity = len(b.slots)
+		}
+		e.m.RecordBatchOcc(agg, int(pushes+pops), int(2*e.eliminate(pushes, pops)), capacity)
+	}
+}
+
+// freezeOrWait runs the freezer race for an announcer that drew
+// sequence number seq: the first announcer of either side freezes the
+// batch, everyone else waits for the aggregator's batch-pointer swap.
+func (e *Engine[S, P]) freezeOrWait(agg int, b *Batch[S, P], seq int64) {
+	if seq == 0 && b.frozen.CompareAndSwap(false, true) {
+		e.Freeze(agg, b)
+		return
+	}
+	var w backoff.Waiter
+	for e.aggs[agg].batch.Load() == b {
+		w.Wait()
+	}
+}
+
+// PushTicket reports how a push-side announcement was served.
+type PushTicket[S, P any] struct {
+	B   *Batch[S, P]
+	Seq int64 // the announcement's sequence number within its side
+
+	// Eliminated is true when the operation cancelled against the
+	// opposite side; its record was (or will be) consumed through the
+	// elimination array by its pop partner, and no combiner applies it.
+	Eliminated bool
+}
+
+// Push announces val on the push side of aggregator agg's active batch
+// and drives the operation through the batch lifecycle (Algorithm 1 of
+// the paper): freeze race, post-freeze retry, elimination, combiner
+// election or applied-wait. On return the operation is linearized -
+// eliminated in-batch, or applied to the shared structure by its
+// batch's push combiner.
+func (e *Engine[S, P]) Push(agg int, val *S) PushTicket[S, P] {
+	for {
+		b := e.aggs[agg].batch.Load()
+		seq := b.PushCount.Add(1) - 1
+		if int(seq) < len(b.slots) {
+			b.slots[seq].Store(val) // announce the record immediately (line 7)
+		}
+
+		e.freezeOrWait(agg, b, seq)
+
+		pushAtF := b.PushAtFreeze.Load()
+		popAtF := b.PopAtFreeze.Load()
+		if seq >= pushAtF {
+			continue // announced after the freeze: retry in a later batch
+		}
+
+		el := e.eliminate(pushAtF, popAtF)
+		if seq < el {
+			// Eliminated: the paired pop reads the record from the slot
+			// array; the push returns right away.
+			return PushTicket[S, P]{B: b, Seq: seq, Eliminated: true}
+		}
+		if seq == el { // first survivor: combiner
+			e.applyPush(agg, b, seq, pushAtF)
+			b.pushApplied.Store(true)
+		} else {
+			var w backoff.Waiter
+			for !b.pushApplied.Load() {
+				w.Wait()
+			}
+		}
+		return PushTicket[S, P]{B: b, Seq: seq}
+	}
+}
+
+// PopTicket reports how a pop-side announcement was served.
+type PopTicket[S, P any] struct {
+	B   *Batch[S, P]
+	Off int64 // offset among the batch's surviving pops (seq - e)
+	K   int64 // surviving pops in the batch (popAtFreeze - e)
+
+	// Elim, when non-nil, is the record of the push this pop eliminated
+	// against; Off and K are meaningless then.
+	Elim *S
+}
+
+// Pop announces on the pop side of aggregator agg's active batch and
+// drives the operation through the batch lifecycle (Algorithm 2 of the
+// paper). An eliminated pop returns its partner's record; a surviving
+// pop returns after its batch's pop combiner ran, with its offset into
+// the combiner-published results.
+func (e *Engine[S, P]) Pop(agg int) PopTicket[S, P] {
+	for {
+		b := e.aggs[agg].batch.Load()
+		seq := b.PopCount.Add(1) - 1
+
+		e.freezeOrWait(agg, b, seq)
+
+		pushAtF := b.PushAtFreeze.Load()
+		popAtF := b.PopAtFreeze.Load()
+		if seq >= popAtF {
+			continue // announced after the freeze: retry in a later batch
+		}
+
+		el := e.eliminate(pushAtF, popAtF)
+		if seq < el {
+			// Eliminated: take the record of the push with our sequence
+			// number straight from the slot array.
+			return PopTicket[S, P]{B: b, Elim: b.WaitSlot(seq)}
+		}
+
+		k := popAtF - el
+		if seq == el { // first survivor: combiner
+			e.applyPop(agg, b, el, popAtF)
+			b.popApplied.Store(true)
+		} else {
+			var w backoff.Waiter
+			for !b.popApplied.Load() {
+				w.Wait()
+			}
+		}
+		return PopTicket[S, P]{B: b, Off: seq - el, K: k}
+	}
+}

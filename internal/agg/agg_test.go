@@ -1,0 +1,318 @@
+package agg
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"secstack/internal/metrics"
+)
+
+func TestEliminators(t *testing.T) {
+	cases := []struct{ push, pop, want int64 }{
+		{0, 0, 0}, {5, 0, 0}, {0, 5, 0}, {3, 5, 3}, {5, 3, 3}, {4, 4, 4},
+	}
+	for _, c := range cases {
+		if got := PairElim(c.push, c.pop); got != c.want {
+			t.Fatalf("PairElim(%d, %d) = %d, want %d", c.push, c.pop, got, c.want)
+		}
+		if got := NoElim(c.push, c.pop); got != 0 {
+			t.Fatalf("NoElim(%d, %d) = %d, want 0", c.push, c.pop, got)
+		}
+	}
+}
+
+// noopSpec is an engine whose appliers do nothing; enough for lifecycle
+// and sizing mechanics.
+func noopSpec(aggs, maxThreads int, partitioned bool) Spec[int64, struct{}] {
+	return Spec[int64, struct{}]{
+		Aggregators: aggs,
+		MaxThreads:  maxThreads,
+		Partitioned: partitioned,
+		ApplyPush:   func(int, *Batch[int64, struct{}], int64, int64) {},
+		ApplyPop:    func(int, *Batch[int64, struct{}], int64, int64) {},
+	}
+}
+
+func TestBatchSizingPartitioned(t *testing.T) {
+	e := New(noopSpec(2, 64, true))
+	if got := e.NewBatch().Cap(); got != 4 {
+		t.Fatalf("empty engine batch size = %d, want minimum 4", got)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := e.Register(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 10 sessions over 2 aggregators -> 5 per aggregator.
+	if got := e.NewBatch().Cap(); got != 5 {
+		t.Fatalf("batch size with 10 sessions = %d, want 5", got)
+	}
+}
+
+func TestBatchSizingUnpartitioned(t *testing.T) {
+	// Unpartitioned (deque-style): every live session may land on one
+	// aggregator, so batches are sized for all of them.
+	e := New(noopSpec(2, 64, false))
+	for i := 0; i < 10; i++ {
+		if _, err := e.Register(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := e.NewBatch().Cap(); got != 10 {
+		t.Fatalf("unpartitioned batch size with 10 sessions = %d, want 10", got)
+	}
+}
+
+func TestBatchSizingCappedAtMaxThreads(t *testing.T) {
+	e := New(noopSpec(2, 8, true))
+	for i := 0; i < 8; i++ {
+		if _, err := e.Register(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := e.NewBatch().Cap(); got != 4 {
+		t.Fatalf("batch size = %d, want per-aggregator cap 4", got)
+	}
+}
+
+func TestFreezeClampsAndInstalls(t *testing.T) {
+	e := New(noopSpec(1, 64, true))
+	old := e.ActiveBatch(0)
+	b := e.NewBatch() // 4 slots (no sessions, minimum)
+	b.PushCount.Store(10)
+	b.PopCount.Store(2)
+	e.Freeze(0, b)
+	if got := b.PushAtFreeze.Load(); got != 4 {
+		t.Fatalf("PushAtFreeze = %d, want clamped 4", got)
+	}
+	if got := b.PopAtFreeze.Load(); got != 2 {
+		t.Fatalf("PopAtFreeze = %d, want 2", got)
+	}
+	if e.ActiveBatch(0) == old {
+		t.Fatal("Freeze did not install a fresh batch")
+	}
+}
+
+func TestSessionRecycling(t *testing.T) {
+	e := New(noopSpec(2, 2, true))
+	a, err := e.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Register(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Register(); err == nil {
+		t.Fatal("Register succeeded past MaxThreads live sessions")
+	}
+	e.Release(a)
+	if e.InUse() != 1 {
+		t.Fatalf("InUse = %d after release, want 1", e.InUse())
+	}
+	if _, err := e.Register(); err != nil {
+		t.Fatalf("Register after Release: %v", err)
+	}
+}
+
+func TestMetricsOccupancyTwoSided(t *testing.T) {
+	m := metrics.NewSEC(1)
+	spec := noopSpec(1, 64, true)
+	spec.Metrics = m
+	e := New(spec)
+	b := e.NewBatch() // 4 slots -> two-sided op capacity 8
+	b.PushCount.Store(3)
+	b.PopCount.Store(1)
+	e.Freeze(0, b)
+	snap := m.Snapshot()
+	if snap.Batches != 1 || snap.Ops != 4 {
+		t.Fatalf("snapshot = %+v, want 1 batch / 4 ops", snap)
+	}
+	if snap.Eliminated != 2 {
+		t.Fatalf("eliminated = %d, want 2 (one pair)", snap.Eliminated)
+	}
+	if snap.Capacity != 8 {
+		t.Fatalf("capacity = %d, want 8", snap.Capacity)
+	}
+	if got := snap.OccupancyPct(); got != 50 {
+		t.Fatalf("occupancy = %.1f%%, want 50%%", got)
+	}
+}
+
+func TestMetricsOccupancySingleSided(t *testing.T) {
+	m := metrics.NewSEC(1)
+	spec := noopSpec(1, 64, true)
+	spec.Metrics = m
+	spec.SingleSided = true
+	spec.Eliminate = NoElim
+	e := New(spec)
+	b := e.NewBatch() // 4 slots -> single-sided op capacity 4
+	b.PushCount.Store(3)
+	e.Freeze(0, b)
+	snap := m.Snapshot()
+	if snap.Eliminated != 0 {
+		t.Fatalf("identity eliminator recorded %d eliminated ops", snap.Eliminated)
+	}
+	if snap.Capacity != 4 {
+		t.Fatalf("capacity = %d, want 4", snap.Capacity)
+	}
+	if got := snap.OccupancyPct(); got != 75 {
+		t.Fatalf("occupancy = %.1f%%, want 75%%", got)
+	}
+}
+
+// applyLog is a payload that counts applier invocations per batch.
+type applyLog struct {
+	pushCalls atomic.Int64
+	popCalls  atomic.Int64
+}
+
+// TestCombinerUniqueness drives a push/pop mix hard and asserts the
+// engine elected exactly one combiner per side per frozen batch - the
+// at-most-once applier contract every structure's applier relies on.
+func TestCombinerUniqueness(t *testing.T) {
+	var batches sync.Map // *Batch -> struct{}
+	e := New(Spec[int64, *applyLog]{
+		Aggregators: 2,
+		MaxThreads:  64,
+		FreezerSpin: 64,
+		Partitioned: true,
+		MakeData:    func(int) *applyLog { return &applyLog{} },
+		ApplyPush: func(_ int, b *Batch[int64, *applyLog], _, _ int64) {
+			batches.Store(b, struct{}{})
+			b.Data.pushCalls.Add(1)
+		},
+		ApplyPop: func(_ int, b *Batch[int64, *applyLog], _, _ int64) {
+			batches.Store(b, struct{}{})
+			b.Data.popCalls.Add(1)
+		},
+	})
+	const g, per = 8, 3000
+	var wg sync.WaitGroup
+	for w := 0; w < g; w++ {
+		id, err := e.Register()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(w, id int) {
+			defer wg.Done()
+			val := int64(1)
+			agg := e.AggOf(id)
+			for i := 0; i < per; i++ {
+				if (w+i)%2 == 0 {
+					e.Push(agg, &val)
+				} else {
+					e.Pop(agg)
+				}
+			}
+		}(w, id)
+	}
+	wg.Wait()
+	batches.Range(func(k, _ any) bool {
+		b := k.(*Batch[int64, *applyLog])
+		if n := b.Data.pushCalls.Load(); n > 1 {
+			t.Fatalf("push applier ran %d times on one batch", n)
+		}
+		if n := b.Data.popCalls.Load(); n > 1 {
+			t.Fatalf("pop applier ran %d times on one batch", n)
+		}
+		return true
+	})
+}
+
+// TestEliminationHandshake checks the elimination fast path end to end:
+// a pop that eliminates receives exactly the record its push partner
+// announced, and eliminated operations never reach an applier.
+func TestEliminationHandshake(t *testing.T) {
+	var applied atomic.Int64
+	e := New(Spec[int64, struct{}]{
+		Aggregators: 1,
+		MaxThreads:  8,
+		// Grow batches well past backoff's spins-per-yield threshold so
+		// the freezer's spin reaches a Gosched: that guarantees the
+		// opposite side gets scheduled into the batch even on a single
+		// CPU, where shorter spins serialize the workers into singleton
+		// batches.
+		FreezerSpin: 1 << 16,
+		Partitioned: true,
+		ApplyPush: func(_ int, b *Batch[int64, struct{}], seq, pushAtF int64) {
+			applied.Add(pushAtF - seq)
+		},
+		ApplyPop: func(_ int, b *Batch[int64, struct{}], el, popAtF int64) {
+			applied.Add(popAtF - el)
+		},
+	})
+	const g = 4
+	per := 2000
+	if testing.Short() {
+		per = 200 // the large freezer spin is slow under -race -short
+	}
+	var wg sync.WaitGroup
+	var eliminated atomic.Int64
+	for w := 0; w < g; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			vals := make([]int64, per)
+			for i := 0; i < per; i++ {
+				if w%2 == 0 {
+					vals[i] = int64(w)<<32 | int64(i)
+					pt := e.Push(0, &vals[i])
+					if pt.Eliminated {
+						eliminated.Add(1)
+					}
+				} else {
+					pt := e.Pop(0)
+					if pt.Elim != nil {
+						eliminated.Add(1)
+						if *pt.Elim>>32%2 != 0 {
+							t.Error("eliminated pop received a record no push announced")
+							return
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if eliminated.Load() == 0 {
+		t.Fatal("balanced mix with large batches eliminated nothing")
+	}
+	if eliminated.Load()%2 != 0 {
+		t.Fatalf("eliminated count %d is odd (elimination is pairwise)", eliminated.Load())
+	}
+	if total := applied.Load() + eliminated.Load(); total > int64(g*per) {
+		t.Fatalf("applied %d + eliminated %d exceeds %d operations",
+			applied.Load(), eliminated.Load(), g*per)
+	}
+}
+
+// TestPushTicketSeq: the ticket's sequence number indexes the batch the
+// operation was actually served in - the contract the funnel's result
+// table depends on.
+func TestPushTicketSeq(t *testing.T) {
+	e := New(Spec[int64, []int64]{
+		Aggregators: 1,
+		MaxThreads:  4,
+		Partitioned: true,
+		Eliminate:   NoElim,
+		MakeData:    func(n int) []int64 { return make([]int64, n) },
+		ApplyPush: func(_ int, b *Batch[int64, []int64], seq, pushAtF int64) {
+			for i := seq; i < pushAtF; i++ {
+				b.Data[i] = *b.WaitSlot(i) + 100
+			}
+		},
+		ApplyPop: func(int, *Batch[int64, []int64], int64, int64) {},
+	})
+	for v := int64(0); v < 50; v++ {
+		val := v
+		pt := e.Push(0, &val)
+		if pt.Eliminated {
+			t.Fatal("NoElim engine eliminated a push")
+		}
+		if got := pt.B.Data[pt.Seq]; got != v+100 {
+			t.Fatalf("Data[%d] = %d, want %d", pt.Seq, got, v+100)
+		}
+	}
+}

@@ -17,13 +17,21 @@
 // under the top pointer, pop combiners detach a chain of nodes and
 // publish it for their batch's waiters to read return values from.
 //
-// Deviations from the paper's pseudocode, both required for a connected
-// substack (see DESIGN.md §7):
+// The aggregator/batch lifecycle itself - announcement, the freezer
+// race and its backoff, elimination bookkeeping, combiner election,
+// batch sizing, session recycling, degree metrics - lives in
+// internal/agg, shared with the deque and funnel packages. This
+// package instantiates the engine with SEC's pairwise eliminator and
+// the stack's appliers: the splice-substack CAS for surviving pushes
+// and the detach-chain CAS for surviving pops.
 //
-//   - PushToStack initializes the chain head at the combiner's own node
+// Deviations from the paper's pseudocode, both required for a connected
+// substack (see DESIGN.md §7); both live in the appliers below:
+//
+//   - applyPush initializes the chain head at the combiner's own node
 //     (the paper's top=⊥ would disconnect it from the nodes linked on
 //     top of it);
-//   - PopFromStack advances k = popCountAtFreeze-pushCountAtFreeze nodes
+//   - applyPop advances k = popCountAtFreeze-pushCountAtFreeze nodes
 //     past the old top (the paper's loop advances k-1, which would leave
 //     the last served pop's node on the stack).
 package core
@@ -32,10 +40,9 @@ import (
 	"fmt"
 	"sync/atomic"
 
-	"secstack/internal/backoff"
+	"secstack/internal/agg"
 	"secstack/internal/ebr"
 	"secstack/internal/metrics"
-	"secstack/internal/tid"
 )
 
 // node is one cell of the shared stack (and of batch substacks).
@@ -44,45 +51,30 @@ type node[T any] struct {
 	next  *node[T]
 }
 
-// batch is the unit of freezing, elimination and combining (Figure 1 of
-// the paper). All fields are shared across the aggregator's threads.
-type batch[T any] struct {
-	pushCount atomic.Int64
-	popCount  atomic.Int64
-
-	// Snapshots taken by the freezer; published to the other threads by
-	// the aggregator's batch-pointer swap (release) that every
-	// non-freezer waits on (acquire).
-	pushCountAtFreeze atomic.Int64
-	popCountAtFreeze  atomic.Int64
-
-	isFreezerDecided atomic.Bool
-	pushApplied      atomic.Bool // push combiner finished
-	popApplied       atomic.Bool // pop combiner finished; subStackTop valid
-
-	// subStackTop is the chain the pop combiner detached from the
-	// shared stack; waiters index into it by sequence-number offset.
-	subStackTop atomic.Pointer[node[T]]
+// popChain is the per-batch payload: the chain the pop combiner
+// detached from the shared stack, which waiters index into by
+// sequence-number offset, plus the surviving-pop countdown used by
+// node recycling.
+type popChain[T any] struct {
+	// top is the detached chain's head; published to waiters by the
+	// engine's applied handshake.
+	top atomic.Pointer[node[T]]
 
 	// pending (recycling only) counts surviving pops that have not yet
 	// read their return value; the reader that decrements it to zero
 	// retires the detached chain. Retiring per-node as values are read
 	// would violate epoch reclamation's contract: the chain stays
-	// reachable through subStackTop, and a sibling waiter whose critical
+	// reachable through top, and a sibling waiter whose critical
 	// section began after an early retire could still traverse the
 	// retired node.
 	pending atomic.Int64
-
-	// elim[i] is the node announced by the push with sequence number i.
-	elim []atomic.Pointer[node[T]]
 }
 
-// aggregator holds the pointer to its currently active batch, padded so
-// that distinct aggregators do not share a cache line.
-type aggregator[T any] struct {
-	batch atomic.Pointer[batch[T]]
-	_     [56]byte
-}
+// secBatch and secEngine name this package's engine instantiation.
+type (
+	secBatch[T any]  = agg.Batch[node[T], popChain[T]]
+	secEngine[T any] = agg.Engine[node[T], popChain[T]]
+)
 
 // Options configures a SEC stack. The zero value selects the defaults
 // the paper's evaluation uses where applicable.
@@ -133,63 +125,41 @@ func (o Options) withDefaults() Options {
 type Stack[T any] struct {
 	top atomic.Pointer[node[T]]
 
-	aggs        []aggregator[T]
-	perAgg      int // P: max threads per aggregator = elim array size
-	freezerSpin int
-	noElim      bool
-
-	m          *metrics.SEC // nil when metrics are disabled
-	rec        *ebr.Manager[node[T]]
-	tids       *tid.Allocator
-	maxThreads int
+	eng *secEngine[T]
+	rec *ebr.Manager[node[T]]
 }
 
 // New returns an empty SEC stack configured by opts.
 func New[T any](opts Options) *Stack[T] {
 	o := opts.withDefaults()
-	perAgg := (o.MaxThreads + o.Aggregators - 1) / o.Aggregators
-	s := &Stack[T]{
-		aggs:        make([]aggregator[T], o.Aggregators),
-		perAgg:      perAgg,
-		freezerSpin: o.FreezerSpin,
-		noElim:      o.NoElimination,
-		maxThreads:  o.MaxThreads,
-		tids:        tid.New(o.MaxThreads),
+	s := &Stack[T]{}
+	eliminate := agg.PairElim
+	if o.NoElimination {
+		eliminate = agg.NoElim
 	}
+	var m *metrics.SEC
 	if o.CollectMetrics {
-		s.m = metrics.NewSEC(o.Aggregators)
+		m = metrics.NewSEC(o.Aggregators)
 	}
 	if o.Recycle {
 		s.rec = ebr.NewManager[node[T]](o.MaxThreads)
 	}
-	for i := range s.aggs {
-		s.aggs[i].batch.Store(s.newBatch())
-	}
+	s.eng = agg.New(agg.Spec[node[T], popChain[T]]{
+		Aggregators: o.Aggregators,
+		MaxThreads:  o.MaxThreads,
+		FreezerSpin: o.FreezerSpin,
+		Partitioned: true,
+		Eliminate:   eliminate,
+		ApplyPush:   s.applyPush,
+		ApplyPop:    s.applyPop,
+		Metrics:     m,
+	})
 	return s
-}
-
-// newBatch allocates a batch whose elimination array is sized for the
-// threads currently registered on this stack's aggregators, not for the
-// MaxThreads worst case: batches are allocated on every freeze, so a
-// worst-case array would dominate the allocation rate at low thread
-// counts. Threads that announce past the array (registered after the
-// batch was created) are pushed to the next, larger batch by the
-// snapshot clamp in freezeBatch.
-func (s *Stack[T]) newBatch() *batch[T] {
-	n := s.tids.InUse()
-	p := (n + len(s.aggs) - 1) / len(s.aggs)
-	if p < 4 {
-		p = 4
-	}
-	if p > s.perAgg {
-		p = s.perAgg
-	}
-	return &batch[T]{elim: make([]atomic.Pointer[node[T]], p)}
 }
 
 // Metrics returns the degree snapshot collector, or nil if
 // CollectMetrics was not set.
-func (s *Stack[T]) Metrics() *metrics.SEC { return s.m }
+func (s *Stack[T]) Metrics() *metrics.SEC { return s.eng.Metrics() }
 
 // Handle is one goroutine's session on the stack: its thread id fixes
 // its aggregator. Handles must not be shared between goroutines.
@@ -197,7 +167,6 @@ type Handle[T any] struct {
 	s      *Stack[T]
 	tid    int
 	aggIdx int
-	agg    *aggregator[T]
 	rec    *ebr.Handle[node[T]] // nil when recycling is off
 	closed bool
 }
@@ -219,12 +188,11 @@ func (s *Stack[T]) Register() *Handle[T] {
 // TryRegister is Register with an error in place of the exhaustion
 // panic, for callers that prefer backpressure over crashing.
 func (s *Stack[T]) TryRegister() (*Handle[T], error) {
-	tid, err := s.tids.Acquire()
+	tid, err := s.eng.Register()
 	if err != nil {
-		return nil, fmt.Errorf("core: more than MaxThreads=%d handles live", s.maxThreads)
+		return nil, fmt.Errorf("core: more than MaxThreads=%d handles live", s.eng.MaxThreads())
 	}
-	h := &Handle[T]{s: s, tid: tid, aggIdx: tid % len(s.aggs)}
-	h.agg = &s.aggs[h.aggIdx]
+	h := &Handle[T]{s: s, tid: tid, aggIdx: s.eng.AggOf(tid)}
 	if s.rec != nil {
 		h.rec = s.rec.Register()
 	}
@@ -244,7 +212,7 @@ func (h *Handle[T]) Close() {
 	if h.rec != nil {
 		h.rec.Close()
 	}
-	h.s.tids.Release(h.tid)
+	h.s.eng.Release(h.tid)
 }
 
 // alloc produces an initialized node, recycled when possible.
@@ -279,100 +247,26 @@ func (h *Handle[T]) exit() {
 	}
 }
 
-// freezeBatch is the paper's FreezeBatch: snapshot both counters, then
-// install a fresh batch, which releases every spinning announcer.
-func (h *Handle[T]) freezeBatch(b *batch[T]) {
-	if h.s.freezerSpin > 0 {
-		backoff.Spin(h.s.freezerSpin) // grow the batch (§3.1)
-	}
-	limit := int64(len(b.elim))
-	pops := min(b.popCount.Load(), limit)
-	pushes := min(b.pushCount.Load(), limit)
-	b.popCountAtFreeze.Store(pops)
-	b.pushCountAtFreeze.Store(pushes)
-	h.agg.batch.Store(h.s.newBatch())
-	if h.s.m != nil {
-		elimPairs := min(pushes, pops)
-		if h.s.noElim {
-			elimPairs = 0
-		}
-		h.s.m.RecordBatchRaw(h.aggIdx, int(pushes+pops), int(2*elimPairs))
-	}
-}
-
-// elimCount returns e, the number of eliminated pairs of the frozen
-// batch: operations with sequence number < e are eliminated; the
-// combiner of each surviving side is the operation with sequence number
-// exactly e.
-func (s *Stack[T]) elimCount(pushAtF, popAtF int64) int64 {
-	if s.noElim {
-		return 0
-	}
-	return min(pushAtF, popAtF)
-}
-
-// Push adds v to the stack (Algorithm 1 of the paper).
+// Push adds v to the stack (Algorithm 1 of the paper). The batch
+// lifecycle - announcement, freeze, elimination, combiner election -
+// runs in the engine; an eliminated push returns right away (the
+// paired pop reads the node from the elimination array), a surviving
+// push returns once its batch's combiner spliced the substack.
 func (h *Handle[T]) Push(v T) {
 	h.enter()
 	defer h.exit()
-
-	n := h.alloc(v)
-	for {
-		b := h.agg.batch.Load()
-		seq := b.pushCount.Add(1) - 1
-		if int(seq) < len(b.elim) {
-			b.elim[seq].Store(n) // announce the value immediately (line 7)
-		}
-
-		if seq == 0 && b.isFreezerDecided.CompareAndSwap(false, true) {
-			h.freezeBatch(b)
-		} else {
-			var w backoff.Waiter
-			for h.agg.batch.Load() == b {
-				w.Wait()
-			}
-		}
-
-		pushAtF := b.pushCountAtFreeze.Load()
-		popAtF := b.popCountAtFreeze.Load()
-		if seq >= pushAtF {
-			continue // announced after the freeze: retry in a later batch
-		}
-
-		e := h.s.elimCount(pushAtF, popAtF)
-		if seq >= e { // not eliminated
-			if seq == e { // first survivor: combiner
-				h.pushToStack(b, seq, pushAtF)
-				b.pushApplied.Store(true)
-			} else {
-				var w backoff.Waiter
-				for !b.pushApplied.Load() {
-					w.Wait()
-				}
-			}
-		}
-		// Eliminated pushes return right away: the paired pop reads the
-		// node from the elimination array.
-		return
-	}
+	h.s.eng.Push(h.aggIdx, h.alloc(v))
 }
 
-// pushToStack is the paper's PushToStack, executed only by a batch's
+// applyPush is the paper's PushToStack, executed only by a batch's
 // push combiner: link the surviving nodes into a substack and splice it
-// onto the shared stack with one CAS.
-func (h *Handle[T]) pushToStack(b *batch[T], seq, pushAtF int64) {
-	s := h.s
-	bot := b.elim[seq].Load() // the combiner's own node, already stored
+// onto the shared stack with one CAS. WaitSlot covers announcers still
+// between their fetch&increment and their slot store.
+func (s *Stack[T]) applyPush(_ int, b *secBatch[T], seq, pushAtF int64) {
+	bot := b.WaitSlot(seq) // the combiner's own node, already stored
 	top := bot
 	for i := seq + 1; i < pushAtF; i++ {
-		var w backoff.Waiter
-		var n *node[T]
-		for {
-			if n = b.elim[i].Load(); n != nil {
-				break
-			}
-			w.Wait() // announcer is between its F&I and its slot store
-		}
+		n := b.WaitSlot(i)
 		n.next = top
 		top = n
 	}
@@ -392,82 +286,26 @@ func (h *Handle[T]) Pop() (v T, ok bool) {
 	h.enter()
 	defer h.exit()
 
-	for {
-		b := h.agg.batch.Load()
-		seq := b.popCount.Add(1) - 1
-
-		if seq == 0 && b.isFreezerDecided.CompareAndSwap(false, true) {
-			h.freezeBatch(b)
-		} else {
-			var w backoff.Waiter
-			for h.agg.batch.Load() == b {
-				w.Wait()
-			}
-		}
-
-		pushAtF := b.pushCountAtFreeze.Load()
-		popAtF := b.popCountAtFreeze.Load()
-		if seq >= popAtF {
-			continue // announced after the freeze: retry in a later batch
-		}
-
-		e := h.s.elimCount(pushAtF, popAtF)
-		if seq < e {
-			// Eliminated: take the value of the push with our sequence
-			// number straight from the elimination array.
-			var w backoff.Waiter
-			var n *node[T]
-			for {
-				if n = b.elim[seq].Load(); n != nil {
-					break
-				}
-				w.Wait()
-			}
-			val := n.value
-			h.retire(n)
-			return val, true
-		}
-
-		k := popAtF - e
-		if seq == e { // first survivor: combiner
-			h.popFromStack(b, k)
-			b.popApplied.Store(true)
-		} else {
-			var w backoff.Waiter
-			for !b.popApplied.Load() {
-				w.Wait()
-			}
-		}
-		v, ok = h.getValue(b, seq-e)
-		h.releaseSubstack(b, k)
-		return v, ok
+	t := h.s.eng.Pop(h.aggIdx)
+	if t.Elim != nil {
+		// Eliminated: the paired push's node came straight from the
+		// elimination array.
+		val := t.Elim.value
+		h.retire(t.Elim)
+		return val, true
 	}
+	v, ok = getValue(t.B, t.Off)
+	h.releaseSubstack(t.B, t.K)
+	return v, ok
 }
 
-// releaseSubstack notes that one surviving pop has read its value; the
-// last reader retires the batch's detached chain (recycling only).
-func (h *Handle[T]) releaseSubstack(b *batch[T], k int64) {
-	if h.rec == nil {
-		return
-	}
-	if b.pending.Add(-1) != 0 {
-		return
-	}
-	n := b.subStackTop.Load()
-	for i := int64(0); i < k && n != nil; i++ {
-		next := n.next
-		h.retire(n)
-		n = next
-	}
-}
-
-// popFromStack is the paper's PopFromStack, executed only by a batch's
+// applyPop is the paper's PopFromStack, executed only by a batch's
 // pop combiner: detach k nodes (or as many as exist) from the shared
 // stack with one CAS and publish the removed chain.
-func (h *Handle[T]) popFromStack(b *batch[T], k int64) {
-	s := h.s
-	if h.rec != nil {
-		b.pending.Store(k) // published to waiters by popApplied below
+func (s *Stack[T]) applyPop(_ int, b *secBatch[T], e, popAtF int64) {
+	k := popAtF - e
+	if s.rec != nil {
+		b.Data.pending.Store(k) // published to waiters by the applied flag
 	}
 	for {
 		oldTop := s.top.Load()
@@ -476,7 +314,7 @@ func (h *Handle[T]) popFromStack(b *batch[T], k int64) {
 			newTop = newTop.next
 		}
 		if s.top.CompareAndSwap(oldTop, newTop) {
-			b.subStackTop.Store(oldTop)
+			b.Data.top.Store(oldTop)
 			return
 		}
 	}
@@ -485,8 +323,8 @@ func (h *Handle[T]) popFromStack(b *batch[T], k int64) {
 // getValue is the paper's GetValue: the pop with offset off into its
 // batch's surviving pops receives the off-th node of the removed chain,
 // or EMPTY if the stack ran out.
-func (h *Handle[T]) getValue(b *batch[T], off int64) (v T, ok bool) {
-	n := b.subStackTop.Load()
+func getValue[T any](b *secBatch[T], off int64) (v T, ok bool) {
+	n := b.Data.top.Load()
 	for i := int64(0); i < off && n != nil; i++ {
 		n = n.next
 	}
@@ -494,6 +332,23 @@ func (h *Handle[T]) getValue(b *batch[T], off int64) (v T, ok bool) {
 		return v, false
 	}
 	return n.value, true
+}
+
+// releaseSubstack notes that one surviving pop has read its value; the
+// last reader retires the batch's detached chain (recycling only).
+func (h *Handle[T]) releaseSubstack(b *secBatch[T], k int64) {
+	if h.rec == nil {
+		return
+	}
+	if b.Data.pending.Add(-1) != 0 {
+		return
+	}
+	n := b.Data.top.Load()
+	for i := int64(0); i < k && n != nil; i++ {
+		next := n.next
+		h.retire(n)
+		n = next
+	}
 }
 
 // Peek returns the top element without removing it; a single atomic
@@ -519,8 +374,8 @@ func (s *Stack[T]) Len() int {
 }
 
 // Aggregators reports K, for harness labeling.
-func (s *Stack[T]) Aggregators() int { return len(s.aggs) }
+func (s *Stack[T]) Aggregators() int { return s.eng.Aggregators() }
 
 // RegisteredThreads reports how many handles are currently live
 // (registered and not yet closed).
-func (s *Stack[T]) RegisteredThreads() int { return s.tids.InUse() }
+func (s *Stack[T]) RegisteredThreads() int { return s.eng.InUse() }

@@ -1,8 +1,10 @@
 package core
 
-// White-box tests exercising SEC's internal batch mechanics directly:
-// batch sizing, counter clamping at freeze, substack chain shapes, the
-// surviving-pop countdown, and the elimination-count ablation switch.
+// White-box tests exercising SEC's batch mechanics through the shared
+// agg engine: batch sizing, counter clamping at freeze, substack chain
+// shapes, and the surviving-pop countdown. The engine's own lifecycle
+// mechanics (freezer race, eliminators, occupancy accounting) are
+// covered by internal/agg's tests.
 
 import (
 	"sync"
@@ -13,14 +15,14 @@ import (
 func TestNewBatchSizing(t *testing.T) {
 	s := New[int](Options{Aggregators: 2, MaxThreads: 64})
 	// No registrations yet: minimum size.
-	if got := len(s.newBatch().elim); got != 4 {
+	if got := s.eng.NewBatch().Cap(); got != 4 {
 		t.Fatalf("empty-stack batch size = %d, want 4", got)
 	}
 	for i := 0; i < 10; i++ {
 		s.Register()
 	}
 	// 10 threads over 2 aggregators -> 5 per aggregator.
-	if got := len(s.newBatch().elim); got != 5 {
+	if got := s.eng.NewBatch().Cap(); got != 5 {
 		t.Fatalf("batch size with 10 threads = %d, want 5", got)
 	}
 }
@@ -30,71 +32,53 @@ func TestNewBatchSizeCappedAtPerAgg(t *testing.T) {
 	for i := 0; i < 8; i++ {
 		s.Register()
 	}
-	if got, want := len(s.newBatch().elim), 4; got != want {
+	if got, want := s.eng.NewBatch().Cap(), 4; got != want {
 		t.Fatalf("batch size = %d, want cap %d", got, want)
 	}
 }
 
 func TestFreezeClampsToElimArray(t *testing.T) {
 	s := New[int](Options{Aggregators: 1, MaxThreads: 64})
-	h := s.Register()
-	b := s.newBatch() // size 4 (one registered thread, min 4)
+	s.Register()
+	b := s.eng.NewBatch() // size 4 (one registered thread, min 4)
 	// Simulate 10 announced pushes against a 4-slot batch.
-	b.pushCount.Store(10)
-	b.popCount.Store(2)
-	h.freezeBatch(b)
-	if got := b.pushCountAtFreeze.Load(); got != 4 {
-		t.Fatalf("pushCountAtFreeze = %d, want clamped 4", got)
+	b.PushCount.Store(10)
+	b.PopCount.Store(2)
+	s.eng.Freeze(0, b)
+	if got := b.PushAtFreeze.Load(); got != 4 {
+		t.Fatalf("PushAtFreeze = %d, want clamped 4", got)
 	}
-	if got := b.popCountAtFreeze.Load(); got != 2 {
-		t.Fatalf("popCountAtFreeze = %d, want 2", got)
+	if got := b.PopAtFreeze.Load(); got != 2 {
+		t.Fatalf("PopAtFreeze = %d, want 2", got)
 	}
 }
 
 func TestFreezeInstallsNewBatch(t *testing.T) {
 	s := New[int](Options{Aggregators: 1})
-	h := s.Register()
-	old := h.agg.batch.Load()
-	h.freezeBatch(old)
-	if h.agg.batch.Load() == old {
+	old := s.eng.ActiveBatch(0)
+	s.eng.Freeze(0, old)
+	if s.eng.ActiveBatch(0) == old {
 		t.Fatal("freeze did not replace the aggregator's batch")
 	}
 }
 
-func TestElimCount(t *testing.T) {
-	s := New[int](Options{})
-	cases := []struct{ push, pop, want int64 }{
-		{0, 0, 0}, {5, 0, 0}, {0, 5, 0}, {3, 5, 3}, {5, 3, 3}, {4, 4, 4},
-	}
-	for _, c := range cases {
-		if got := s.elimCount(c.push, c.pop); got != c.want {
-			t.Fatalf("elimCount(%d, %d) = %d, want %d", c.push, c.pop, got, c.want)
-		}
-	}
-	sNo := New[int](Options{NoElimination: true})
-	if got := sNo.elimCount(4, 4); got != 0 {
-		t.Fatalf("NoElimination elimCount = %d, want 0", got)
-	}
-}
-
-// TestPushToStackChainShape verifies the substack built by the push
+// TestApplyPushChainShape verifies the substack built by the push
 // combiner: sequence order must map to depth (larger sequence number
 // nearer the top), and the chain must connect down to the old top -
 // the connectivity the paper's top=⊥ pseudocode typo would break.
-func TestPushToStackChainShape(t *testing.T) {
+func TestApplyPushChainShape(t *testing.T) {
 	s := New[int](Options{Aggregators: 1})
-	h := s.Register()
 
 	// A pre-existing element to splice on top of.
 	under := &node[int]{value: 99}
 	s.top.Store(under)
 
-	b := s.newBatch()
+	b := s.eng.NewBatch()
 	for i := 0; i < 4; i++ {
-		b.elim[i].Store(&node[int]{value: i})
+		b.StoreSlot(int64(i), &node[int]{value: i})
 	}
 	// Combiner seq 0 applies pushes 0..3.
-	h.pushToStack(b, 0, 4)
+	s.applyPush(0, b, 0, 4)
 
 	want := []int{3, 2, 1, 0, 99}
 	got := []int{}
@@ -111,16 +95,15 @@ func TestPushToStackChainShape(t *testing.T) {
 	}
 }
 
-// TestPushToStackPartialBatch: a combiner with a non-zero sequence
+// TestApplyPushPartialBatch: a combiner with a non-zero sequence
 // number (some pushes eliminated) must splice only slots seq..pushAtF-1.
-func TestPushToStackPartialBatch(t *testing.T) {
+func TestApplyPushPartialBatch(t *testing.T) {
 	s := New[int](Options{Aggregators: 1})
-	h := s.Register()
-	b := s.newBatch()
+	b := s.eng.NewBatch()
 	for i := 0; i < 4; i++ {
-		b.elim[i].Store(&node[int]{value: i})
+		b.StoreSlot(int64(i), &node[int]{value: i})
 	}
-	h.pushToStack(b, 2, 4) // slots 2 and 3 survive
+	s.applyPush(0, b, 2, 4) // slots 2 and 3 survive
 	if got := s.Len(); got != 2 {
 		t.Fatalf("Len = %d, want 2", got)
 	}
@@ -129,12 +112,11 @@ func TestPushToStackPartialBatch(t *testing.T) {
 	}
 }
 
-// TestPopFromStackExactCount verifies the pop combiner removes exactly
+// TestApplyPopExactCount verifies the pop combiner removes exactly
 // k nodes - the off-by-one the paper's pseudocode loop would introduce.
-func TestPopFromStackExactCount(t *testing.T) {
+func TestApplyPopExactCount(t *testing.T) {
 	for k := int64(1); k <= 5; k++ {
 		s := New[int](Options{Aggregators: 1})
-		h := s.Register()
 		var chain *node[int]
 		for i := 9; i >= 0; i-- { // stack 0(top) .. 9(bottom)... build top-down
 			chain = &node[int]{value: i, next: chain}
@@ -142,14 +124,14 @@ func TestPopFromStackExactCount(t *testing.T) {
 		// chain: 0 -> 1 -> ... -> 9, top value 0
 		s.top.Store(chain)
 
-		b := s.newBatch()
-		h.popFromStack(b, k)
+		b := s.eng.NewBatch()
+		s.applyPop(0, b, 0, k)
 		if got := int64(10) - int64(s.Len()); got != k {
 			t.Fatalf("k=%d: removed %d nodes", k, got)
 		}
 		// The detached chain's j-th node is the j-th popped value.
 		for j := int64(0); j < k; j++ {
-			v, ok := h.getValue(b, j)
+			v, ok := getValue(b, j)
 			if !ok || v != int(j) {
 				t.Fatalf("k=%d: getValue(%d) = (%d, %v), want (%d, true)", k, j, v, ok, j)
 			}
@@ -157,43 +139,41 @@ func TestPopFromStackExactCount(t *testing.T) {
 	}
 }
 
-// TestPopFromStackDrainsShortStack: k greater than the stack size
+// TestApplyPopDrainsShortStack: k greater than the stack size
 // empties the stack; waiters past the chain get EMPTY.
-func TestPopFromStackDrainsShortStack(t *testing.T) {
+func TestApplyPopDrainsShortStack(t *testing.T) {
 	s := New[int](Options{Aggregators: 1})
-	h := s.Register()
 	s.top.Store(&node[int]{value: 1, next: &node[int]{value: 2}})
-	b := s.newBatch()
-	h.popFromStack(b, 4)
+	b := s.eng.NewBatch()
+	s.applyPop(0, b, 0, 4)
 	if s.Len() != 0 {
 		t.Fatalf("Len = %d, want 0", s.Len())
 	}
-	if v, ok := h.getValue(b, 0); !ok || v != 1 {
+	if v, ok := getValue(b, 0); !ok || v != 1 {
 		t.Fatalf("getValue(0) = (%d, %v)", v, ok)
 	}
-	if v, ok := h.getValue(b, 1); !ok || v != 2 {
+	if v, ok := getValue(b, 1); !ok || v != 2 {
 		t.Fatalf("getValue(1) = (%d, %v)", v, ok)
 	}
-	if _, ok := h.getValue(b, 2); ok {
+	if _, ok := getValue(b, 2); ok {
 		t.Fatal("getValue past the chain returned a value")
 	}
-	if _, ok := h.getValue(b, 3); ok {
+	if _, ok := getValue(b, 3); ok {
 		t.Fatal("getValue past the chain returned a value")
 	}
 }
 
-// TestPopFromStackEmptyStack: the combiner on an empty stack publishes
+// TestApplyPopEmptyStack: the combiner on an empty stack publishes
 // a nil chain and every waiter sees EMPTY.
-func TestPopFromStackEmptyStack(t *testing.T) {
+func TestApplyPopEmptyStack(t *testing.T) {
 	s := New[int](Options{Aggregators: 1})
-	h := s.Register()
-	b := s.newBatch()
-	h.popFromStack(b, 3)
-	if b.subStackTop.Load() != nil {
-		t.Fatal("subStackTop non-nil on empty stack")
+	b := s.eng.NewBatch()
+	s.applyPop(0, b, 0, 3)
+	if b.Data.top.Load() != nil {
+		t.Fatal("detached chain non-nil on empty stack")
 	}
 	for j := int64(0); j < 3; j++ {
-		if _, ok := h.getValue(b, j); ok {
+		if _, ok := getValue(b, j); ok {
 			t.Fatalf("getValue(%d) returned a value from an empty stack", j)
 		}
 	}
@@ -213,10 +193,10 @@ func TestReleaseSubstackCountdown(t *testing.T) {
 	}
 	s.top.Store(chain)
 
-	b := s.newBatch()
+	b := s.eng.NewBatch()
 	const k = 3
-	h.popFromStack(b, k)
-	if got := b.pending.Load(); got != k {
+	s.applyPop(0, b, 0, k)
+	if got := b.Data.pending.Load(); got != k {
 		t.Fatalf("pending = %d, want %d", got, k)
 	}
 	h.releaseSubstack(b, k)
@@ -296,9 +276,9 @@ func TestConcurrentFreezerUniqueness(t *testing.T) {
 	// because the system is quiescent).
 	snap := s.Metrics().Snapshot()
 	residue := int64(0)
-	for i := range s.aggs {
-		b := s.aggs[i].batch.Load()
-		residue += b.pushCount.Load() + b.popCount.Load()
+	for i := 0; i < s.eng.Aggregators(); i++ {
+		b := s.eng.ActiveBatch(i)
+		residue += b.PushCount.Load() + b.PopCount.Load()
 	}
 	if snap.Ops+residue != int64(g*per) {
 		t.Fatalf("recorded %d + residue %d != %d ops (batch accounting broken)",

@@ -1,0 +1,85 @@
+package harness
+
+// Machine-readable benchmark output. cmd/secbench's -json flag writes
+// one BENCH_<fig>.json document per sweep so the perf trajectory stays
+// comparable across PRs without re-parsing text tables.
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// BenchDoc is the top-level JSON document for one figure or table: its
+// sweeps' throughput series and/or its degree tables.
+type BenchDoc struct {
+	Schema string       `json:"schema"` // currently "secbench/v1"
+	Fig    string       `json:"fig"`    // e.g. "fig2a", "table1"
+	Series []SeriesJSON `json:"series,omitempty"`
+	Tables []TableJSON  `json:"tables,omitempty"`
+}
+
+// SeriesJSON is one throughput sweep in long form.
+type SeriesJSON struct {
+	Title    string      `json:"title"`
+	Workload string      `json:"workload,omitempty"`
+	Columns  []string    `json:"columns"`
+	Points   []PointJSON `json:"points"`
+}
+
+// PointJSON is one measurement point of a sweep.
+type PointJSON struct {
+	Column  string  `json:"column"`
+	Threads int     `json:"threads"`
+	Mops    float64 `json:"mops"`
+	Stddev  float64 `json:"stddev"`
+	Runs    int     `json:"runs"`
+}
+
+// TableJSON is one structure's degree table (occupancy, elimination
+// rate, batching degree per workload).
+type TableJSON struct {
+	Title     string      `json:"title"`
+	Structure string      `json:"structure"` // "stack", "deque", "funnel"
+	Rows      []DegreeRow `json:"rows"`
+}
+
+// NewBenchDoc returns an empty document for the named figure or table.
+func NewBenchDoc(fig string) *BenchDoc {
+	return &BenchDoc{Schema: "secbench/v1", Fig: fig}
+}
+
+// AddSeries appends a sweep's series to the document.
+func (d *BenchDoc) AddSeries(s *Series) {
+	out := SeriesJSON{Title: s.Title, Columns: s.Columns}
+	for _, t := range s.Threads() {
+		for _, c := range s.Columns {
+			r, ok := s.Cells[t][c]
+			if !ok {
+				continue
+			}
+			if out.Workload == "" {
+				out.Workload = r.Workload.Name
+			}
+			out.Points = append(out.Points, PointJSON{
+				Column:  c,
+				Threads: t,
+				Mops:    r.Mops,
+				Stddev:  r.Stddev,
+				Runs:    r.Runs,
+			})
+		}
+	}
+	d.Series = append(d.Series, out)
+}
+
+// AddTable appends one structure's degree table to the document.
+func (d *BenchDoc) AddTable(title, structure string, rows []DegreeRow) {
+	d.Tables = append(d.Tables, TableJSON{Title: title, Structure: structure, Rows: rows})
+}
+
+// WriteJSON renders the document, indented for diffability.
+func (d *BenchDoc) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}

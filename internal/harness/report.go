@@ -6,6 +6,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"secstack/internal/metrics"
 )
 
 // Series is one figure's worth of results: throughput per (column
@@ -97,15 +99,30 @@ func (s *Series) SpeedupOver(a, b string, threads int) float64 {
 	return ra.Mops / rb.Mops
 }
 
-// DegreeRow is one column of the paper's Tables 1-3 for one workload.
+// DegreeRow is one column of the paper's Tables 1-3 for one workload,
+// extended with the batch-occupancy rate the agg engine records
+// uniformly for every structure.
 type DegreeRow struct {
-	Workload       string
-	BatchingDegree float64
-	EliminationPct float64
-	CombiningPct   float64
+	Workload       string  `json:"workload"`
+	BatchingDegree float64 `json:"batching_degree"`
+	EliminationPct float64 `json:"elimination_pct"`
+	CombiningPct   float64 `json:"combining_pct"`
+	OccupancyPct   float64 `json:"occupancy_pct"`
 }
 
-// DegreeTable renders rows in the layout of the paper's Table 1.
+// DegreeRowFrom fills a row from a degree snapshot.
+func DegreeRowFrom(workload string, s metrics.Snapshot) DegreeRow {
+	return DegreeRow{
+		Workload:       workload,
+		BatchingDegree: s.BatchingDegree(),
+		EliminationPct: s.EliminationPct(),
+		CombiningPct:   s.CombiningPct(),
+		OccupancyPct:   s.OccupancyPct(),
+	}
+}
+
+// DegreeTable renders rows in the layout of the paper's Table 1, plus
+// the occupancy row.
 func DegreeTable(title string, rows []DegreeRow) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "# %s\n", title)
@@ -127,6 +144,11 @@ func DegreeTable(title string, rows []DegreeRow) string {
 	fmt.Fprintf(&b, "%-18s", "%Combining")
 	for _, r := range rows {
 		fmt.Fprintf(&b, " %9.0f%%", r.CombiningPct)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%-18s", "%Occupancy")
+	for _, r := range rows {
+		fmt.Fprintf(&b, " %9.0f%%", r.OccupancyPct)
 	}
 	b.WriteByte('\n')
 	return b.String()

@@ -107,10 +107,7 @@ func Run(cfg Config, f Factory) Result {
 		res.PerRun = append(res.PerRun, mops)
 		res.TotalOps += ops
 		if hasDeg {
-			res.Degrees.Batches += deg.Batches
-			res.Degrees.Ops += deg.Ops
-			res.Degrees.Eliminated += deg.Eliminated
-			res.Degrees.Combined += deg.Combined
+			res.Degrees.Accumulate(deg)
 			res.HasDegree = true
 		}
 	}

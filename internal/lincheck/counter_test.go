@@ -1,0 +1,94 @@
+package lincheck
+
+import "testing"
+
+// seqCtr builds a sequential (non-overlapping) history from amounts,
+// with returns following a plain running sum when faithful is true, or
+// corrupting the final return when not.
+func seqCtr(initial int64, amounts []int64, faithful bool) []CtrOp {
+	ops := make([]CtrOp, 0, len(amounts))
+	value := initial
+	ts := int64(1)
+	for i, a := range amounts {
+		ret := value
+		if !faithful && i == len(amounts)-1 {
+			ret += 7
+		}
+		ops = append(ops, CtrOp{Thread: 0, Amount: a, Ret: ret, Invoke: ts, Return: ts + 1})
+		ts += 2
+		value += a
+	}
+	return ops
+}
+
+func TestCounterSequentialAccepted(t *testing.T) {
+	if !CheckCounter(nil, 5) {
+		t.Fatal("empty history rejected")
+	}
+	if !CheckCounter(seqCtr(0, []int64{1, 1, 1}, true), 0) {
+		t.Fatal("faithful unit history rejected")
+	}
+	if !CheckCounter(seqCtr(40, []int64{2, -3, 0, 10}, true), 40) {
+		t.Fatal("faithful mixed-sign history rejected")
+	}
+}
+
+func TestCounterCorruptedRejected(t *testing.T) {
+	if CheckCounter(seqCtr(0, []int64{1, 1, 1}, false), 0) {
+		t.Fatal("history with a corrupted return accepted")
+	}
+	if CheckCounter(seqCtr(0, []int64{5}, true), 1) {
+		t.Fatal("history accepted against the wrong initial value")
+	}
+}
+
+// TestCounterConcurrentReorderAccepted: two overlapping unit adds may
+// linearize in either order, so returns 0 and 1 are fine whichever
+// thread got which.
+func TestCounterConcurrentReorderAccepted(t *testing.T) {
+	h := []CtrOp{
+		{Thread: 0, Amount: 1, Ret: 1, Invoke: 1, Return: 4},
+		{Thread: 1, Amount: 1, Ret: 0, Invoke: 2, Return: 3},
+	}
+	if !CheckCounter(h, 0) {
+		t.Fatal("overlapping adds with swapped returns rejected")
+	}
+}
+
+// TestCounterRealTimeViolationRejected: an operation that returned
+// before another was invoked must be ordered first; a later return of
+// the earlier value breaks real time.
+func TestCounterRealTimeViolationRejected(t *testing.T) {
+	h := []CtrOp{
+		{Thread: 0, Amount: 1, Ret: 1, Invoke: 1, Return: 2}, // completed first, saw 1
+		{Thread: 1, Amount: 1, Ret: 0, Invoke: 3, Return: 4}, // invoked after, saw 0
+	}
+	if CheckCounter(h, 0) {
+		t.Fatal("real-time-violating history accepted")
+	}
+}
+
+// TestCounterDuplicateReturnRejected: two unit adds can never both see
+// the same pre-add value.
+func TestCounterDuplicateReturnRejected(t *testing.T) {
+	h := []CtrOp{
+		{Thread: 0, Amount: 1, Ret: 0, Invoke: 1, Return: 3},
+		{Thread: 1, Amount: 1, Ret: 0, Invoke: 2, Return: 4},
+	}
+	if CheckCounter(h, 0) {
+		t.Fatal("duplicate fetch&add returns accepted")
+	}
+}
+
+// TestCounterZeroAmountsOverlap: zero-amount adds all legally return
+// the current value.
+func TestCounterZeroAmountsOverlap(t *testing.T) {
+	h := []CtrOp{
+		{Thread: 0, Amount: 0, Ret: 9, Invoke: 1, Return: 4},
+		{Thread: 1, Amount: 0, Ret: 9, Invoke: 2, Return: 5},
+		{Thread: 2, Amount: 3, Ret: 9, Invoke: 3, Return: 6},
+	}
+	if !CheckCounter(h, 9) {
+		t.Fatal("overlapping zero adds rejected")
+	}
+}

@@ -20,7 +20,8 @@ type shard struct {
 	ops        atomic.Int64 // operations that belonged to frozen batches
 	eliminated atomic.Int64 // operations eliminated in-batch
 	combined   atomic.Int64 // operations applied to the shared stack
-	_          [cacheLine - 4*8]byte
+	capacity   atomic.Int64 // summed op capacity of frozen batches
+	_          [cacheLine - 5*8]byte
 }
 
 // SEC aggregates per-aggregator statistics for a SEC stack instance.
@@ -38,27 +39,9 @@ func NewSEC(aggregators int) *SEC {
 	return &SEC{shards: make([]shard, aggregators)}
 }
 
-// RecordBatch tallies one frozen batch of aggregator agg containing
-// pushes+pops operations, of which eliminated were eliminated in-batch
-// and the remainder applied to the shared stack by a combiner.
-func (m *SEC) RecordBatch(agg, pushes, pops int) {
-	if m == nil {
-		return
-	}
-	s := &m.shards[agg]
-	elim := 2 * min(pushes, pops)
-	total := pushes + pops
-	s.batches.Add(1)
-	s.ops.Add(int64(total))
-	s.eliminated.Add(int64(elim))
-	s.combined.Add(int64(total - elim))
-}
-
-// RecordBatchRaw tallies one frozen batch of aggregator agg with the
-// operation and eliminated-operation counts already computed by the
-// caller (used by ablation variants whose elimination count differs
-// from 2*min(pushes, pops)).
-func (m *SEC) RecordBatchRaw(agg, ops, eliminated int) {
+// record is the single tally path every Record* entry point funnels
+// through.
+func (m *SEC) record(agg, ops, eliminated, capacity int) {
 	if m == nil {
 		return
 	}
@@ -67,6 +50,30 @@ func (m *SEC) RecordBatchRaw(agg, ops, eliminated int) {
 	s.ops.Add(int64(ops))
 	s.eliminated.Add(int64(eliminated))
 	s.combined.Add(int64(ops - eliminated))
+	s.capacity.Add(int64(capacity))
+}
+
+// RecordBatch tallies one frozen batch of aggregator agg containing
+// pushes+pops operations, of which eliminated were eliminated in-batch
+// and the remainder applied to the shared stack by a combiner.
+func (m *SEC) RecordBatch(agg, pushes, pops int) {
+	m.record(agg, pushes+pops, 2*min(pushes, pops), 0)
+}
+
+// RecordBatchRaw tallies one frozen batch of aggregator agg with the
+// operation and eliminated-operation counts already computed by the
+// caller (used by ablation variants whose elimination count differs
+// from 2*min(pushes, pops)).
+func (m *SEC) RecordBatchRaw(agg, ops, eliminated int) {
+	m.record(agg, ops, eliminated, 0)
+}
+
+// RecordBatchOcc is RecordBatchRaw plus the frozen batch's operation
+// capacity (slot capacity summed over its announcement sides), from
+// which Snapshot derives batch occupancy. The agg engine records every
+// frozen batch through this entry point for all structures.
+func (m *SEC) RecordBatchOcc(agg, ops, eliminated, capacity int) {
+	m.record(agg, ops, eliminated, capacity)
 }
 
 // Snapshot is a point-in-time view of the collected statistics,
@@ -76,6 +83,17 @@ type Snapshot struct {
 	Ops        int64
 	Eliminated int64
 	Combined   int64
+	Capacity   int64
+}
+
+// Accumulate adds other's counters into s, for callers aggregating
+// snapshots across runs or thread-ladder rungs.
+func (s *Snapshot) Accumulate(other Snapshot) {
+	s.Batches += other.Batches
+	s.Ops += other.Ops
+	s.Eliminated += other.Eliminated
+	s.Combined += other.Combined
+	s.Capacity += other.Capacity
 }
 
 // Snapshot sums all shards. It is safe to call concurrently with
@@ -92,6 +110,7 @@ func (m *SEC) Snapshot() Snapshot {
 		out.Ops += s.ops.Load()
 		out.Eliminated += s.eliminated.Load()
 		out.Combined += s.combined.Load()
+		out.Capacity += s.capacity.Load()
 	}
 	return out
 }
@@ -107,6 +126,7 @@ func (m *SEC) Reset() {
 		s.ops.Store(0)
 		s.eliminated.Store(0)
 		s.combined.Store(0)
+		s.capacity.Store(0)
 	}
 }
 
@@ -136,4 +156,14 @@ func (s Snapshot) CombiningPct() float64 {
 		return 0
 	}
 	return 100 * float64(s.Combined) / float64(s.Ops)
+}
+
+// OccupancyPct is how full frozen batches ran relative to their sized
+// capacity, in percent. Zero when no capacity was recorded (counters
+// fed only through the capacity-less entry points).
+func (s Snapshot) OccupancyPct() float64 {
+	if s.Capacity == 0 {
+		return 0
+	}
+	return 100 * float64(s.Ops) / float64(s.Capacity)
 }

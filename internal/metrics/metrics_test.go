@@ -124,3 +124,36 @@ func BenchmarkRecordBatch(b *testing.B) {
 		m.RecordBatch(i&1, 5, 3)
 	}
 }
+
+func TestRecordBatchOccAndOccupancy(t *testing.T) {
+	m := NewSEC(2)
+	m.RecordBatchOcc(0, 6, 4, 8)
+	m.RecordBatchOcc(1, 2, 0, 8)
+	s := m.Snapshot()
+	if s.Batches != 2 || s.Ops != 8 || s.Eliminated != 4 || s.Combined != 4 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if s.Capacity != 16 {
+		t.Fatalf("Capacity = %d, want 16", s.Capacity)
+	}
+	if got := s.OccupancyPct(); got != 50 {
+		t.Fatalf("OccupancyPct = %.1f, want 50", got)
+	}
+	m.Reset()
+	if s := m.Snapshot(); s.Capacity != 0 {
+		t.Fatalf("Capacity = %d after Reset, want 0", s.Capacity)
+	}
+}
+
+func TestOccupancyZeroWithoutCapacity(t *testing.T) {
+	m := NewSEC(1)
+	m.RecordBatch(0, 3, 1) // capacity-less entry point
+	if got := m.Snapshot().OccupancyPct(); got != 0 {
+		t.Fatalf("OccupancyPct = %.1f without recorded capacity, want 0", got)
+	}
+	var nilM *SEC
+	nilM.RecordBatchOcc(0, 1, 0, 4) // nil collector must be a no-op
+	if got := nilM.Snapshot().OccupancyPct(); got != 0 {
+		t.Fatalf("nil collector OccupancyPct = %.1f, want 0", got)
+	}
+}

@@ -1,0 +1,39 @@
+package pool_test
+
+import (
+	"fmt"
+	"sort"
+
+	"secstack/pool"
+)
+
+// A pool relaxes the stack's LIFO contract to "some element": Get may
+// return any pooled value, served from the calling handle's home shard
+// when possible. Register a handle per goroutine, operate through it,
+// and Close it when the goroutine is done so its slots recycle.
+func ExampleNew() {
+	p := pool.New[string](pool.WithShards(2))
+	h := p.Register()
+	defer h.Close()
+
+	h.Put("alpha")
+	h.Put("beta")
+	h.Put("gamma")
+	fmt.Println("pooled:", p.Size())
+
+	// Get returns *some* element, so collect and sort for a stable
+	// ordering.
+	var got []string
+	for {
+		v, ok := h.Get()
+		if !ok {
+			break
+		}
+		got = append(got, v)
+	}
+	sort.Strings(got)
+	fmt.Println(got)
+	// Output:
+	// pooled: 3
+	// [alpha beta gamma]
+}

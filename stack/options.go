@@ -35,9 +35,11 @@ func WithoutElimination() Option { return config.WithoutElimination() }
 // paper's DEBRA deployment (§4).
 func WithRecycling() Option { return config.WithRecycling() }
 
-// WithMetrics enables the batching/elimination/combining degree
-// counters behind the paper's Tables 1-3, retrievable via
-// SECStack.Metrics.
+// WithMetrics enables the batching/elimination/combining degree and
+// batch-occupancy counters behind the paper's Tables 1-3, retrievable
+// via SECStack.Metrics. The deque and funnel packages honour the same
+// option (their engines record the same counters); cmd/secbench -table
+// reports all three.
 func WithMetrics() Option { return config.WithMetrics() }
 
 // WithBackoff sets the Treiber stack's randomized exponential backoff
