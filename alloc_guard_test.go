@@ -1,0 +1,90 @@
+// Allocation-ceiling guards for the contention-adaptive engine
+// (DESIGN.md §8): coarse, deterministic allocs/op bounds that fail CI
+// on unexpected allocation growth in the steady-state hot paths,
+// without needing benchstat or a baseline artifact. The measured
+// regimes are single-goroutine on purpose - that is batch degree 1.0,
+// exactly where the seed paid one batch allocation (plus payload) per
+// operation and where the recycling + fast-path work claims zero.
+package secstack_test
+
+import (
+	"testing"
+
+	"secstack/funnel"
+	"secstack/stack"
+)
+
+// allocCeiling is the per-op allocation budget the steady-state paths
+// must stay under. The true steady-state rate is 0; the headroom
+// absorbs amortized slice growth (EBR limbo bags, recycling free
+// lists) that has not fully settled during warmup.
+const allocCeiling = 0.25
+
+// TestAllocCeilingSoloFastPath: with adaptivity on, a single
+// uncontended goroutine runs the solo fast path - one Treiber-style
+// CAS per op through the per-session scratch batch - and with node +
+// batch recycling on top, pays no steady-state heap allocation.
+func TestAllocCeilingSoloFastPath(t *testing.T) {
+	s := stack.NewSEC[int64](
+		stack.WithAggregators(2),
+		stack.WithAdaptive(true),
+		stack.WithBatchRecycling(true),
+		stack.WithRecycling(),
+	)
+	h := s.Register()
+	defer h.Close()
+	for i := int64(0); i < 4096; i++ { // settle EBR epochs and free lists
+		h.Push(i)
+		h.Pop()
+	}
+	avg := testing.AllocsPerRun(2000, func() {
+		h.Push(7)
+		h.Pop()
+	})
+	if avg > allocCeiling {
+		t.Fatalf("solo fast path allocates %.3f allocs/op, ceiling %.2f", avg, allocCeiling)
+	}
+}
+
+// TestAllocCeilingBatchRecycling: with adaptivity OFF every
+// single-threaded operation still pays a full freeze (a singleton
+// batch per op - the seed's worst case, one slot-array + payload
+// allocation each). Batch recycling must reduce that to zero: frozen
+// batches cycle through the per-aggregator free list and the freeze
+// path reuses them.
+func TestAllocCeilingBatchRecycling(t *testing.T) {
+	s := stack.NewSEC[int64](
+		stack.WithAggregators(2),
+		stack.WithBatchRecycling(true),
+		stack.WithRecycling(),
+	)
+	h := s.Register()
+	defer h.Close()
+	for i := int64(0); i < 4096; i++ {
+		h.Push(i)
+		h.Pop()
+	}
+	avg := testing.AllocsPerRun(2000, func() {
+		h.Push(7)
+		h.Pop()
+	})
+	if avg > allocCeiling {
+		t.Fatalf("recycling freeze path allocates %.3f allocs/op, ceiling %.2f", avg, allocCeiling)
+	}
+}
+
+// TestAllocCeilingFunnelSolo: an adaptive funnel's uncontended FetchAdd
+// is one hardware fetch&add through the scratch batch - no allocation
+// at all.
+func TestAllocCeilingFunnelSolo(t *testing.T) {
+	f := funnel.New(funnel.WithAdaptive(true))
+	h := f.Register()
+	defer h.Close()
+	for i := 0; i < 512; i++ {
+		h.FetchAdd(1)
+	}
+	avg := testing.AllocsPerRun(2000, func() { h.FetchAdd(1) })
+	if avg > allocCeiling {
+		t.Fatalf("funnel solo FetchAdd allocates %.3f allocs/op, ceiling %.2f", avg, allocCeiling)
+	}
+}

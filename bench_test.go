@@ -11,6 +11,8 @@
 //	BenchmarkAblationFreezerBackoff - freezer pre-freeze spin sweep
 //	BenchmarkAblationNoElimination  - combining-only SEC vs full SEC
 //	BenchmarkAblationReclaim        - EBR node recycling on/off
+//	BenchmarkAblationFastPath       - contention-adaptive solo fast path on/off (reports allocs)
+//	BenchmarkAblationBatchReuse     - batch recycling on/off (reports allocs)
 //
 // Each family runs at two contention levels: "sub" (goroutines ==
 // GOMAXPROCS) and "over" (4x GOMAXPROCS, reproducing the paper's
@@ -195,6 +197,58 @@ func BenchmarkAblationNoElimination(b *testing.B) {
 			}
 			benchMix(b, f, harness.Update100, 1000, 4)
 		})
+	}
+}
+
+// BenchmarkAblationFastPath isolates the contention-adaptive solo fast
+// path (DESIGN.md §8): stock SEC vs WithAdaptive, at both contention
+// levels, under the mix where the seed's EXPERIMENTS.md recorded the
+// ~10x gap to the CAS baselines at batch degree 1.0. Allocations are
+// reported so the scratch-batch path's zero-alloc claim is visible in
+// -benchmem runs.
+func BenchmarkAblationFastPath(b *testing.B) {
+	for _, adaptive := range []bool{false, true} {
+		name := "batched"
+		if adaptive {
+			name = "adaptive"
+		}
+		for _, p := range parallelisms {
+			b.Run(fmt.Sprintf("%s/%s", name, p.name), func(b *testing.B) {
+				b.ReportAllocs()
+				f := func() stack.Stack[int64] {
+					return stack.NewSEC[int64](stack.WithAggregators(2), stack.WithAdaptive(adaptive))
+				}
+				benchMix(b, f, harness.Update100, 1000, p.par)
+			})
+		}
+	}
+}
+
+// BenchmarkAblationBatchReuse isolates batch recycling (DESIGN.md §8):
+// the full batch protocol with freshly allocated batches vs recycled
+// ones, node recycling on in both arms so the remaining allocations
+// are the freeze path's own. The adaptive fast path stays off so every
+// operation pays a freeze at low thread counts - the regime whose
+// per-op batch allocation motivated recycling.
+func BenchmarkAblationBatchReuse(b *testing.B) {
+	for _, reuse := range []bool{false, true} {
+		name := "alloc"
+		if reuse {
+			name = "reuse"
+		}
+		for _, p := range parallelisms {
+			b.Run(fmt.Sprintf("%s/%s", name, p.name), func(b *testing.B) {
+				b.ReportAllocs()
+				f := func() stack.Stack[int64] {
+					opts := []stack.Option{stack.WithAggregators(2), stack.WithRecycling()}
+					if reuse {
+						opts = append(opts, stack.WithBatchRecycling(true))
+					}
+					return stack.NewSEC[int64](opts...)
+				}
+				benchMix(b, f, harness.Update100, 1000, p.par)
+			})
+		}
 	}
 }
 

@@ -6,6 +6,7 @@
 //	secbench -fig 2a          # Figure 2a: update mixes on the Emerald ladder
 //	secbench -fig 3           # Figure 3: push-only / pop-only, Emerald
 //	secbench -fig 4           # Figure 4: SEC aggregator sweep, Emerald
+//	secbench -fig adaptive    # adaptivity ablation: solo fast path + batch recycling vs stock SEC and TRB
 //	secbench -table 1         # Table 1: degree/occupancy tables, Emerald
 //	secbench -all             # everything
 //	secbench -all -paper      # paper-fidelity settings (5s x 5 runs)
@@ -103,7 +104,7 @@ func writeDoc(st settings, doc *harness.BenchDoc) {
 
 func main() {
 	var (
-		fig     = flag.String("fig", "", "figure to regenerate: 2a, 2b, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12")
+		fig     = flag.String("fig", "", "figure to regenerate: 2a, 2b, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, adaptive")
 		table   = flag.Int("table", 0, "table to regenerate: 1, 2, 3")
 		all     = flag.Bool("all", false, "regenerate every figure and table")
 		paper   = flag.Bool("paper", false, "paper-fidelity settings: 5s windows, 5 runs")
@@ -237,6 +238,8 @@ func runFig(fig string, st settings) {
 		figAggSweep("Figure 11", harness.Sapphire, harness.UpdateWorkloads(), st, doc)
 	case "12":
 		figAggSweep("Figure 12", harness.Sapphire, []harness.Workload{harness.PushOnly, harness.PopOnly}, st, doc)
+	case "adaptive":
+		figAdaptive("Adaptivity", harness.Emerald, st, doc)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown figure %q\n", fig)
 		os.Exit(2)
@@ -312,6 +315,40 @@ func figAggSweep(title string, m harness.Machine, workloads []harness.Workload, 
 			Prefill:  prefill,
 			Runs:     st.runs,
 			Drain:    drain,
+			Progress: progress(st),
+		})
+		emit(s, st, doc)
+	}
+}
+
+// figAdaptive renders the contention-adaptivity ablation (not a paper
+// figure; see DESIGN.md §8): stock SEC against SEC with the solo fast
+// path / shard scaling, with batch recycling stacked on top, and the
+// Treiber baseline the fast path degenerates to, across the update
+// mixes. The low-thread rungs are where adaptivity must close the gap
+// to TRB; the high rungs are where it must not cost anything.
+func figAdaptive(title string, m harness.Machine, st settings, doc *harness.BenchDoc) {
+	cols := []string{"SEC", "SEC_adapt", "SEC_adapt_rec", "TRB"}
+	factory := func(col string) harness.Factory {
+		switch col {
+		case "SEC_adapt":
+			return harness.FactoryFor(stack.SEC, stack.WithAggregators(2), stack.WithAdaptive(true))
+		case "SEC_adapt_rec":
+			return harness.FactoryFor(stack.SEC, stack.WithAggregators(2), stack.WithAdaptive(true),
+				stack.WithBatchRecycling(true), stack.WithRecycling())
+		default:
+			return harness.FactoryFor(stack.Algorithm(col), stack.WithAggregators(2))
+		}
+	}
+	for _, wl := range harness.UpdateWorkloads() {
+		s := harness.Sweep(fmt.Sprintf("%s %s, %s", title, m.Name, wl.Name), harness.SweepOptions{
+			Columns:  cols,
+			Factory:  factory,
+			Ladder:   m.Ladder,
+			Workload: wl,
+			Duration: st.duration,
+			Prefill:  st.prefill,
+			Runs:     st.runs,
 			Progress: progress(st),
 		})
 		emit(s, st, doc)

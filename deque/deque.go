@@ -77,6 +77,18 @@ func WithFreezerSpin(s int) Option { return config.WithFreezerSpin(s) }
 // counters, retrievable via Metrics.
 func WithMetrics() Option { return config.WithMetrics() }
 
+// WithAdaptive toggles the solo fast path: when an end's recent batch
+// degree is ~1, an operation first tries the central lock with one
+// TryLock instead of paying the batch protocol, falling back to the
+// full protocol when the lock is contended. (Shard scaling does not
+// apply to the deque - its two aggregators are its ends.)
+func WithAdaptive(on bool) Option { return config.WithAdaptive(on) }
+
+// WithBatchRecycling toggles batch recycling: frozen batches (slot
+// arrays and result tables) retire to per-end free lists for reuse, so
+// the steady-state freeze path allocates nothing.
+func WithBatchRecycling(on bool) Option { return config.WithBatchRecycling(on) }
+
 // New returns an empty deque.
 func New[T any](opts ...Option) *Deque[T] {
 	c := config.Resolve(opts)
@@ -94,13 +106,25 @@ func New[T any](opts ...Option) *Deque[T] {
 		MaxThreads:  c.MaxThreads,
 		FreezerSpin: c.FreezerSpin,
 		Partitioned: false,
+		Recycle:     c.BatchRecycle,
+		Adaptive:    c.Adaptive,
 		Eliminate:   agg.PairElim,
 		MakeData:    func(n int) []popResult[T] { return make([]popResult[T], n) },
+		ResetData:   resetResults[T],
 		ApplyPush:   d.applyPush,
 		ApplyPop:    d.applyPop,
+		TrySoloPush: d.trySoloPush,
+		TrySoloPop:  d.trySoloPop,
 		Metrics:     m,
 	})
 	return d
+}
+
+// resetResults zeroes a recycled batch's result table so a reused
+// batch cannot retain references to a previous incarnation's popped
+// values.
+func resetResults[T any](p *[]popResult[T]) {
+	clear(*p)
 }
 
 // Metrics returns the per-end degree collector, or nil if WithMetrics
@@ -150,10 +174,28 @@ func (h *Handle[T]) PopLeft() (T, bool) { return h.pop(Left) }
 func (h *Handle[T]) PopRight() (T, bool) { return h.pop(Right) }
 
 func (h *Handle[T]) push(side Side, v T) {
-	h.d.eng.Push(int(side), &v)
+	h.d.eng.Push(h.id, int(side), &v)
 	// Eliminated pushes return right away: the paired pop reads the
 	// value from the batch's announcement slots. Survivors return once
 	// the end's combiner applied them under the lock.
+	h.d.eng.Done(h.id)
+}
+
+// trySoloPush is the solo fast path's push applier: apply the scratch
+// batch's single value under the central lock if it is free right now,
+// report contention otherwise.
+func (d *Deque[T]) trySoloPush(end int, b *dqBatch[T]) bool {
+	if !d.mu.TryLock() {
+		return false
+	}
+	p := b.Slot(0)
+	if Side(end) == Left {
+		d.items.pushFront(*p)
+	} else {
+		d.items.pushBack(*p)
+	}
+	d.mu.Unlock()
+	return true
 }
 
 // applyPush is the push-side combiner body: apply the surviving pushes
@@ -172,12 +214,31 @@ func (d *Deque[T]) applyPush(end int, b *dqBatch[T], seq, pushAtF int64) {
 }
 
 func (h *Handle[T]) pop(side Side) (v T, ok bool) {
-	t := h.d.eng.Pop(int(side))
+	t := h.d.eng.Pop(h.id, int(side))
 	if t.Elim != nil { // eliminated against the push with the same number
-		return *t.Elim, true
+		v = *t.Elim
+		h.d.eng.Done(h.id)
+		return v, true
 	}
 	r := t.B.Data[t.Off]
+	h.d.eng.Done(h.id) // finished with the batch's result table
 	return r.v, r.ok
+}
+
+// trySoloPop is the solo fast path's pop applier: serve one pop under
+// the central lock if it is free right now, publishing the result
+// through the scratch batch's table as applyPop would.
+func (d *Deque[T]) trySoloPop(end int, b *dqBatch[T]) bool {
+	if !d.mu.TryLock() {
+		return false
+	}
+	if Side(end) == Left {
+		b.Data[0].v, b.Data[0].ok = d.items.popFront()
+	} else {
+		b.Data[0].v, b.Data[0].ok = d.items.popBack()
+	}
+	d.mu.Unlock()
+	return true
 }
 
 // applyPop is the pop-side combiner body: serve the surviving pops of

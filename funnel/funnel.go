@@ -68,6 +68,19 @@ func WithInitial(v int64) Option { return config.WithInitial(v) }
 // construction (the identity eliminator).
 func WithMetrics() Option { return config.WithMetrics() }
 
+// WithAdaptive toggles contention adaptivity: when an aggregator's
+// recent batch degree is ~1, a FetchAdd applies directly with one CAS
+// attempt on the central counter (skipping announcement, freeze and
+// delegation entirely), falls back to the full protocol when the CAS
+// is contended, and the effective aggregator count scales between 1
+// and WithAggregators on the observed degree.
+func WithAdaptive(on bool) Option { return config.WithAdaptive(on) }
+
+// WithBatchRecycling toggles batch recycling: frozen batches (slot
+// arrays and prefix-sum tables) retire to per-aggregator free lists
+// for reuse, so the steady-state delegation path allocates nothing.
+func WithBatchRecycling(on bool) Option { return config.WithBatchRecycling(on) }
+
 // New returns a funnel counter.
 func New(opts ...Option) *Funnel {
 	c := config.Resolve(opts)
@@ -83,14 +96,38 @@ func New(opts ...Option) *Funnel {
 		FreezerSpin: c.FreezerSpin,
 		Partitioned: true,
 		SingleSided: true, // announcements use the push side only
+		Recycle:     c.BatchRecycle,
+		Adaptive:    c.Adaptive,
 		Eliminate:   agg.NoElim,
 		MakeData:    func(n int) []int64 { return make([]int64, n) },
+		// No ResetData: prefix sums carry no references, and the
+		// delegate overwrites every entry a reader can reach before the
+		// applied handshake.
 		ApplyPush:   f.applyBatch,
+		TrySoloPush: f.trySoloAdd,
 		// ApplyPop is never reached: the funnel announces on the push
 		// side only.
 		Metrics: m,
 	})
 	return f
+}
+
+// trySoloAdd is the solo fast path: one CAS attempt on the central
+// counter. A raw fetch&add would be marginally cheaper but can never
+// fail, and an attempt that cannot fail cannot observe contention -
+// the engine's degree EWMA would pin the funnel in solo mode forever
+// and the batching (the very thing an aggregating funnel exists for)
+// could never engage. The CAS loses exactly when another operation
+// moved the counter first, which is the contention signal that sends
+// the operation - and soon the aggregator - back to the full protocol.
+func (f *Funnel) trySoloAdd(_ int, b *fnBatch) bool {
+	amt := *b.Slot(0)
+	old := f.counter.Load()
+	if !f.counter.CompareAndSwap(old, old+amt) {
+		return false
+	}
+	b.Data[0] = old
+	return true
 }
 
 // Metrics returns the per-aggregator degree collector, or nil if
@@ -101,9 +138,8 @@ func (f *Funnel) Metrics() *metrics.SEC { return f.eng.Metrics() }
 // goroutines, and should be Closed when their goroutine is done so the
 // handle slot recycles.
 type Handle struct {
-	f      *Funnel
-	id     int
-	aggIdx int
+	f  *Funnel
+	id int
 
 	// amt is the handle's announcement record. One scratch word per
 	// handle suffices: every slot of a frozen batch is read by its
@@ -111,7 +147,8 @@ type Handle struct {
 	// operation returns only after that flag (or after a post-freeze
 	// retry, whose abandoned slot is never read) - so by the time this
 	// handle's next FetchAdd overwrites amt, no reader can still need
-	// the previous value.
+	// the previous value. (With batch recycling the argument tightens
+	// further: recycled slots are cleared before reuse.)
 	amt int64
 }
 
@@ -123,7 +160,7 @@ func (f *Funnel) Register() *Handle {
 	if err != nil {
 		panic(fmt.Sprintf("funnel: more than MaxThreads=%d handles live", f.eng.MaxThreads()))
 	}
-	return &Handle{f: f, id: id, aggIdx: f.eng.AggOf(id)}
+	return &Handle{f: f, id: id}
 }
 
 // Close releases the handle's thread id for reuse by a future Register.
@@ -145,8 +182,11 @@ func (f *Funnel) Load() int64 { return f.counter.Load() }
 // batch order - the same contract as a hardware fetch&add.
 func (h *Handle) FetchAdd(amount int64) int64 {
 	h.amt = amount
-	t := h.f.eng.Push(h.aggIdx, &h.amt)
-	return t.B.Data[t.Seq]
+	eng := h.f.eng
+	t := eng.Push(h.id, eng.AggOf(h.id), &h.amt)
+	v := t.B.Data[t.Seq]
+	eng.Done(h.id) // finished with the batch's prefix-sum table
+	return v
 }
 
 // applyBatch is the delegate's combiner body: walk the frozen batch's

@@ -74,6 +74,12 @@ func TestFunnelLinearizabilityVariants(t *testing.T) {
 		"NoSpin":  {[]funnel.Option{funnel.WithDelegateSpin(0)}, 0},
 		"BigSpin": {[]funnel.Option{funnel.WithDelegateSpin(2048)}, 0},
 		"Initial": {[]funnel.Option{funnel.WithInitial(-17)}, -17},
+		// Contention adaptivity (DESIGN.md §8): solo hardware fetch&adds
+		// race batch-delegated ones; batch recycling reuses frozen
+		// prefix-sum batches under the checker.
+		"Adaptive":        {[]funnel.Option{funnel.WithAdaptive(true)}, 0},
+		"AdaptiveRecycle": {[]funnel.Option{funnel.WithAdaptive(true), funnel.WithBatchRecycling(true)}, 0},
+		"BatchRecycle":    {[]funnel.Option{funnel.WithBatchRecycling(true)}, 0},
 	}
 	for name, v := range variants {
 		name, v := name, v

@@ -27,6 +27,34 @@
 // frozen batch's survivors to the shared structure (a splice-substack
 // CAS for the stack, a per-end mutex apply for the deque, one hardware
 // fetch&add plus prefix sums for the funnel).
+//
+// # Contention adaptivity
+//
+// The full batch lifecycle is worth paying only when there is something
+// to batch; the paper's own evaluation shows SEC trailing CAS-per-op
+// baselines until contention fills batches (see DESIGN.md §8). Three
+// optional mechanisms adapt the machinery to the observed load:
+//
+//   - Batch recycling (Spec.Recycle): frozen batches retire to a
+//     per-aggregator free list and are reused - slot arrays, payloads
+//     and all - once no session can still hold them, so the
+//     steady-state freeze path allocates nothing. Safety comes from
+//     per-session hazard slots: an announcer publishes the batch it is
+//     about to use and re-validates the aggregator pointer, so once a
+//     batch is uninstalled, the set of sessions that can still touch it
+//     is exactly the set whose hazard slot names it.
+//   - Solo fast path (Spec.Adaptive + TrySoloPush/TrySoloPop): when an
+//     aggregator's recent batch-degree EWMA is ~1, an operation first
+//     attempts one direct apply through a per-session single-slot
+//     scratch batch - no freezer race, no announcement store, no
+//     fresh-batch install; for the stack this degenerates to one
+//     Treiber-style CAS - and falls back to the full protocol when the
+//     attempt detects contention.
+//   - Dynamic shard scaling (Spec.Adaptive, partitioned engines): the
+//     effective aggregator count grows and shrinks between 1 and
+//     Spec.Aggregators on the same degree signal, remapping AggOf
+//     through an atomic epoch so sparse load consolidates into batches
+//     and dense load spreads across shards.
 package agg
 
 import (
@@ -35,6 +63,7 @@ import (
 
 	"secstack/internal/backoff"
 	"secstack/internal/metrics"
+	"secstack/internal/pad"
 	"secstack/internal/tid"
 )
 
@@ -61,17 +90,30 @@ func NoElim(pushAtFreeze, popAtFreeze int64) int64 { return 0 }
 // detached substack, a pop-result table, a prefix-sum table). The
 // counter fields are exported for the structures' appliers and
 // whitebox tests; the freeze and applied flags belong to the engine.
+//
+// The three words every announcer hammers - the push counter, the pop
+// counter, and the freezer-race bit - live on separate cache lines:
+// push announcers fetch&increment PushCount, pop announcers PopCount,
+// and the two seq-0 announcers race on frozen, so co-locating them
+// (as the pre-pad layout did) bounced one line between all three
+// groups.
 type Batch[S, P any] struct {
 	PushCount atomic.Int64
-	PopCount  atomic.Int64
+	_         [pad.CacheLine - 8]byte
+
+	PopCount atomic.Int64
+	_        [pad.CacheLine - 8]byte
+
+	frozen atomic.Bool // the freezer race's test&set bit
+	_      [pad.CacheLine - 1]byte
 
 	// Snapshots taken by the freezer; published to the other threads by
 	// the aggregator's batch-pointer swap (release) that every
-	// non-freezer waits on (acquire).
+	// non-freezer waits on (acquire). Read-mostly after the freeze, so
+	// they share a line with the applied flags.
 	PushAtFreeze atomic.Int64
 	PopAtFreeze  atomic.Int64
 
-	frozen      atomic.Bool // the freezer race's test&set bit
 	pushApplied atomic.Bool // push combiner finished
 	popApplied  atomic.Bool // pop combiner finished; payload valid
 
@@ -109,17 +151,86 @@ func (b *Batch[S, P]) WaitSlot(i int64) *S {
 }
 
 // aggregator holds the pointer to its currently active batch, padded so
-// that distinct aggregators do not share a cache line.
+// that distinct aggregators do not share a cache line. The limbo and
+// free lists behind batch recycling also live here: they are touched
+// only inside Freeze, and freezes of one aggregator are serialized (a
+// batch's freezer can only start after the previous install made the
+// batch visible), so plain slices suffice - the install's release store
+// is the happens-before edge between successive freezers.
 type aggregator[S, P any] struct {
 	batch atomic.Pointer[Batch[S, P]]
-	_     [56]byte
+	_     [pad.CacheLine - 8]byte
+
+	limbo []*Batch[S, P] // retired, possibly still held through a hazard
+	free  []*Batch[S, P] // quiescent, ready for reuse
+	// Round the struct to a cache-line multiple so the next
+	// aggregator's hot batch pointer does not share a line with this
+	// one's list headers (which every Freeze rewrites); sharing a line
+	// with our *own* batch pointer would be harmless - Freeze writes
+	// that too - but the neighbour's is announcer-hot.
+	_ [pad.CacheLine - 2*24]byte
+}
+
+// aggCtl is one aggregator's adaptivity state: the batch-degree EWMA
+// (fixed point, degreeUnit = 1.0), the solo/batched mode bit, and the
+// fast-path hit/miss counters feeding internal/metrics. Padded so the
+// solo regime's per-op updates stay on a line owned by one aggregator.
+type aggCtl struct {
+	mode     atomic.Int64 // modeBatched or modeSolo
+	ewma     atomic.Int64 // batch-degree EWMA in degreeUnit fixed point
+	freezes  atomic.Int64 // frozen batches; drives resize checks
+	fastHits atomic.Int64 // solo attempts that applied directly
+	fastMiss atomic.Int64 // solo attempts that hit contention
+	_        [pad.CacheLine - 5*8]byte
+}
+
+const (
+	modeBatched = 0
+	modeSolo    = 1
+
+	// degreeUnit is the fixed-point scale of the batch-degree EWMA.
+	degreeUnit = 16
+
+	// soloEnterMax and soloExitMin bound the hysteresis band: an
+	// aggregator whose EWMA decays to <= 1.25 ops/batch enters solo
+	// mode, one whose EWMA climbs to >= 2.0 returns to the full
+	// protocol; in between the mode holds.
+	soloEnterMax = 5 * degreeUnit / 4
+	soloExitMin  = 2 * degreeUnit
+
+	// soloObsHit and soloObsMiss are the degree observations a solo
+	// attempt feeds the EWMA: a direct apply is a degree-1 batch, a
+	// contention failure is evidence of concurrent operations and is
+	// weighted heavily so a burst of misses exits solo mode within a
+	// few operations.
+	soloObsHit  = degreeUnit
+	soloObsMiss = 4 * degreeUnit
+
+	// resizePeriod is how many freezes an aggregator performs between
+	// shard-scaling checks; growDegree/shrinkDegree are the mean-EWMA
+	// thresholds that grow or shrink the effective aggregator count.
+	resizePeriod = 64
+	growDegree   = 6 * degreeUnit
+	shrinkDegree = 2 * degreeUnit
+
+	// maxFree bounds each aggregator's recycled-batch free list; excess
+	// quiescent batches drop to the garbage collector.
+	maxFree = 8
+)
+
+// hazardSlot is one session's published batch reference (recycling
+// only), padded so sessions do not share hazard lines.
+type hazardSlot[S, P any] struct {
+	p atomic.Pointer[Batch[S, P]]
+	_ [pad.CacheLine - 8]byte
 }
 
 // Spec parameterises an Engine. Aggregators and MaxThreads are clamped
 // to at least 1; MinBatch defaults to 4.
 type Spec[S, P any] struct {
 	// Aggregators is K, the number of shards. The deque instantiates
-	// one aggregator per end.
+	// one aggregator per end. Under Adaptive this is the ceiling of the
+	// effective shard count.
 	Aggregators int
 
 	// MaxThreads bounds concurrently live sessions; it also caps batch
@@ -135,10 +246,13 @@ type Spec[S, P any] struct {
 	MinBatch int
 
 	// Partitioned selects how sessions map to aggregators. True (stack,
-	// funnel): session tid mod K fixes the aggregator, and batches are
-	// sized for ceil(live/K) threads. False (deque): any session may
-	// announce on any aggregator - ends are chosen per operation - so
-	// batches are sized for every live session and capped at MaxThreads.
+	// funnel): session tid mod the effective aggregator count fixes the
+	// aggregator, and batches are sized for ceil(live/K) threads. False
+	// (deque): any session may announce on any aggregator - ends are
+	// chosen per operation - so batches are sized for every live
+	// session and capped at MaxThreads. Dynamic shard scaling applies
+	// only to partitioned engines; an unpartitioned engine's
+	// aggregators are semantic (the deque's ends).
 	Partitioned bool
 
 	// SingleSided marks engines whose structures announce on the push
@@ -146,12 +260,28 @@ type Spec[S, P any] struct {
 	// metrics record per frozen batch.
 	SingleSided bool
 
+	// Recycle enables batch recycling: frozen batches return to a
+	// per-aggregator free list once hazard-quiescent and are reused
+	// instead of reallocated.
+	Recycle bool
+
+	// Adaptive enables the solo fast path (when TrySoloPush/TrySoloPop
+	// are provided) and, for partitioned engines with Aggregators > 1,
+	// dynamic shard scaling.
+	Adaptive bool
+
 	// Eliminate is the eliminator; nil defaults to PairElim.
 	Eliminate Eliminator
 
 	// MakeData builds the per-batch payload for a batch with n slots;
 	// nil leaves Data as P's zero value.
 	MakeData func(n int) P
+
+	// ResetData re-initializes a recycled batch's payload before reuse
+	// (clear published pointers, drop references the GC should have).
+	// nil skips payload reset - correct only when every payload entry a
+	// reader can reach is overwritten by the applier first.
+	ResetData func(p *P)
 
 	// ApplyPush is the push-side combiner body: apply the surviving
 	// pushes (sequence numbers seq..pushAtFreeze-1, seq the combiner's
@@ -166,26 +296,57 @@ type Spec[S, P any] struct {
 	// exactly one thread per frozen batch.
 	ApplyPop func(agg int, b *Batch[S, P], e, popAtFreeze int64)
 
+	// TrySoloPush attempts to apply the single push announced in slot 0
+	// of the one-slot scratch batch b directly to the shared structure,
+	// without the batch protocol. It must either apply the operation
+	// and return true, or leave the structure unchanged and return
+	// false (contention detected). One CAS attempt for the stack, a
+	// TryLock for the deque, an unconditional hardware fetch&add for
+	// the funnel.
+	TrySoloPush func(agg int, b *Batch[S, P]) bool
+
+	// TrySoloPop is TrySoloPush's pop-side twin: serve one pop directly,
+	// publishing the result through b.Data as the pop applier would.
+	TrySoloPop func(agg int, b *Batch[S, P]) bool
+
 	// Metrics, when non-nil, receives one occupancy/elimination record
-	// per frozen batch.
+	// per frozen batch plus the solo fast path's hit/miss counters.
 	Metrics *metrics.SEC
 }
 
 // Engine runs the aggregator/batch lifecycle for one shared structure.
 type Engine[S, P any] struct {
 	aggs        []aggregator[S, P]
-	perAgg      int // slot-array cap per aggregator
+	ctl         []aggCtl
 	minBatch    int
 	freezerSpin int
 	partitioned bool
 	singleSided bool
+	recycle     bool
+	adaptive    bool
 	eliminate   Eliminator
 	makeData    func(n int) P
+	resetData   func(p *P)
 	applyPush   func(agg int, b *Batch[S, P], seq, pushAtFreeze int64)
 	applyPop    func(agg int, b *Batch[S, P], e, popAtFreeze int64)
+	trySoloPush func(agg int, b *Batch[S, P]) bool
+	trySoloPop  func(agg int, b *Batch[S, P]) bool
 	m           *metrics.SEC
 	tids        *tid.Allocator
 	maxThreads  int
+
+	// effK is the effective aggregator count in [1, len(aggs)];
+	// scaleEpoch increments on every resize so observers (and tests)
+	// can detect remappings. Non-adaptive engines pin effK = len(aggs).
+	effK       atomic.Int32
+	scaleEpoch atomic.Uint64
+
+	// hazards[id] is session id's published batch reference; solo[id]
+	// its scratch batch. Both indexed by session id, each entry owned
+	// by the session holding that id (the tid free list's CAS handoff
+	// is the happens-before edge across owners).
+	hazards []hazardSlot[S, P]
+	solo    []*Batch[S, P]
 }
 
 // New returns an engine with one freshly installed batch per
@@ -203,24 +364,41 @@ func New[S, P any](spec Spec[S, P]) *Engine[S, P] {
 	if spec.Eliminate == nil {
 		spec.Eliminate = PairElim
 	}
-	perAgg := spec.MaxThreads
-	if spec.Partitioned {
-		perAgg = (spec.MaxThreads + spec.Aggregators - 1) / spec.Aggregators
-	}
 	e := &Engine[S, P]{
 		aggs:        make([]aggregator[S, P], spec.Aggregators),
-		perAgg:      perAgg,
+		ctl:         make([]aggCtl, spec.Aggregators),
 		minBatch:    spec.MinBatch,
 		freezerSpin: spec.FreezerSpin,
 		partitioned: spec.Partitioned,
 		singleSided: spec.SingleSided,
+		recycle:     spec.Recycle,
+		adaptive:    spec.Adaptive,
 		eliminate:   spec.Eliminate,
 		makeData:    spec.MakeData,
+		resetData:   spec.ResetData,
 		applyPush:   spec.ApplyPush,
 		applyPop:    spec.ApplyPop,
+		trySoloPush: spec.TrySoloPush,
+		trySoloPop:  spec.TrySoloPop,
 		m:           spec.Metrics,
 		tids:        tid.New(spec.MaxThreads),
 		maxThreads:  spec.MaxThreads,
+	}
+	e.effK.Store(int32(spec.Aggregators))
+	if e.recycle {
+		e.hazards = make([]hazardSlot[S, P], spec.MaxThreads)
+	}
+	if e.adaptive {
+		e.solo = make([]*Batch[S, P], spec.MaxThreads)
+		for i := range e.ctl {
+			// Start optimistic: assume no contention until a freeze or a
+			// solo miss proves otherwise. Engines without solo appliers
+			// stay in batched mode regardless.
+			e.ctl[i].ewma.Store(degreeUnit)
+			if e.trySoloPush != nil {
+				e.ctl[i].mode.Store(modeSolo)
+			}
+		}
 	}
 	for i := range e.aggs {
 		e.aggs[i].batch.Store(e.NewBatch())
@@ -228,28 +406,120 @@ func New[S, P any](spec Spec[S, P]) *Engine[S, P] {
 	return e
 }
 
-// NewBatch allocates a batch sized for the sessions currently live, not
-// for the MaxThreads worst case: batches are allocated on every freeze,
-// so a worst-case array would dominate the allocation rate at low
-// thread counts. Announcers past the array (registered after the batch
-// was created) are pushed to the next, larger batch by the snapshot
-// clamp in Freeze.
-func (e *Engine[S, P]) NewBatch() *Batch[S, P] {
+// sizeBatch is the live-session batch sizing rule: size for the
+// sessions currently live (per effective aggregator when partitioned),
+// floored at MinBatch and capped at each aggregator's worst-case share
+// of MaxThreads.
+func (e *Engine[S, P]) sizeBatch() int {
 	p := e.tids.InUse()
+	cap := e.maxThreads
 	if e.partitioned {
-		p = (p + len(e.aggs) - 1) / len(e.aggs)
+		k := int(e.effK.Load())
+		p = (p + k - 1) / k
+		cap = (e.maxThreads + k - 1) / k
 	}
 	if p < e.minBatch {
 		p = e.minBatch
 	}
-	if p > e.perAgg {
-		p = e.perAgg
+	if p > cap {
+		p = cap
 	}
+	return p
+}
+
+// NewBatch allocates a batch sized for the sessions currently live, not
+// for the MaxThreads worst case: without recycling, batches are
+// allocated on every freeze, so a worst-case array would dominate the
+// allocation rate at low thread counts. Announcers past the array
+// (registered after the batch was created) are pushed to the next,
+// larger batch by the snapshot clamp in Freeze.
+func (e *Engine[S, P]) NewBatch() *Batch[S, P] {
+	p := e.sizeBatch()
 	b := &Batch[S, P]{slots: make([]atomic.Pointer[S], p)}
 	if e.makeData != nil {
 		b.Data = e.makeData(p)
 	}
 	return b
+}
+
+// resetBatch re-initializes a recycled batch for a fresh announcement
+// cycle: every slot cleared (a stale record here would satisfy the next
+// cycle's WaitSlot with the wrong value), counters, snapshots and flags
+// zeroed, payload reset through the structure's hook. Runs only inside
+// Freeze, before the install that publishes the batch.
+func (e *Engine[S, P]) resetBatch(b *Batch[S, P]) {
+	for i := range b.slots {
+		b.slots[i].Store(nil)
+	}
+	b.PushCount.Store(0)
+	b.PopCount.Store(0)
+	b.PushAtFreeze.Store(0)
+	b.PopAtFreeze.Store(0)
+	b.pushApplied.Store(false)
+	b.popApplied.Store(false)
+	b.frozen.Store(false)
+	if e.resetData != nil {
+		e.resetData(&b.Data)
+	}
+}
+
+// hazarded reports whether any live session's hazard slot names b.
+// Sound because every session publishes its batch before using it and
+// re-validates the aggregator pointer afterwards: once b is
+// uninstalled, a session whose re-validation succeeded is visible here,
+// and one whose re-validation will fail never touches b again.
+func (e *Engine[S, P]) hazarded(b *Batch[S, P]) bool {
+	n := e.tids.HighWater()
+	for i := 0; i < n; i++ {
+		if e.hazards[i].p.Load() == b {
+			return true
+		}
+	}
+	return false
+}
+
+// reclaim moves hazard-quiescent batches from a's limbo list to its
+// free list (dropping overflow to the GC). Called only inside Freeze.
+func (e *Engine[S, P]) reclaim(a *aggregator[S, P]) {
+	keep := a.limbo[:0]
+	for _, b := range a.limbo {
+		switch {
+		case e.hazarded(b):
+			keep = append(keep, b)
+		case len(a.free) < maxFree:
+			a.free = append(a.free, b)
+		}
+	}
+	for i := len(keep); i < len(a.limbo); i++ {
+		a.limbo[i] = nil
+	}
+	a.limbo = keep
+}
+
+// nextBatch produces the batch Freeze installs: a recycled one when
+// recycling is on and a quiescent batch of sufficient capacity exists,
+// a fresh allocation otherwise. Called only inside Freeze.
+func (e *Engine[S, P]) nextBatch(agg int) *Batch[S, P] {
+	if !e.recycle {
+		return e.NewBatch()
+	}
+	a := &e.aggs[agg]
+	if len(a.free) == 0 && len(a.limbo) > 0 {
+		e.reclaim(a)
+	}
+	want := e.sizeBatch()
+	for n := len(a.free); n > 0; n = len(a.free) {
+		b := a.free[n-1]
+		a.free[n-1] = nil
+		a.free = a.free[:n-1]
+		if len(b.slots) >= want {
+			e.resetBatch(b)
+			return b
+		}
+		// Undersized for the current session count (threads grew since
+		// it was allocated): drop it and let the GC have it.
+	}
+	return e.NewBatch()
 }
 
 // ErrExhausted is returned by Register when MaxThreads sessions are
@@ -267,17 +537,51 @@ func (e *Engine[S, P]) Register() (id int, err error) {
 	return id, nil
 }
 
-// Release returns a session's id to the free list for reuse.
-func (e *Engine[S, P]) Release(id int) { e.tids.Release(id) }
+// Release returns a session's id to the free list for reuse. Any
+// hazard the session still published is cleared so an idle slot can
+// never pin a retired batch.
+func (e *Engine[S, P]) Release(id int) {
+	if e.recycle {
+		e.hazards[id].p.Store(nil)
+	}
+	e.tids.Release(id)
+}
+
+// Done marks the end of one operation: the session is finished reading
+// the ticket its Push or Pop returned (including the batch payload),
+// so its hazard no longer pins the batch. Structures call it once per
+// operation, after consuming the ticket; it is a no-op without batch
+// recycling.
+func (e *Engine[S, P]) Done(id int) {
+	if e.recycle {
+		e.hazards[id].p.Store(nil)
+	}
+}
 
 // AggOf maps a session id to its fixed aggregator (partitioned engines
-// assign round-robin, giving the even distribution the paper
-// prescribes; unpartitioned engines have no fixed assignment and ops
-// name their aggregator directly).
-func (e *Engine[S, P]) AggOf(id int) int { return id % len(e.aggs) }
+// assign round-robin over the effective aggregator count, giving the
+// even distribution the paper prescribes; unpartitioned engines have no
+// fixed assignment and ops name their aggregator directly). Under
+// dynamic shard scaling the mapping changes with the scale epoch, so
+// handles consult it per operation rather than caching the result.
+func (e *Engine[S, P]) AggOf(id int) int { return id % int(e.effK.Load()) }
 
-// Aggregators reports K.
+// Aggregators reports K, the configured shard ceiling.
 func (e *Engine[S, P]) Aggregators() int { return len(e.aggs) }
+
+// EffectiveAggregators reports the current effective shard count in
+// [1, Aggregators]; fixed at Aggregators when Adaptive is off.
+func (e *Engine[S, P]) EffectiveAggregators() int { return int(e.effK.Load()) }
+
+// ScaleEpoch reports how many times the effective shard count has been
+// remapped.
+func (e *Engine[S, P]) ScaleEpoch() uint64 { return e.scaleEpoch.Load() }
+
+// FastPath reports aggregator agg's solo fast-path hit and miss
+// counts.
+func (e *Engine[S, P]) FastPath(agg int) (hits, misses int64) {
+	return e.ctl[agg].fastHits.Load(), e.ctl[agg].fastMiss.Load()
+}
 
 // InUse reports how many sessions are currently live.
 func (e *Engine[S, P]) InUse() int { return e.tids.InUse() }
@@ -295,11 +599,68 @@ func (e *Engine[S, P]) ActiveBatch(agg int) *Batch[S, P] {
 	return e.aggs[agg].batch.Load()
 }
 
+// observe folds one degree observation (in degreeUnit fixed point)
+// into aggregator ctl's EWMA (alpha = 1/4) and applies the solo-mode
+// hysteresis. The load/store pair is deliberately not a CAS loop: the
+// EWMA is a heuristic and a lost update under a race costs nothing.
+func (e *Engine[S, P]) observe(c *aggCtl, obs int64) {
+	o := c.ewma.Load()
+	v := o - o/4 + obs/4
+	c.ewma.Store(v)
+	switch {
+	case v <= soloEnterMax:
+		if e.trySoloPush != nil {
+			c.mode.Store(modeSolo)
+		}
+	case v >= soloExitMin:
+		c.mode.Store(modeBatched)
+	}
+}
+
+// maybeResize adjusts the effective aggregator count on the mean
+// degree EWMA of the currently active shards: saturated batches grow
+// toward Spec.Aggregators, near-empty ones consolidate toward 1 so the
+// remaining shards see enough load to batch.
+func (e *Engine[S, P]) maybeResize() {
+	k := int(e.effK.Load())
+	if k < 1 || k > len(e.aggs) {
+		return
+	}
+	var sum int64
+	for i := 0; i < k; i++ {
+		sum += e.ctl[i].ewma.Load()
+	}
+	mean := sum / int64(k)
+	switch {
+	case mean >= growDegree && k < len(e.aggs):
+		if e.effK.CompareAndSwap(int32(k), int32(k+1)) {
+			e.scaleEpoch.Add(1)
+		}
+	case mean <= shrinkDegree && k > 1:
+		if e.effK.CompareAndSwap(int32(k), int32(k-1)) {
+			e.scaleEpoch.Add(1)
+		}
+	}
+}
+
+// observeFreeze records a frozen batch's degree into the adaptivity
+// signal and periodically runs the shard-scaling check.
+func (e *Engine[S, P]) observeFreeze(agg, ops int) {
+	c := &e.ctl[agg]
+	e.observe(c, int64(ops)*degreeUnit)
+	if c.freezes.Add(1)%resizePeriod == 0 && e.partitioned && len(e.aggs) > 1 {
+		e.maybeResize()
+	}
+}
+
 // Freeze is the paper's FreezeBatch: after the batch-growing backoff,
-// snapshot both counters clamped to the slot capacity, then install a
-// fresh batch on aggregator agg, which releases every spinning
+// snapshot both counters clamped to the slot capacity, then install the
+// next batch on aggregator agg, which releases every spinning
 // announcer. Exactly one thread per batch - the freezer-race winner -
-// calls it.
+// calls it. With recycling on, the frozen batch retires to the
+// aggregator's limbo list (before the install, so the next freezer
+// inherits the list with a happens-before edge) and the installed
+// batch is recycled when a quiescent one is available.
 func (e *Engine[S, P]) Freeze(agg int, b *Batch[S, P]) {
 	if e.freezerSpin > 0 {
 		backoff.Spin(e.freezerSpin) // grow the batch (§3.1)
@@ -309,13 +670,20 @@ func (e *Engine[S, P]) Freeze(agg int, b *Batch[S, P]) {
 	pushes := min(b.PushCount.Load(), limit)
 	b.PopAtFreeze.Store(pops)
 	b.PushAtFreeze.Store(pushes)
-	e.aggs[agg].batch.Store(e.NewBatch())
+	next := e.nextBatch(agg)
+	if e.recycle {
+		e.aggs[agg].limbo = append(e.aggs[agg].limbo, b)
+	}
+	e.aggs[agg].batch.Store(next)
 	if e.m != nil {
 		capacity := 2 * len(b.slots)
 		if e.singleSided {
 			capacity = len(b.slots)
 		}
 		e.m.RecordBatchOcc(agg, int(pushes+pops), int(2*e.eliminate(pushes, pops)), capacity)
+	}
+	if e.adaptive {
+		e.observeFreeze(agg, int(pushes+pops))
 	}
 }
 
@@ -333,6 +701,61 @@ func (e *Engine[S, P]) freezeOrWait(agg int, b *Batch[S, P], seq int64) {
 	}
 }
 
+// announce loads aggregator agg's active batch on behalf of session
+// id, publishing it through the session's hazard slot first when
+// recycling is on. The re-validation closes the window between the
+// load and the publish: a batch that was uninstalled in that window is
+// simply retried, so the hazard scan in reclaim sees every session
+// that can still touch a retired batch.
+func (e *Engine[S, P]) announce(id, agg int) *Batch[S, P] {
+	for {
+		b := e.aggs[agg].batch.Load()
+		if e.recycle {
+			e.hazards[id].p.Store(b)
+			if e.aggs[agg].batch.Load() != b {
+				continue
+			}
+		}
+		return b
+	}
+}
+
+// soloBatch returns session id's one-slot scratch batch, allocating it
+// on first use. Scratch batches never enter the recycling pool; the
+// session is their only writer and their payload is fully overwritten
+// by the solo applier before the ticket is read.
+func (e *Engine[S, P]) soloBatch(id int) *Batch[S, P] {
+	if b := e.solo[id]; b != nil {
+		return b
+	}
+	b := &Batch[S, P]{slots: make([]atomic.Pointer[S], 1)}
+	if e.makeData != nil {
+		b.Data = e.makeData(1)
+	}
+	e.solo[id] = b
+	return b
+}
+
+// soloMode reports whether aggregator agg currently runs the solo fast
+// path.
+func (e *Engine[S, P]) soloMode(agg int) bool {
+	return e.ctl[agg].mode.Load() == modeSolo
+}
+
+func (e *Engine[S, P]) soloHit(agg int) {
+	c := &e.ctl[agg]
+	c.fastHits.Add(1)
+	e.observe(c, soloObsHit)
+	e.m.RecordFastPath(agg, true)
+}
+
+func (e *Engine[S, P]) soloMiss(agg int) {
+	c := &e.ctl[agg]
+	c.fastMiss.Add(1)
+	e.observe(c, soloObsMiss)
+	e.m.RecordFastPath(agg, false)
+}
+
 // PushTicket reports how a push-side announcement was served.
 type PushTicket[S, P any] struct {
 	B   *Batch[S, P]
@@ -345,14 +768,26 @@ type PushTicket[S, P any] struct {
 }
 
 // Push announces val on the push side of aggregator agg's active batch
-// and drives the operation through the batch lifecycle (Algorithm 1 of
-// the paper): freeze race, post-freeze retry, elimination, combiner
-// election or applied-wait. On return the operation is linearized -
-// eliminated in-batch, or applied to the shared structure by its
-// batch's push combiner.
-func (e *Engine[S, P]) Push(agg int, val *S) PushTicket[S, P] {
+// on behalf of session id and drives the operation through the batch
+// lifecycle (Algorithm 1 of the paper): freeze race, post-freeze
+// retry, elimination, combiner election or applied-wait. When the
+// aggregator is in solo mode, one direct apply is attempted first. On
+// return the operation is linearized - applied solo, eliminated
+// in-batch, or applied to the shared structure by its batch's push
+// combiner. The caller must invoke Done(id) once it has finished
+// reading the ticket.
+func (e *Engine[S, P]) Push(id, agg int, val *S) PushTicket[S, P] {
+	if e.adaptive && e.trySoloPush != nil && e.soloMode(agg) {
+		sb := e.soloBatch(id)
+		sb.slots[0].Store(val)
+		if e.trySoloPush(agg, sb) {
+			e.soloHit(agg)
+			return PushTicket[S, P]{B: sb, Seq: 0}
+		}
+		e.soloMiss(agg)
+	}
 	for {
-		b := e.aggs[agg].batch.Load()
+		b := e.announce(id, agg)
 		seq := b.PushCount.Add(1) - 1
 		if int(seq) < len(b.slots) {
 			b.slots[seq].Store(val) // announce the record immediately (line 7)
@@ -396,14 +831,25 @@ type PopTicket[S, P any] struct {
 	Elim *S
 }
 
-// Pop announces on the pop side of aggregator agg's active batch and
-// drives the operation through the batch lifecycle (Algorithm 2 of the
-// paper). An eliminated pop returns its partner's record; a surviving
-// pop returns after its batch's pop combiner ran, with its offset into
-// the combiner-published results.
-func (e *Engine[S, P]) Pop(agg int) PopTicket[S, P] {
+// Pop announces on the pop side of aggregator agg's active batch on
+// behalf of session id and drives the operation through the batch
+// lifecycle (Algorithm 2 of the paper), attempting one solo direct
+// apply first when the aggregator is in solo mode. An eliminated pop
+// returns its partner's record; a surviving pop returns after its
+// batch's pop combiner ran, with its offset into the
+// combiner-published results. The caller must invoke Done(id) once it
+// has finished reading the ticket.
+func (e *Engine[S, P]) Pop(id, agg int) PopTicket[S, P] {
+	if e.adaptive && e.trySoloPop != nil && e.soloMode(agg) {
+		sb := e.soloBatch(id)
+		if e.trySoloPop(agg, sb) {
+			e.soloHit(agg)
+			return PopTicket[S, P]{B: sb, Off: 0, K: 1}
+		}
+		e.soloMiss(agg)
+	}
 	for {
-		b := e.aggs[agg].batch.Load()
+		b := e.announce(id, agg)
 		seq := b.PopCount.Add(1) - 1
 
 		e.freezeOrWait(agg, b, seq)

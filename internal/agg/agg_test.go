@@ -4,8 +4,10 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"unsafe"
 
 	"secstack/internal/metrics"
+	"secstack/internal/pad"
 )
 
 func TestEliminators(t *testing.T) {
@@ -201,9 +203,9 @@ func TestCombinerUniqueness(t *testing.T) {
 			agg := e.AggOf(id)
 			for i := 0; i < per; i++ {
 				if (w+i)%2 == 0 {
-					e.Push(agg, &val)
+					e.Push(id, agg, &val)
 				} else {
-					e.Pop(agg)
+					e.Pop(id, agg)
 				}
 			}
 		}(w, id)
@@ -258,12 +260,12 @@ func TestEliminationHandshake(t *testing.T) {
 			for i := 0; i < per; i++ {
 				if w%2 == 0 {
 					vals[i] = int64(w)<<32 | int64(i)
-					pt := e.Push(0, &vals[i])
+					pt := e.Push(0, 0, &vals[i])
 					if pt.Eliminated {
 						eliminated.Add(1)
 					}
 				} else {
-					pt := e.Pop(0)
+					pt := e.Pop(0, 0)
 					if pt.Elim != nil {
 						eliminated.Add(1)
 						if *pt.Elim>>32%2 != 0 {
@@ -288,6 +290,382 @@ func TestEliminationHandshake(t *testing.T) {
 	}
 }
 
+// TestAggregatorPadding pins the layout property the aggregator's pads
+// exist for: the struct is a whole number of cache lines, so in the
+// engine's aggs slice no aggregator's hot batch pointer shares a line
+// with a neighbour's fields (the recycling list headers in particular,
+// which every Freeze rewrites).
+func TestAggregatorPadding(t *testing.T) {
+	size := unsafe.Sizeof(aggregator[int64, struct{}]{})
+	if size%pad.CacheLine != 0 {
+		t.Fatalf("sizeof(aggregator) = %d, not a multiple of the %d-byte cache line", size, pad.CacheLine)
+	}
+	if off := unsafe.Offsetof(aggregator[int64, struct{}]{}.limbo); off < pad.CacheLine {
+		t.Fatalf("limbo at offset %d shares the batch pointer's cache line", off)
+	}
+}
+
+// TestRecycledBatchAliasing is the freeze-recycle-refill aliasing
+// check: a batch that cycles through the per-aggregator free list must
+// come back with every announcement slot cleared, counters and flags
+// zeroed, and its payload reset through the ResetData hook - a stale
+// slot would satisfy the next incarnation's WaitSlot with the wrong
+// record, and a stale payload would leak a previous incarnation's
+// results.
+func TestRecycledBatchAliasing(t *testing.T) {
+	e := New(Spec[int64, []int64]{
+		Aggregators: 1,
+		MaxThreads:  4,
+		Partitioned: true,
+		Recycle:     true,
+		Eliminate:   NoElim,
+		MakeData:    func(n int) []int64 { return make([]int64, n) },
+		ResetData: func(p *[]int64) {
+			for i := range *p {
+				(*p)[i] = -1 // reset marker the test looks for
+			}
+		},
+		ApplyPush: func(_ int, b *Batch[int64, []int64], seq, pushAtF int64) {
+			for i := seq; i < pushAtF; i++ {
+				b.Data[i] = *b.WaitSlot(i) + 100
+			}
+		},
+		ApplyPop: func(int, *Batch[int64, []int64], int64, int64) {},
+	})
+	id, err := e.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b0 := e.ActiveBatch(0)
+
+	// Op 1 freezes b0 (singleton batch) and retires it to limbo; the
+	// announcer's own hazard still pins it there.
+	v1 := int64(1)
+	e.Push(id, 0, &v1)
+	e.Done(id)
+
+	// Op 2 freezes b0's successor; its freezer reclaims the now
+	// hazard-quiescent b0, resets it, and reinstalls it.
+	v2 := int64(2)
+	e.Push(id, 0, &v2)
+	e.Done(id)
+
+	active := e.ActiveBatch(0)
+	if active != b0 {
+		t.Fatalf("after two freezes the active batch is not the recycled first batch (free list bypassed)")
+	}
+	if got := active.PushCount.Load(); got != 0 {
+		t.Fatalf("recycled batch PushCount = %d, want 0", got)
+	}
+	if got := active.PushAtFreeze.Load(); got != 0 {
+		t.Fatalf("recycled batch PushAtFreeze = %d, want 0", got)
+	}
+	if active.frozen.Load() || active.pushApplied.Load() || active.popApplied.Load() {
+		t.Fatal("recycled batch came back with freeze/applied flags set")
+	}
+	for i := 0; i < active.Cap(); i++ {
+		if p := active.Slot(int64(i)); p != nil {
+			t.Fatalf("recycled batch slot %d still holds record %d", i, *p)
+		}
+	}
+	for i, d := range active.Data {
+		if d != -1 {
+			t.Fatalf("recycled batch payload[%d] = %d, want reset marker -1", i, d)
+		}
+	}
+
+	// Refill: the recycled batch must serve a fresh value, not an
+	// aliased one from its first life.
+	v3 := int64(33)
+	pt := e.Push(id, 0, &v3)
+	if got := pt.B.Data[pt.Seq]; got != 133 {
+		t.Fatalf("refilled recycled batch served %d, want 133", got)
+	}
+	e.Done(id)
+}
+
+// TestSoloFastPathEngages: an adaptive engine under a single
+// uncontended session starts in solo mode and serves every operation
+// through the direct-apply path - no freezes, no batch installs, one
+// scratch batch reused throughout.
+func TestSoloFastPathEngages(t *testing.T) {
+	var ctr atomic.Int64
+	e := New(Spec[int64, []int64]{
+		Aggregators: 2,
+		MaxThreads:  4,
+		Partitioned: true,
+		Adaptive:    true,
+		Eliminate:   NoElim,
+		MakeData:    func(n int) []int64 { return make([]int64, n) },
+		ApplyPush: func(_ int, b *Batch[int64, []int64], seq, pushAtF int64) {
+			for i := seq; i < pushAtF; i++ {
+				b.Data[i] = ctr.Add(*b.WaitSlot(i))
+			}
+		},
+		ApplyPop: func(int, *Batch[int64, []int64], int64, int64) {},
+		TrySoloPush: func(_ int, b *Batch[int64, []int64]) bool {
+			b.Data[0] = ctr.Add(*b.Slot(0))
+			return true
+		},
+	})
+	id, err := e.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := e.AggOf(id)
+	before := e.ActiveBatch(agg)
+	const n = 50
+	for i := 1; i <= n; i++ {
+		v := int64(1)
+		pt := e.Push(id, agg, &v)
+		if got := pt.B.Data[pt.Seq]; got != int64(i) {
+			t.Fatalf("op %d saw counter %d", i, got)
+		}
+		e.Done(id)
+	}
+	hits, misses := e.FastPath(agg)
+	if hits != n || misses != 0 {
+		t.Fatalf("fast path hits/misses = %d/%d, want %d/0", hits, misses, n)
+	}
+	if e.ActiveBatch(agg) != before {
+		t.Fatal("solo ops froze a batch (active batch changed)")
+	}
+}
+
+// TestSoloFallbackOnContention: a solo attempt that reports contention
+// must fall back to the full protocol (the operation still completes,
+// through a frozen batch), be counted as a miss, and - under a
+// persistent contention signal - flip the aggregator out of solo mode.
+func TestSoloFallbackOnContention(t *testing.T) {
+	var applied atomic.Int64
+	e := New(Spec[int64, struct{}]{
+		Aggregators: 1,
+		MaxThreads:  4,
+		Partitioned: true,
+		Adaptive:    true,
+		Eliminate:   NoElim,
+		ApplyPush: func(_ int, b *Batch[int64, struct{}], seq, pushAtF int64) {
+			applied.Add(pushAtF - seq)
+		},
+		ApplyPop:    func(int, *Batch[int64, struct{}], int64, int64) {},
+		TrySoloPush: func(int, *Batch[int64, struct{}]) bool { return false }, // always contended
+	})
+	id, err := e.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.soloMode(0) {
+		t.Fatal("adaptive engine did not start in solo mode")
+	}
+	const n = 20
+	v := int64(1)
+	for i := 0; i < n; i++ {
+		e.Push(id, 0, &v)
+		e.Done(id)
+	}
+	if got := applied.Load(); got != n {
+		t.Fatalf("slow path applied %d ops, want all %d", got, n)
+	}
+	_, misses := e.FastPath(0)
+	if misses == 0 {
+		t.Fatal("contended solo attempts recorded no misses")
+	}
+	// Every op both missed (obs: heavy) and froze a singleton batch
+	// (obs: degree 1); the miss weighting must win often enough that
+	// the engine spent part of the run in batched mode.
+	if misses == n {
+		t.Fatalf("aggregator never left solo mode across %d contended ops", n)
+	}
+}
+
+// TestShardScaling exercises the effective-aggregator resize rule
+// directly: a sustained high mean degree grows the shard count toward
+// the configured ceiling, a low one shrinks it toward 1, and every
+// remap bumps the scale epoch and keeps AggOf within range.
+func TestShardScaling(t *testing.T) {
+	e := New(noopSpecAdaptive(4, 64))
+	if got := e.EffectiveAggregators(); got != 4 {
+		t.Fatalf("initial effective aggregators = %d, want configured 4", got)
+	}
+	// Sustained near-empty batches: consolidate to one shard.
+	for i := 0; i < 16; i++ {
+		for a := 0; a < 4; a++ {
+			e.ctl[a].ewma.Store(degreeUnit) // degree 1.0
+		}
+		e.maybeResize()
+	}
+	if got := e.EffectiveAggregators(); got != 1 {
+		t.Fatalf("effective aggregators after low-degree runs = %d, want 1", got)
+	}
+	epochAfterShrink := e.ScaleEpoch()
+	if epochAfterShrink != 3 {
+		t.Fatalf("scale epoch = %d after 4->1, want 3", epochAfterShrink)
+	}
+	for id := 0; id < 64; id += 7 {
+		if a := e.AggOf(id); a != 0 {
+			t.Fatalf("AggOf(%d) = %d with one effective shard", id, a)
+		}
+	}
+	// Sustained saturated batches: grow back to the ceiling, not past.
+	for i := 0; i < 16; i++ {
+		for a := 0; a < 4; a++ {
+			e.ctl[a].ewma.Store(16 * degreeUnit)
+		}
+		e.maybeResize()
+	}
+	if got := e.EffectiveAggregators(); got != 4 {
+		t.Fatalf("effective aggregators after high-degree runs = %d, want ceiling 4", got)
+	}
+	if got := e.ScaleEpoch(); got != epochAfterShrink+3 {
+		t.Fatalf("scale epoch = %d after regrow, want %d", got, epochAfterShrink+3)
+	}
+	for id := 0; id < 64; id += 7 {
+		if a := e.AggOf(id); a < 0 || a >= 4 {
+			t.Fatalf("AggOf(%d) = %d out of range", id, a)
+		}
+	}
+}
+
+// noopSpecAdaptive is noopSpec with adaptivity on (and a solo push so
+// solo mode is reachable).
+func noopSpecAdaptive(aggs, maxThreads int) Spec[int64, struct{}] {
+	s := noopSpec(aggs, maxThreads, true)
+	s.Adaptive = true
+	s.TrySoloPush = func(int, *Batch[int64, struct{}]) bool { return true }
+	return s
+}
+
+// TestAdaptiveRecyclingStress drives the full adaptive stack - solo
+// attempts that genuinely succeed and fail under contention, fallback
+// into the batch protocol, batch recycling with hazard reclamation,
+// dynamic shard scaling - against a conservation invariant: with the
+// identity eliminator every push adds 1 and every pop subtracts 1 from
+// a shared counter, so after balanced workloads the counter is 0. Run
+// with -race.
+func TestAdaptiveRecyclingStress(t *testing.T) {
+	var state atomic.Int64
+	spec := Spec[int64, struct{}]{
+		Aggregators: 3,
+		MaxThreads:  16,
+		FreezerSpin: 64,
+		Partitioned: true,
+		Adaptive:    true,
+		Recycle:     true,
+		Eliminate:   NoElim,
+		ApplyPush: func(_ int, b *Batch[int64, struct{}], seq, pushAtF int64) {
+			state.Add(pushAtF - seq)
+		},
+		ApplyPop: func(_ int, b *Batch[int64, struct{}], el, popAtF int64) {
+			state.Add(-(popAtF - el))
+		},
+	}
+	// Solo appliers with real contention: one CAS attempt each, exactly
+	// the structure the stack builds from its top pointer.
+	spec.TrySoloPush = func(_ int, b *Batch[int64, struct{}]) bool {
+		old := state.Load()
+		return state.CompareAndSwap(old, old+1)
+	}
+	spec.TrySoloPop = func(_ int, b *Batch[int64, struct{}]) bool {
+		old := state.Load()
+		return state.CompareAndSwap(old, old-1)
+	}
+	e := New(spec)
+	const g, per = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < g; w++ {
+		id, err := e.Register()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			defer e.Release(id)
+			val := int64(1)
+			for i := 0; i < per; i++ {
+				agg := e.AggOf(id)
+				if i%2 == 0 {
+					e.Push(id, agg, &val)
+				} else {
+					e.Pop(id, agg)
+				}
+				e.Done(id)
+			}
+		}(id)
+	}
+	wg.Wait()
+	if got := state.Load(); got != 0 {
+		t.Fatalf("conservation violated: counter = %d after balanced ops", got)
+	}
+	if k := e.EffectiveAggregators(); k < 1 || k > 3 {
+		t.Fatalf("effective aggregators = %d out of [1,3]", k)
+	}
+}
+
+// TestAdaptiveFullProtocolUnderContention: with adaptivity on, a
+// structure whose solo attempts keep reporting contention must drop
+// back to the full batch protocol and recover its batching behavior -
+// batch degree above 1 and (with the pairwise eliminator) in-batch
+// elimination - rather than thrash on the fast path. The big freezer
+// spin reaches the backoff's yield threshold, which is what lets the
+// opposite side get scheduled into the batch even on one CPU (see
+// TestEliminationHandshake).
+func TestAdaptiveFullProtocolUnderContention(t *testing.T) {
+	m := metrics.NewSEC(1)
+	e := New(Spec[int64, struct{}]{
+		Aggregators: 1,
+		MaxThreads:  8,
+		FreezerSpin: 1 << 16,
+		Partitioned: true,
+		Adaptive:    true,
+		ApplyPush:   func(int, *Batch[int64, struct{}], int64, int64) {},
+		ApplyPop:    func(int, *Batch[int64, struct{}], int64, int64) {},
+		TrySoloPush: func(int, *Batch[int64, struct{}]) bool { return false },
+		TrySoloPop:  func(int, *Batch[int64, struct{}]) bool { return false },
+		Metrics:     m,
+	})
+	const g = 4
+	per := 2000
+	if testing.Short() {
+		per = 200
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < g; w++ {
+		id, err := e.Register()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(w, id int) {
+			defer wg.Done()
+			val := int64(1)
+			for i := 0; i < per; i++ {
+				if w%2 == 0 {
+					e.Push(id, 0, &val)
+				} else {
+					e.Pop(id, 0)
+				}
+				e.Done(id)
+			}
+		}(w, id)
+	}
+	wg.Wait()
+	snap := m.Snapshot()
+	if snap.FastMisses == 0 {
+		t.Fatal("contended solo attempts recorded no misses")
+	}
+	if snap.Batches == 0 {
+		t.Fatal("full protocol never engaged under contention")
+	}
+	if d := snap.BatchingDegree(); d <= 1 {
+		t.Fatalf("batch degree %.2f under contention, want > 1 (batches=%d ops=%d)",
+			d, snap.Batches, snap.Ops)
+	}
+	if snap.Eliminated == 0 {
+		t.Fatal("no in-batch elimination once the full protocol engaged")
+	}
+}
+
 // TestPushTicketSeq: the ticket's sequence number indexes the batch the
 // operation was actually served in - the contract the funnel's result
 // table depends on.
@@ -307,7 +685,7 @@ func TestPushTicketSeq(t *testing.T) {
 	})
 	for v := int64(0); v < 50; v++ {
 		val := v
-		pt := e.Push(0, &val)
+		pt := e.Push(0, 0, &val)
 		if pt.Eliminated {
 			t.Fatal("NoElim engine eliminated a push")
 		}

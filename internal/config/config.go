@@ -39,6 +39,16 @@ type Config struct {
 	// instead of fresh allocation.
 	Recycle bool
 
+	// Adaptive enables contention adaptivity in the batch-protocol
+	// structures (SEC stack, deque, funnel): the solo fast path when an
+	// aggregator's recent batch degree is ~1, and dynamic shard scaling
+	// between 1 and Aggregators for partitioned engines.
+	Adaptive bool
+
+	// BatchRecycle retires frozen batches to per-aggregator free lists
+	// for reuse, so the steady-state freeze path allocates nothing.
+	BatchRecycle bool
+
 	// CollectMetrics enables the batching/elimination/combining degree
 	// counters behind the paper's Tables 1-3.
 	CollectMetrics bool
@@ -130,6 +140,21 @@ func WithoutElimination() Option {
 // instead of the garbage collector.
 func WithRecycling() Option {
 	return func(c *Config) { c.Recycle = true }
+}
+
+// WithAdaptive toggles contention adaptivity in the batch-protocol
+// structures: the solo fast path (one direct apply when the recent
+// batch degree is ~1, falling back to the full protocol on contention)
+// and dynamic shard scaling between 1 and Aggregators.
+func WithAdaptive(on bool) Option {
+	return func(c *Config) { c.Adaptive = on }
+}
+
+// WithBatchRecycling toggles batch recycling: frozen batches retire to
+// per-aggregator free lists - slot arrays and payloads reused - so the
+// steady-state freeze path allocates nothing.
+func WithBatchRecycling(on bool) Option {
+	return func(c *Config) { c.BatchRecycle = on }
 }
 
 // WithMetrics enables degree counters (batching, elimination,

@@ -14,6 +14,9 @@ func TestDefaultsMatchPaper(t *testing.T) {
 	if c.NoElimination || c.Recycle || c.CollectMetrics {
 		t.Fatalf("boolean knobs default on: %+v", c)
 	}
+	if c.Adaptive || c.BatchRecycle {
+		t.Fatalf("adaptivity knobs default on: %+v", c)
+	}
 	if c.Shards != 4 {
 		t.Fatalf("Shards default = %d, want 4", c.Shards)
 	}
@@ -29,6 +32,8 @@ func TestOptionsCompose(t *testing.T) {
 		config.WithMetrics(),
 		config.WithShards(2),
 		config.WithInitial(-7),
+		config.WithAdaptive(true),
+		config.WithBatchRecycling(true),
 		nil, // nil options are tolerated
 	})
 	if c.Aggregators != 5 || c.MaxThreads != 32 || c.FreezerSpin != 0 {
@@ -36,6 +41,9 @@ func TestOptionsCompose(t *testing.T) {
 	}
 	if !c.NoElimination || !c.Recycle || !c.CollectMetrics {
 		t.Fatalf("boolean options dropped: %+v", c)
+	}
+	if !c.Adaptive || !c.BatchRecycle {
+		t.Fatalf("adaptivity options dropped: %+v", c)
 	}
 	if c.Shards != 2 || c.Initial != -7 {
 		t.Fatalf("resolved = %+v", c)

@@ -106,6 +106,18 @@ type Options struct {
 	// CollectMetrics enables the batching/elimination/combining degree
 	// counters behind the paper's Tables 1-3.
 	CollectMetrics bool
+
+	// Adaptive enables contention adaptivity: the solo fast path (a
+	// push or pop attempts one Treiber-style CAS directly when its
+	// aggregator's recent batch degree is ~1, falling back to the full
+	// batch protocol on contention) and dynamic shard scaling between 1
+	// and Aggregators. See DESIGN.md §8.
+	Adaptive bool
+
+	// BatchRecycle retires frozen batches to per-aggregator free lists
+	// for reuse - slot arrays and pop-chain payloads included - so the
+	// steady-state freeze path allocates nothing.
+	BatchRecycle bool
 }
 
 func (o Options) withDefaults() Options {
@@ -149,24 +161,38 @@ func New[T any](opts Options) *Stack[T] {
 		MaxThreads:  o.MaxThreads,
 		FreezerSpin: o.FreezerSpin,
 		Partitioned: true,
+		Recycle:     o.BatchRecycle,
+		Adaptive:    o.Adaptive,
 		Eliminate:   eliminate,
+		ResetData:   s.resetChain,
 		ApplyPush:   s.applyPush,
 		ApplyPop:    s.applyPop,
+		TrySoloPush: s.trySoloPush,
+		TrySoloPop:  s.trySoloPop,
 		Metrics:     m,
 	})
 	return s
+}
+
+// resetChain clears a recycled batch's pop-chain payload so a reused
+// batch cannot publish a previous incarnation's detached chain (or
+// keep its nodes reachable for the GC).
+func (s *Stack[T]) resetChain(p *popChain[T]) {
+	p.top.Store(nil)
+	p.pending.Store(0)
 }
 
 // Metrics returns the degree snapshot collector, or nil if
 // CollectMetrics was not set.
 func (s *Stack[T]) Metrics() *metrics.SEC { return s.eng.Metrics() }
 
-// Handle is one goroutine's session on the stack: its thread id fixes
-// its aggregator. Handles must not be shared between goroutines.
+// Handle is one goroutine's session on the stack: its thread id maps
+// to its aggregator (consulted per operation, since dynamic shard
+// scaling may remap it). Handles must not be shared between
+// goroutines.
 type Handle[T any] struct {
 	s      *Stack[T]
 	tid    int
-	aggIdx int
 	rec    *ebr.Handle[node[T]] // nil when recycling is off
 	closed bool
 }
@@ -192,7 +218,7 @@ func (s *Stack[T]) TryRegister() (*Handle[T], error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: more than MaxThreads=%d handles live", s.eng.MaxThreads())
 	}
-	h := &Handle[T]{s: s, tid: tid, aggIdx: s.eng.AggOf(tid)}
+	h := &Handle[T]{s: s, tid: tid}
 	if s.rec != nil {
 		h.rec = s.rec.Register()
 	}
@@ -255,7 +281,9 @@ func (h *Handle[T]) exit() {
 func (h *Handle[T]) Push(v T) {
 	h.enter()
 	defer h.exit()
-	h.s.eng.Push(h.aggIdx, h.alloc(v))
+	eng := h.s.eng
+	eng.Push(h.tid, eng.AggOf(h.tid), h.alloc(v))
+	eng.Done(h.tid)
 }
 
 // applyPush is the paper's PushToStack, executed only by a batch's
@@ -286,16 +314,19 @@ func (h *Handle[T]) Pop() (v T, ok bool) {
 	h.enter()
 	defer h.exit()
 
-	t := h.s.eng.Pop(h.aggIdx)
+	eng := h.s.eng
+	t := eng.Pop(h.tid, eng.AggOf(h.tid))
 	if t.Elim != nil {
 		// Eliminated: the paired push's node came straight from the
 		// elimination array.
 		val := t.Elim.value
 		h.retire(t.Elim)
+		eng.Done(h.tid)
 		return val, true
 	}
 	v, ok = getValue(t.B, t.Off)
 	h.releaseSubstack(t.B, t.K)
+	eng.Done(h.tid) // finished with the batch's published chain
 	return v, ok
 }
 
@@ -318,6 +349,37 @@ func (s *Stack[T]) applyPop(_ int, b *secBatch[T], e, popAtF int64) {
 			return
 		}
 	}
+}
+
+// trySoloPush is the solo fast path's push applier: one Treiber-style
+// CAS attempt splicing the scratch batch's single node under the top
+// pointer. Failure leaves the stack unchanged and sends the operation
+// through the full batch protocol.
+func (s *Stack[T]) trySoloPush(_ int, b *secBatch[T]) bool {
+	n := b.Slot(0)
+	old := s.top.Load()
+	n.next = old
+	return s.top.CompareAndSwap(old, n)
+}
+
+// trySoloPop is the solo fast path's pop applier: one Treiber-style
+// CAS attempt detaching the top node, published through the scratch
+// batch's chain payload exactly as applyPop publishes a k-node chain
+// (so getValue and releaseSubstack serve solo pops unchanged). An
+// observed-empty stack "succeeds" with a nil chain - the operation
+// linearizes at the top load. ABA is excluded the same way as in
+// applyPop: under EBR recycling the operation is inside its critical
+// section, and without it the garbage collector pins the node.
+func (s *Stack[T]) trySoloPop(_ int, b *secBatch[T]) bool {
+	old := s.top.Load()
+	if old != nil && !s.top.CompareAndSwap(old, old.next) {
+		return false
+	}
+	if s.rec != nil {
+		b.Data.pending.Store(1)
+	}
+	b.Data.top.Store(old)
+	return true
 }
 
 // getValue is the paper's GetValue: the pop with offset off into its
@@ -375,6 +437,10 @@ func (s *Stack[T]) Len() int {
 
 // Aggregators reports K, for harness labeling.
 func (s *Stack[T]) Aggregators() int { return s.eng.Aggregators() }
+
+// EffectiveAggregators reports the current effective shard count
+// (equal to Aggregators unless Adaptive shard scaling shrank it).
+func (s *Stack[T]) EffectiveAggregators() int { return s.eng.EffectiveAggregators() }
 
 // RegisteredThreads reports how many handles are currently live
 // (registered and not yet closed).

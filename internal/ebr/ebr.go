@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"secstack/internal/pad"
 	"secstack/internal/tid"
 )
 
@@ -42,7 +43,7 @@ type paddedSlot struct {
 	// ann = epoch<<1 | activeBit while in a critical section,
 	// epoch<<1 when quiescent.
 	ann atomic.Uint64
-	_   [56]byte
+	_   [pad.CacheLine - 8]byte
 }
 
 // Manager coordinates epochs across up to maxThreads participants and

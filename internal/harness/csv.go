@@ -15,7 +15,7 @@ import (
 //	title,workload,column,threads,mops,stddev,runs
 func (s *Series) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"title", "workload", "column", "threads", "mops", "stddev", "runs"}); err != nil {
+	if err := cw.Write([]string{"title", "workload", "column", "threads", "mops", "stddev", "runs", "allocs_op", "bytes_op"}); err != nil {
 		return err
 	}
 	for _, t := range s.Threads() {
@@ -32,6 +32,8 @@ func (s *Series) WriteCSV(w io.Writer) error {
 				strconv.FormatFloat(r.Mops, 'f', 4, 64),
 				strconv.FormatFloat(r.Stddev, 'f', 4, 64),
 				strconv.Itoa(r.Runs),
+				strconv.FormatFloat(r.AllocsPerOp, 'f', 3, 64),
+				strconv.FormatFloat(r.BytesPerOp, 'f', 1, 64),
 			}
 			if err := cw.Write(rec); err != nil {
 				return err

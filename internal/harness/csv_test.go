@@ -21,7 +21,7 @@ func TestWriteCSV(t *testing.T) {
 	if len(lines) != 3 {
 		t.Fatalf("CSV has %d lines, want 3:\n%s", len(lines), out)
 	}
-	if lines[0] != "title,workload,column,threads,mops,stddev,runs" {
+	if lines[0] != "title,workload,column,threads,mops,stddev,runs,allocs_op,bytes_op" {
 		t.Fatalf("header = %q", lines[0])
 	}
 	if !strings.Contains(lines[1], "fig,100%upd,A,2,1.2500,0.1000,3") {

@@ -9,10 +9,15 @@ import (
 	"io"
 )
 
+// Schema identifies the JSON layout. v2 added allocs_op/bytes_op to
+// every point (the allocation trajectory the batch-recycling work is
+// measured by) and fastpath_pct to degree rows.
+const Schema = "secbench/v2"
+
 // BenchDoc is the top-level JSON document for one figure or table: its
 // sweeps' throughput series and/or its degree tables.
 type BenchDoc struct {
-	Schema string       `json:"schema"` // currently "secbench/v1"
+	Schema string       `json:"schema"` // see Schema
 	Fig    string       `json:"fig"`    // e.g. "fig2a", "table1"
 	Series []SeriesJSON `json:"series,omitempty"`
 	Tables []TableJSON  `json:"tables,omitempty"`
@@ -28,11 +33,13 @@ type SeriesJSON struct {
 
 // PointJSON is one measurement point of a sweep.
 type PointJSON struct {
-	Column  string  `json:"column"`
-	Threads int     `json:"threads"`
-	Mops    float64 `json:"mops"`
-	Stddev  float64 `json:"stddev"`
-	Runs    int     `json:"runs"`
+	Column      string  `json:"column"`
+	Threads     int     `json:"threads"`
+	Mops        float64 `json:"mops"`
+	Stddev      float64 `json:"stddev"`
+	Runs        int     `json:"runs"`
+	AllocsPerOp float64 `json:"allocs_op"`
+	BytesPerOp  float64 `json:"bytes_op"`
 }
 
 // TableJSON is one structure's degree table (occupancy, elimination
@@ -45,7 +52,7 @@ type TableJSON struct {
 
 // NewBenchDoc returns an empty document for the named figure or table.
 func NewBenchDoc(fig string) *BenchDoc {
-	return &BenchDoc{Schema: "secbench/v1", Fig: fig}
+	return &BenchDoc{Schema: Schema, Fig: fig}
 }
 
 // AddSeries appends a sweep's series to the document.
@@ -61,11 +68,13 @@ func (d *BenchDoc) AddSeries(s *Series) {
 				out.Workload = r.Workload.Name
 			}
 			out.Points = append(out.Points, PointJSON{
-				Column:  c,
-				Threads: t,
-				Mops:    r.Mops,
-				Stddev:  r.Stddev,
-				Runs:    r.Runs,
+				Column:      c,
+				Threads:     t,
+				Mops:        r.Mops,
+				Stddev:      r.Stddev,
+				Runs:        r.Runs,
+				AllocsPerOp: r.AllocsPerOp,
+				BytesPerOp:  r.BytesPerOp,
 			})
 		}
 	}

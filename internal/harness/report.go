@@ -108,6 +108,7 @@ type DegreeRow struct {
 	EliminationPct float64 `json:"elimination_pct"`
 	CombiningPct   float64 `json:"combining_pct"`
 	OccupancyPct   float64 `json:"occupancy_pct"`
+	FastPathPct    float64 `json:"fastpath_pct"`
 }
 
 // DegreeRowFrom fills a row from a degree snapshot.
@@ -118,6 +119,7 @@ func DegreeRowFrom(workload string, s metrics.Snapshot) DegreeRow {
 		EliminationPct: s.EliminationPct(),
 		CombiningPct:   s.CombiningPct(),
 		OccupancyPct:   s.OccupancyPct(),
+		FastPathPct:    s.FastPathPct(),
 	}
 }
 
@@ -149,6 +151,11 @@ func DegreeTable(title string, rows []DegreeRow) string {
 	fmt.Fprintf(&b, "%-18s", "%Occupancy")
 	for _, r := range rows {
 		fmt.Fprintf(&b, " %9.0f%%", r.OccupancyPct)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%-18s", "%FastPath")
+	for _, r := range rows {
+		fmt.Fprintf(&b, " %9.0f%%", r.FastPathPct)
 	}
 	b.WriteByte('\n')
 	return b.String()

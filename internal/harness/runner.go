@@ -8,6 +8,7 @@ package harness
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -78,6 +79,31 @@ type Result struct {
 	TotalOps  int64     // ops summed over all runs
 	Degrees   metrics.Snapshot
 	HasDegree bool
+
+	// AllocsPerOp and BytesPerOp are process-wide heap-allocation rates
+	// over the measured runs (runtime.MemStats deltas divided by
+	// operations). Coarse by design: construction, prefill and harness
+	// bookkeeping are included, which is exactly what makes a regression
+	// visible. They are what the secbench/v2 JSON schema records.
+	AllocsPerOp float64
+	BytesPerOp  float64
+}
+
+// allocMeter samples runtime.MemStats around a measurement region.
+type allocMeter struct{ m0 runtime.MemStats }
+
+func startAllocMeter() *allocMeter {
+	a := &allocMeter{}
+	runtime.GC() // settle pending frees so the delta is mostly the run's own
+	runtime.ReadMemStats(&a.m0)
+	return a
+}
+
+// delta returns heap allocations and bytes since start.
+func (a *allocMeter) delta() (allocs, bytes uint64) {
+	var m1 runtime.MemStats
+	runtime.ReadMemStats(&m1)
+	return m1.Mallocs - a.m0.Mallocs, m1.TotalAlloc - a.m0.TotalAlloc
 }
 
 // Run executes cfg against stacks produced by f and aggregates the
@@ -88,7 +114,9 @@ func Run(cfg Config, f Factory) Result {
 		panic(err)
 	}
 	res := Result{Config: cfg, PerRun: make([]float64, 0, cfg.Runs)}
+	var allocs, bytes uint64
 	for r := 0; r < cfg.Runs; r++ {
+		am := startAllocMeter() // before construction: the factory's allocations count too
 		s := f()
 		var (
 			ops    int64
@@ -104,6 +132,9 @@ func Run(cfg Config, f Factory) Result {
 			ops, deg, hasDeg = runOnce(cfg, s, cfg.Seed+uint64(r)*1e6)
 			mops = float64(ops) / cfg.Duration.Seconds() / 1e6
 		}
+		da, db := am.delta()
+		allocs += da
+		bytes += db
 		res.PerRun = append(res.PerRun, mops)
 		res.TotalOps += ops
 		if hasDeg {
@@ -112,6 +143,10 @@ func Run(cfg Config, f Factory) Result {
 		}
 	}
 	res.Mops, res.Stddev = meanStddev(res.PerRun)
+	if res.TotalOps > 0 {
+		res.AllocsPerOp = float64(allocs) / float64(res.TotalOps)
+		res.BytesPerOp = float64(bytes) / float64(res.TotalOps)
+	}
 	return res
 }
 

@@ -84,15 +84,24 @@ func runStructure(cfg Config, build func(cfg Config) (func(t int) structureOps, 
 		panic(err)
 	}
 	res := Result{Config: cfg, PerRun: make([]float64, 0, cfg.Runs)}
+	var allocs, bytes uint64
 	for r := 0; r < cfg.Runs; r++ {
+		am := startAllocMeter() // before construction: the builder's allocations count too
 		register, snapshot := build(cfg)
 		ops := runStructureOnce(cfg, register)
+		da, db := am.delta()
+		allocs += da
+		bytes += db
 		res.PerRun = append(res.PerRun, float64(ops)/cfg.Duration.Seconds()/1e6)
 		res.TotalOps += ops
 		res.Degrees.Accumulate(snapshot())
 		res.HasDegree = true
 	}
 	res.Mops, res.Stddev = meanStddev(res.PerRun)
+	if res.TotalOps > 0 {
+		res.AllocsPerOp = float64(allocs) / float64(res.TotalOps)
+		res.BytesPerOp = float64(bytes) / float64(res.TotalOps)
+	}
 	return res
 }
 

@@ -5,11 +5,11 @@
 // instrumentation is opt-in in the SEC constructor.
 package metrics
 
-import "sync/atomic"
+import (
+	"sync/atomic"
 
-// cacheLine is the assumed cache line size; padding counters to it
-// prevents false sharing between aggregator shards.
-const cacheLine = 64
+	"secstack/internal/pad"
+)
 
 // shard is one padded counter block. Batches, eliminated operations and
 // combined operations are tallied by whichever thread closes out a
@@ -21,7 +21,9 @@ type shard struct {
 	eliminated atomic.Int64 // operations eliminated in-batch
 	combined   atomic.Int64 // operations applied to the shared stack
 	capacity   atomic.Int64 // summed op capacity of frozen batches
-	_          [cacheLine - 5*8]byte
+	fastHits   atomic.Int64 // solo fast-path operations applied directly
+	fastMisses atomic.Int64 // solo fast-path attempts that hit contention
+	_          [pad.CacheLine - 7*8]byte
 }
 
 // SEC aggregates per-aggregator statistics for a SEC stack instance.
@@ -76,6 +78,22 @@ func (m *SEC) RecordBatchOcc(agg, ops, eliminated, capacity int) {
 	m.record(agg, ops, eliminated, capacity)
 }
 
+// RecordFastPath tallies one solo fast-path attempt of aggregator agg:
+// a hit applied the operation directly (bypassing the batch protocol
+// entirely - such operations never appear in Ops), a miss detected
+// contention and fell back to the full protocol (where the operation
+// is eventually counted through a frozen batch).
+func (m *SEC) RecordFastPath(agg int, hit bool) {
+	if m == nil {
+		return
+	}
+	if hit {
+		m.shards[agg].fastHits.Add(1)
+	} else {
+		m.shards[agg].fastMisses.Add(1)
+	}
+}
+
 // Snapshot is a point-in-time view of the collected statistics,
 // aggregated over all shards.
 type Snapshot struct {
@@ -84,6 +102,8 @@ type Snapshot struct {
 	Eliminated int64
 	Combined   int64
 	Capacity   int64
+	FastHits   int64
+	FastMisses int64
 }
 
 // Accumulate adds other's counters into s, for callers aggregating
@@ -94,6 +114,8 @@ func (s *Snapshot) Accumulate(other Snapshot) {
 	s.Eliminated += other.Eliminated
 	s.Combined += other.Combined
 	s.Capacity += other.Capacity
+	s.FastHits += other.FastHits
+	s.FastMisses += other.FastMisses
 }
 
 // Snapshot sums all shards. It is safe to call concurrently with
@@ -111,6 +133,8 @@ func (m *SEC) Snapshot() Snapshot {
 		out.Eliminated += s.eliminated.Load()
 		out.Combined += s.combined.Load()
 		out.Capacity += s.capacity.Load()
+		out.FastHits += s.fastHits.Load()
+		out.FastMisses += s.fastMisses.Load()
 	}
 	return out
 }
@@ -127,6 +151,8 @@ func (m *SEC) Reset() {
 		s.eliminated.Store(0)
 		s.combined.Store(0)
 		s.capacity.Store(0)
+		s.fastHits.Store(0)
+		s.fastMisses.Store(0)
 	}
 }
 
@@ -166,4 +192,17 @@ func (s Snapshot) OccupancyPct() float64 {
 		return 0
 	}
 	return 100 * float64(s.Ops) / float64(s.Capacity)
+}
+
+// FastPathPct is the percentage of completed operations that the solo
+// fast path applied directly, out of all operations that completed
+// through either path (fast hits plus batch-protocol ops; misses are
+// attempts, not completions - a missed operation completes through a
+// batch and is counted in Ops). Zero when nothing completed.
+func (s Snapshot) FastPathPct() float64 {
+	total := s.FastHits + s.Ops
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(s.FastHits) / float64(total)
 }

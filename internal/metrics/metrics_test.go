@@ -145,6 +145,38 @@ func TestRecordBatchOccAndOccupancy(t *testing.T) {
 	}
 }
 
+func TestFastPathCounters(t *testing.T) {
+	m := NewSEC(2)
+	m.RecordFastPath(0, true)
+	m.RecordFastPath(0, true)
+	m.RecordFastPath(1, true)
+	m.RecordFastPath(1, false)
+	m.RecordBatchOcc(1, 1, 0, 8) // the missed op completes through a batch
+	s := m.Snapshot()
+	if s.FastHits != 3 || s.FastMisses != 1 {
+		t.Fatalf("fast path counters = %d/%d, want 3/1", s.FastHits, s.FastMisses)
+	}
+	// 3 solo completions + 1 batch completion: 75% fast path.
+	if got := s.FastPathPct(); got != 75 {
+		t.Fatalf("FastPathPct = %.1f, want 75", got)
+	}
+	var acc Snapshot
+	acc.Accumulate(s)
+	acc.Accumulate(s)
+	if acc.FastHits != 6 || acc.FastMisses != 2 {
+		t.Fatalf("accumulated fast path counters = %d/%d, want 6/2", acc.FastHits, acc.FastMisses)
+	}
+	m.Reset()
+	if s := m.Snapshot(); s.FastHits != 0 || s.FastMisses != 0 {
+		t.Fatalf("fast path counters survive Reset: %+v", s)
+	}
+	var nilM *SEC
+	nilM.RecordFastPath(0, true) // nil collector must be a no-op
+	if got := nilM.Snapshot().FastPathPct(); got != 0 {
+		t.Fatalf("nil collector FastPathPct = %.1f, want 0", got)
+	}
+}
+
 func TestOccupancyZeroWithoutCapacity(t *testing.T) {
 	m := NewSEC(1)
 	m.RecordBatch(0, 3, 1) // capacity-less entry point

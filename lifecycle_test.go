@@ -124,6 +124,63 @@ func TestHandleChurnSECRecycling(t *testing.T) {
 	}
 }
 
+// TestHandleChurnSECAdaptive repeats the SEC churn waves with the full
+// adaptivity stack on - solo fast path, dynamic shard scaling, batch
+// recycling, node recycling - and checks element conservation: handle
+// slots (and with them engine hazard slots and solo scratch batches)
+// recycle across goroutine generations while batches recycle across
+// freezes. Run with -race; the hazard handoff between a retiring
+// batch's last reader and the freezer that reuses it is exactly the
+// publication this test exists to check.
+func TestHandleChurnSECAdaptive(t *testing.T) {
+	s := stack.NewSEC[int64](
+		stack.WithMaxThreads(churnMaxThreads),
+		stack.WithAdaptive(true),
+		stack.WithBatchRecycling(true),
+		stack.WithRecycling(),
+	)
+	var pushed, popped int64
+	var mu sync.Mutex
+	for wave := 0; wave < churnWaves; wave++ {
+		var wg sync.WaitGroup
+		for w := 0; w < churnMaxThreads; w++ {
+			wg.Add(1)
+			go func(wave, w int) {
+				defer wg.Done()
+				h := s.Register()
+				defer h.Close()
+				base := int64(wave*churnMaxThreads+w) << 32
+				myPushed, myPopped := int64(0), int64(0)
+				for i := int64(1); i <= 50; i++ {
+					h.Push(base + i)
+					myPushed++
+					if i%2 == 0 {
+						if _, ok := h.Pop(); ok {
+							myPopped++
+						}
+					}
+				}
+				mu.Lock()
+				pushed += myPushed
+				popped += myPopped
+				mu.Unlock()
+			}(wave, w)
+		}
+		wg.Wait()
+	}
+	h := s.Register()
+	defer h.Close()
+	for {
+		if _, ok := h.Pop(); !ok {
+			break
+		}
+		popped++
+	}
+	if pushed != popped {
+		t.Fatalf("adaptive SEC: pushed %d != popped %d after churn", pushed, popped)
+	}
+}
+
 // TestHandleChurnDeque churns 4x MaxThreads deque handles and checks
 // element conservation across both ends.
 func TestHandleChurnDeque(t *testing.T) {

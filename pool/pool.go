@@ -36,6 +36,16 @@ func WithShards(n int) Option { return config.WithShards(n) }
 // bound.
 func WithMaxThreads(n int) Option { return config.WithMaxThreads(n) }
 
+// WithAdaptive toggles contention adaptivity in the pool's SEC shards:
+// each shard's operations take the solo fast path (one direct CAS)
+// while its recent batch degree is ~1 and fall back to the full batch
+// protocol under contention.
+func WithAdaptive(on bool) Option { return config.WithAdaptive(on) }
+
+// WithBatchRecycling toggles batch recycling in the pool's SEC shards,
+// so their steady-state freeze paths allocate nothing.
+func WithBatchRecycling(on bool) Option { return config.WithBatchRecycling(on) }
+
 // New returns an empty pool.
 func New[T any](opts ...Option) *Pool[T] {
 	c := config.Resolve(opts)
@@ -46,7 +56,12 @@ func New[T any](opts ...Option) *Pool[T] {
 	for i := range p.shards {
 		// One aggregator per shard: the pool's sharding already spreads
 		// contention, and each shard sees only nearby threads.
-		p.shards[i] = core.New[T](core.Options{Aggregators: 1, MaxThreads: c.MaxThreads})
+		p.shards[i] = core.New[T](core.Options{
+			Aggregators:  1,
+			MaxThreads:   c.MaxThreads,
+			Adaptive:     c.Adaptive,
+			BatchRecycle: c.BatchRecycle,
+		})
 	}
 	return p
 }

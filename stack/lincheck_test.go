@@ -149,6 +149,13 @@ func TestLinearizabilitySECVariants(t *testing.T) {
 		"BigSpin":     {stack.WithFreezerSpin(2048)},
 		"Everything":  {stack.WithAggregators(3), stack.WithRecycling(), stack.WithMetrics(), stack.WithFreezerSpin(512)},
 		"NoElimRecyc": {stack.WithoutElimination(), stack.WithRecycling()},
+		// Contention adaptivity (DESIGN.md §8): the solo fast path races
+		// directly-CASing operations against full batch-protocol ones,
+		// and batch recycling reuses frozen batches under the checker.
+		"Adaptive":        {stack.WithAdaptive(true)},
+		"AdaptiveRecycle": {stack.WithAdaptive(true), stack.WithBatchRecycling(true), stack.WithRecycling()},
+		"BatchRecycle":    {stack.WithBatchRecycling(true)},
+		"AdaptiveAgg5":    {stack.WithAdaptive(true), stack.WithAggregators(5), stack.WithBatchRecycling(true)},
 	}
 	for name, opt := range variants {
 		name, opt := name, opt

@@ -35,6 +35,20 @@ func WithoutElimination() Option { return config.WithoutElimination() }
 // paper's DEBRA deployment (§4).
 func WithRecycling() Option { return config.WithRecycling() }
 
+// WithAdaptive toggles contention adaptivity in SEC (and the other
+// batch-protocol structures honouring the shared option): the solo
+// fast path - one direct Treiber-style CAS when an aggregator's recent
+// batch degree is ~1, falling back to the full batch protocol on
+// contention - and dynamic shard scaling between 1 and
+// WithAggregators. See DESIGN.md §8.
+func WithAdaptive(on bool) Option { return config.WithAdaptive(on) }
+
+// WithBatchRecycling toggles batch recycling in the batch-protocol
+// structures: frozen batches retire to per-aggregator free lists (slot
+// arrays and payloads reused once no operation can still hold them),
+// so the steady-state freeze path allocates nothing. See DESIGN.md §8.
+func WithBatchRecycling(on bool) Option { return config.WithBatchRecycling(on) }
+
 // WithMetrics enables the batching/elimination/combining degree and
 // batch-occupancy counters behind the paper's Tables 1-3, retrievable
 // via SECStack.Metrics. The deque and funnel packages honour the same

@@ -294,6 +294,8 @@ func NewSEC[T any](opts ...Option) *SECStack[T] {
 		NoElimination:  c.NoElimination,
 		Recycle:        c.Recycle,
 		CollectMetrics: c.CollectMetrics,
+		Adaptive:       c.Adaptive,
+		BatchRecycle:   c.BatchRecycle,
 	})}
 	st.sessions = makeSessions[T](func() Handle[T] { return st.s.Register() })
 	return st
