@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"secstack/funnel"
+	"secstack/pool"
 	"secstack/stack"
 )
 
@@ -70,6 +71,57 @@ func TestAllocCeilingBatchRecycling(t *testing.T) {
 	})
 	if avg > allocCeiling {
 		t.Fatalf("recycling freeze path allocates %.3f allocs/op, ceiling %.2f", avg, allocCeiling)
+	}
+}
+
+// TestAllocCeilingPoolStealMiss: a Get that misses every shard is one
+// solo pop on the home shard plus one steal CAS (TryPop through the
+// per-session scratch batch, no announcement) per foreign shard - no
+// heap allocation anywhere on the miss path.
+func TestAllocCeilingPoolStealMiss(t *testing.T) {
+	p := pool.New[int64](
+		pool.WithShards(4),
+		pool.WithAdaptive(true),
+		pool.WithBatchRecycling(true),
+	)
+	h := p.Register()
+	defer h.Close()
+	for i := 0; i < 512; i++ { // settle the per-shard scratch batches
+		h.Get()
+	}
+	avg := testing.AllocsPerRun(2000, func() { h.Get() })
+	if avg > allocCeiling {
+		t.Fatalf("pool Get steal-miss allocates %.3f allocs/op, ceiling %.2f", avg, allocCeiling)
+	}
+}
+
+// TestAllocCeilingPoolStealHit: recovering an element parked on a
+// foreign shard costs the same steal CAS and still nothing on the
+// heap (the stolen node itself was allocated by its Put).
+func TestAllocCeilingPoolStealHit(t *testing.T) {
+	p := pool.New[int64](
+		pool.WithShards(4),
+		pool.WithAdaptive(true),
+		pool.WithBatchRecycling(true),
+	)
+	consumer := p.Register() // home shard 0
+	producer := p.Register() // home shard 1
+	defer consumer.Close()
+	defer producer.Close()
+	const runs = 2000
+	for i := 0; i < 512+2*runs; i++ { // warmup drains + one element per run
+		producer.Put(int64(i))
+	}
+	for i := 0; i < 512; i++ {
+		consumer.Get()
+	}
+	avg := testing.AllocsPerRun(runs, func() {
+		if _, ok := consumer.Get(); !ok {
+			t.Fatal("steal hit ran out of prefilled elements")
+		}
+	})
+	if avg > allocCeiling {
+		t.Fatalf("pool Get steal-hit allocates %.3f allocs/op, ceiling %.2f", avg, allocCeiling)
 	}
 }
 

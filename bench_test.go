@@ -13,6 +13,8 @@
 //	BenchmarkAblationReclaim        - EBR node recycling on/off
 //	BenchmarkAblationFastPath       - contention-adaptive solo fast path on/off (reports allocs)
 //	BenchmarkAblationBatchReuse     - batch recycling on/off (reports allocs)
+//	BenchmarkAblationSpin           - fixed FreezerSpin ladder vs the adaptive spin controller
+//	BenchmarkPoolSteal              - pool Get peek-then-steal, hit and miss paths (reports allocs)
 //
 // Each family runs at two contention levels: "sub" (goroutines ==
 // GOMAXPROCS) and "over" (4x GOMAXPROCS, reproducing the paper's
@@ -27,6 +29,7 @@ import (
 
 	"secstack/internal/harness"
 	"secstack/internal/xrand"
+	"secstack/pool"
 	"secstack/stack"
 )
 
@@ -250,6 +253,73 @@ func BenchmarkAblationBatchReuse(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkAblationSpin is the freezer-backoff ablation (DESIGN.md
+// §9): SEC across fixed FreezerSpin settings against the adaptive
+// controller bounded by the ladder's top rung. The claim: adaptive
+// spin tracks the best fixed setting in each regime (decayed to ~0
+// where batches freeze near-empty, grown toward the ceiling where the
+// backoff buys batch degree) while the worst fixed setting pays for
+// one regime in the other. cmd/secbench -fig spin sweeps the same
+// ladder across full thread ladders.
+func BenchmarkAblationSpin(b *testing.B) {
+	variants := []struct {
+		name string
+		opts []stack.Option
+	}{
+		{"fixed0", []stack.Option{stack.WithFreezerSpin(0)}},
+		{"fixed128", []stack.Option{stack.WithFreezerSpin(128)}},
+		{"fixed2048", []stack.Option{stack.WithFreezerSpin(2048)}},
+		{"adaptive", []stack.Option{stack.WithFreezerSpin(2048), stack.WithAdaptiveSpin(true)}},
+	}
+	for _, v := range variants {
+		for _, p := range parallelisms {
+			b.Run(fmt.Sprintf("%s/%s", v.name, p.name), func(b *testing.B) {
+				opts := append([]stack.Option{stack.WithAggregators(2)}, v.opts...)
+				f := func() stack.Stack[int64] { return stack.NewSEC[int64](opts...) }
+				benchMix(b, f, harness.Update100, 1000, p.par)
+			})
+		}
+	}
+}
+
+// BenchmarkPoolSteal measures the pool's peek-then-steal Get
+// (DESIGN.md §9). "miss" is a Get over an empty pool - one solo pop on
+// the home shard plus one steal CAS per foreign shard; "hit" recovers
+// elements a producer parks on a foreign shard. Allocations are
+// reported: both paths claim 0 allocs/op on the Get side (the hit pair
+// includes the Put's node allocation).
+func BenchmarkPoolSteal(b *testing.B) {
+	newPool := func() *pool.Pool[int64] {
+		return pool.New[int64](pool.WithShards(4), pool.WithAdaptive(true), pool.WithBatchRecycling(true))
+	}
+	b.Run("miss", func(b *testing.B) {
+		p := newPool()
+		h := p.Register()
+		defer h.Close()
+		for i := 0; i < 512; i++ {
+			h.Get()
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h.Get()
+		}
+	})
+	b.Run("hit", func(b *testing.B) {
+		p := newPool()
+		consumer := p.Register() // home shard 0
+		producer := p.Register() // home shard 1
+		defer consumer.Close()
+		defer producer.Close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			producer.Put(int64(i))
+			consumer.Get()
+		}
+	})
 }
 
 // BenchmarkAblationReclaim measures the cost/benefit of routing nodes

@@ -7,6 +7,7 @@
 //	secbench -fig 3           # Figure 3: push-only / pop-only, Emerald
 //	secbench -fig 4           # Figure 4: SEC aggregator sweep, Emerald
 //	secbench -fig adaptive    # adaptivity ablation: solo fast path + batch recycling vs stock SEC and TRB
+//	secbench -fig spin        # freezer-backoff ablation: fixed FreezerSpin ladder vs the adaptive controller
 //	secbench -table 1         # Table 1: degree/occupancy tables, Emerald
 //	secbench -all             # everything
 //	secbench -all -paper      # paper-fidelity settings (5s x 5 runs)
@@ -104,7 +105,7 @@ func writeDoc(st settings, doc *harness.BenchDoc) {
 
 func main() {
 	var (
-		fig     = flag.String("fig", "", "figure to regenerate: 2a, 2b, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, adaptive")
+		fig     = flag.String("fig", "", "figure to regenerate: 2a, 2b, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, adaptive, spin")
 		table   = flag.Int("table", 0, "table to regenerate: 1, 2, 3")
 		all     = flag.Bool("all", false, "regenerate every figure and table")
 		paper   = flag.Bool("paper", false, "paper-fidelity settings: 5s windows, 5 runs")
@@ -240,6 +241,8 @@ func runFig(fig string, st settings) {
 		figAggSweep("Figure 12", harness.Sapphire, []harness.Workload{harness.PushOnly, harness.PopOnly}, st, doc)
 	case "adaptive":
 		figAdaptive("Adaptivity", harness.Emerald, st, doc)
+	case "spin":
+		figSpin("Spin", harness.Emerald, st, doc)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown figure %q\n", fig)
 		os.Exit(2)
@@ -339,6 +342,41 @@ func figAdaptive(title string, m harness.Machine, st settings, doc *harness.Benc
 		default:
 			return harness.FactoryFor(stack.Algorithm(col), stack.WithAggregators(2))
 		}
+	}
+	for _, wl := range harness.UpdateWorkloads() {
+		s := harness.Sweep(fmt.Sprintf("%s %s, %s", title, m.Name, wl.Name), harness.SweepOptions{
+			Columns:  cols,
+			Factory:  factory,
+			Ladder:   m.Ladder,
+			Workload: wl,
+			Duration: st.duration,
+			Prefill:  st.prefill,
+			Runs:     st.runs,
+			Progress: progress(st),
+		})
+		emit(s, st, doc)
+	}
+}
+
+// figSpin renders the freezer-backoff ablation (not a paper figure;
+// see DESIGN.md §9): SEC across a ladder of fixed FreezerSpin settings
+// against the adaptive controller (whose ceiling is the ladder's top
+// rung), on the update mixes. The claim under test: adaptive spin
+// tracks the best fixed setting at both low and high degree - decaying
+// to ~0 when batches freeze near-empty, growing toward the ceiling
+// when the backoff buys batch degree - while the worst fixed setting
+// pays for one regime in the other.
+func figSpin(title string, m harness.Machine, st settings, doc *harness.BenchDoc) {
+	const ceiling = 2048 // the ladder's top rung and the controller's bound
+	cols := []string{"SEC_spin0", "SEC_spin32", "SEC_spin128", "SEC_spin512", "SEC_spin2048", "SEC_adaptspin"}
+	factory := func(col string) harness.Factory {
+		if col == "SEC_adaptspin" {
+			return harness.FactoryFor(stack.SEC, stack.WithAggregators(2),
+				stack.WithFreezerSpin(ceiling), stack.WithAdaptiveSpin(true))
+		}
+		spin := 0
+		fmt.Sscanf(col, "SEC_spin%d", &spin)
+		return harness.FactoryFor(stack.SEC, stack.WithAggregators(2), stack.WithFreezerSpin(spin))
 	}
 	for _, wl := range harness.UpdateWorkloads() {
 		s := harness.Sweep(fmt.Sprintf("%s %s, %s", title, m.Name, wl.Name), harness.SweepOptions{

@@ -69,9 +69,24 @@ type Option = config.Option
 // bound.
 func WithMaxThreads(n int) Option { return config.WithMaxThreads(n) }
 
-// WithFreezerSpin sets the batch-growing backoff in spin iterations
-// (default 128; 0 disables).
+// WithFreezerSpin sets the freezer's batch-growing pre-freeze backoff
+// in spin iterations (default 128; 0 disables). The backoff belongs to
+// the shared internal/agg engine, not to a deque-private freezer: the
+// first announcer of either operation type on an end wins the engine's
+// freezer race, spins so more operations can announce into the batch,
+// and only then snapshots the counters and installs the end's next
+// batch. Larger values grow batches - and with them the per-end
+// elimination and combining degrees - at the price of latency on that
+// end. Under WithAdaptiveSpin this value is the ceiling the per-end
+// controller grows toward, not the delay every freeze pays.
 func WithFreezerSpin(s int) Option { return config.WithFreezerSpin(s) }
+
+// WithAdaptiveSpin toggles the adaptive freezer backoff: each end
+// tunes its own pre-freeze spin on its batch-degree EWMA, growing
+// toward WithFreezerSpin while its batches freeze well-filled and
+// decaying toward zero while they freeze near-empty, so a
+// lightly-used end stops delaying its (mostly singleton) freezes.
+func WithAdaptiveSpin(on bool) Option { return config.WithAdaptiveSpin(on) }
 
 // WithMetrics enables the per-end batch occupancy and elimination-rate
 // counters, retrievable via Metrics.
@@ -102,20 +117,21 @@ func New[T any](opts ...Option) *Deque[T] {
 		// session, so the engine is unpartitioned: any handle may
 		// announce on either aggregator, and batches are sized for every
 		// live handle.
-		Aggregators: 2,
-		MaxThreads:  c.MaxThreads,
-		FreezerSpin: c.FreezerSpin,
-		Partitioned: false,
-		Recycle:     c.BatchRecycle,
-		Adaptive:    c.Adaptive,
-		Eliminate:   agg.PairElim,
-		MakeData:    func(n int) []popResult[T] { return make([]popResult[T], n) },
-		ResetData:   resetResults[T],
-		ApplyPush:   d.applyPush,
-		ApplyPop:    d.applyPop,
-		TrySoloPush: d.trySoloPush,
-		TrySoloPop:  d.trySoloPop,
-		Metrics:     m,
+		Aggregators:  2,
+		MaxThreads:   c.MaxThreads,
+		FreezerSpin:  c.FreezerSpin,
+		AdaptiveSpin: c.AdaptiveSpin,
+		Partitioned:  false,
+		Recycle:      c.BatchRecycle,
+		Adaptive:     c.Adaptive,
+		Eliminate:    agg.PairElim,
+		MakeData:     func(n int) []popResult[T] { return make([]popResult[T], n) },
+		ResetData:    resetResults[T],
+		ApplyPush:    d.applyPush,
+		ApplyPop:     d.applyPop,
+		TrySoloPush:  d.trySoloPush,
+		TrySoloPop:   d.trySoloPop,
+		Metrics:      m,
 	})
 	return d
 }

@@ -56,9 +56,25 @@ func WithAggregators(k int) Option { return config.WithAggregators(k) }
 func WithMaxThreads(n int) Option { return config.WithMaxThreads(n) }
 
 // WithDelegateSpin sets the delegate's batch-growing backoff in spin
-// iterations (default 128; 0 disables). It is the funnel's name for the
-// freezer spin shared with the stack and deque.
+// iterations (default 128; 0 disables). It is the funnel's name for
+// the freezer spin of the shared internal/agg engine - the funnel
+// keeps no private freezer: the first FetchAdd to announce on an
+// aggregator's batch wins the engine's freezer race, becomes the
+// batch's delegate, and spins this long before snapshotting the
+// counter so later announcers land in the batch it will apply with
+// one hardware fetch&add. Larger values aggregate more amounts per
+// fetch&add at the price of latency. Under WithAdaptiveSpin this
+// value is the ceiling the per-aggregator controller grows toward,
+// not the delay every delegation pays.
 func WithDelegateSpin(s int) Option { return config.WithFreezerSpin(s) }
+
+// WithAdaptiveSpin toggles the adaptive delegate backoff: each
+// aggregator tunes its pre-freeze spin on its batch-degree EWMA,
+// growing toward WithDelegateSpin while batches freeze well-filled
+// and decaying toward zero while they freeze near-empty, so an
+// uncontended funnel's delegations stop waiting for announcers that
+// are not coming.
+func WithAdaptiveSpin(on bool) Option { return config.WithAdaptiveSpin(on) }
 
 // WithInitial sets the counter's starting value.
 func WithInitial(v int64) Option { return config.WithInitial(v) }
@@ -91,15 +107,16 @@ func New(opts ...Option) *Funnel {
 		m = metrics.NewSEC(c.Aggregators)
 	}
 	f.eng = agg.New(agg.Spec[int64, []int64]{
-		Aggregators: c.Aggregators,
-		MaxThreads:  c.MaxThreads,
-		FreezerSpin: c.FreezerSpin,
-		Partitioned: true,
-		SingleSided: true, // announcements use the push side only
-		Recycle:     c.BatchRecycle,
-		Adaptive:    c.Adaptive,
-		Eliminate:   agg.NoElim,
-		MakeData:    func(n int) []int64 { return make([]int64, n) },
+		Aggregators:  c.Aggregators,
+		MaxThreads:   c.MaxThreads,
+		FreezerSpin:  c.FreezerSpin,
+		AdaptiveSpin: c.AdaptiveSpin,
+		Partitioned:  true,
+		SingleSided:  true, // announcements use the push side only
+		Recycle:      c.BatchRecycle,
+		Adaptive:     c.Adaptive,
+		Eliminate:    agg.NoElim,
+		MakeData:     func(n int) []int64 { return make([]int64, n) },
 		// No ResetData: prefix sums carry no references, and the
 		// delegate overwrites every entry a reader can reach before the
 		// applied handshake.

@@ -80,6 +80,11 @@ func TestFunnelLinearizabilityVariants(t *testing.T) {
 		"Adaptive":        {[]funnel.Option{funnel.WithAdaptive(true)}, 0},
 		"AdaptiveRecycle": {[]funnel.Option{funnel.WithAdaptive(true), funnel.WithBatchRecycling(true)}, 0},
 		"BatchRecycle":    {[]funnel.Option{funnel.WithBatchRecycling(true)}, 0},
+		// Adaptive delegate backoff (DESIGN.md §9): the spin controller
+		// retunes delegation timing mid-history, alone and stacked on the
+		// solo fetch&add + batch recycling.
+		"AdaptiveSpin":     {[]funnel.Option{funnel.WithAdaptiveSpin(true), funnel.WithDelegateSpin(2048)}, 0},
+		"AdaptiveSpinFull": {[]funnel.Option{funnel.WithAdaptiveSpin(true), funnel.WithAdaptive(true), funnel.WithBatchRecycling(true)}, 0},
 	}
 	for name, v := range variants {
 		name, v := name, v

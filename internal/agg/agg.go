@@ -55,6 +55,23 @@
 //     Spec.Aggregators on the same degree signal, remapping AggOf
 //     through an atomic epoch so sparse load consolidates into batches
 //     and dense load spreads across shards.
+//   - Adaptive freezer backoff (Spec.AdaptiveSpin): the freezer's
+//     batch-growing pre-freeze spin becomes a per-aggregator controller
+//     driven by the same degree EWMA - it grows toward the configured
+//     FreezerSpin while batches freeze well-filled (waiting longer is
+//     buying batch degree) and decays toward zero while they freeze
+//     near-empty (waiting was pure latency), so solo-ish load stops
+//     paying the backoff the paper sizes for high contention.
+//   - Epoch-batched hazard reclamation (with Spec.Recycle): the full
+//     hazard-slot scan that reclaims limbo batches runs at most once
+//     per reclaimPeriod freezes (or when the limbo list crosses its
+//     high-water mark) instead of on every freeze with a dry free
+//     list, and each scan reads the hazard slots once for the whole
+//     limbo list rather than once per limbo batch. Scan/skip counters
+//     prove the amortization.
+//   - A steal primitive (TryPop): one direct solo apply through the
+//     per-session scratch batch, bypassing mode and announcement
+//     entirely - the pool's peek-then-steal probe of foreign shards.
 package agg
 
 import (
@@ -163,12 +180,22 @@ type aggregator[S, P any] struct {
 
 	limbo []*Batch[S, P] // retired, possibly still held through a hazard
 	free  []*Batch[S, P] // quiescent, ready for reuse
+
+	// hzbuf is the reclaim scan's scratch: the non-nil hazard pointers
+	// collected in its single pass over the hazard slots. Cleared after
+	// each scan so it never pins a batch; freezer-owned like the lists.
+	hzbuf []*Batch[S, P]
+
+	// sinceScan counts freezes since the last full hazard scan; the
+	// reclaim epoch (reclaimPeriod) is measured against it.
+	sinceScan int
+
 	// Round the struct to a cache-line multiple so the next
 	// aggregator's hot batch pointer does not share a line with this
 	// one's list headers (which every Freeze rewrites); sharing a line
 	// with our *own* batch pointer would be harmless - Freeze writes
 	// that too - but the neighbour's is announcer-hot.
-	_ [pad.CacheLine - 2*24]byte
+	_ [2*pad.CacheLine - 3*24 - 8]byte
 }
 
 // aggCtl is one aggregator's adaptivity state: the batch-degree EWMA
@@ -181,7 +208,25 @@ type aggCtl struct {
 	freezes  atomic.Int64 // frozen batches; drives resize checks
 	fastHits atomic.Int64 // solo attempts that applied directly
 	fastMiss atomic.Int64 // solo attempts that hit contention
-	_        [pad.CacheLine - 5*8]byte
+
+	// spin is the current effective pre-freeze backoff in spin
+	// iterations (adaptive spin only; fixed engines read freezerSpin
+	// directly). Written only by freezers - but the update runs after
+	// the next-batch install, so a descheduled freezer can overlap the
+	// next one's update and lose a step; like the EWMA, the controller
+	// tolerates that (the value stays clamped in [0, ceiling]) rather
+	// than pay a CAS loop. Atomic so concurrent readers and writers
+	// stay defined.
+	spin atomic.Int64
+
+	// reclaimScans and reclaimSkips count, per aggregator, the freezes
+	// whose reclaim ran a full hazard scan versus those that deferred
+	// one the pre-epoch engine would have run (free list dry, limbo
+	// non-empty). skips/(scans+skips) is the amortization win.
+	reclaimScans atomic.Int64
+	reclaimSkips atomic.Int64
+
+	_ [2*pad.CacheLine - 8*8]byte
 }
 
 const (
@@ -216,6 +261,26 @@ const (
 	// maxFree bounds each aggregator's recycled-batch free list; excess
 	// quiescent batches drop to the garbage collector.
 	maxFree = 8
+
+	// reclaimPeriod is K of the reclaim epoch: with recycling on, the
+	// full hazard scan runs at most once per reclaimPeriod freezes of an
+	// aggregator. It equals maxFree on purpose - one scan must refill
+	// the free list with enough quiescent batches to feed the freezes
+	// until the next scan, or the deferred freezes would allocate.
+	reclaimPeriod = maxFree
+
+	// limboHighWater forces a scan early when retired batches pile up
+	// (many sessions parked on hazards), bounding the limbo list
+	// independently of the epoch.
+	limboHighWater = 2 * maxFree
+
+	// spinGrowDeg and spinDecayDeg are the EWMA thresholds of the
+	// adaptive freezer backoff: batches freezing with degree >= 2.5
+	// show the backoff buying batch degree, so the spin grows toward
+	// the configured ceiling; degree <= 1.5 shows it buying nothing, so
+	// the spin decays toward zero. In between the spin holds.
+	spinGrowDeg  = 5 * degreeUnit / 2
+	spinDecayDeg = 3 * degreeUnit / 2
 )
 
 // hazardSlot is one session's published batch reference (recycling
@@ -238,8 +303,16 @@ type Spec[S, P any] struct {
 	MaxThreads int
 
 	// FreezerSpin is the freezer's batch-growing pre-freeze backoff in
-	// spin iterations (§3.1 of the paper); 0 disables it.
+	// spin iterations (§3.1 of the paper); 0 disables it. Under
+	// AdaptiveSpin it is the ceiling of the per-aggregator controller.
 	FreezerSpin int
+
+	// AdaptiveSpin replaces the fixed FreezerSpin with a per-aggregator
+	// controller driven by the batch-degree EWMA: the effective spin
+	// grows toward FreezerSpin while batches freeze well-filled and
+	// decays toward zero while they freeze near-empty. With
+	// FreezerSpin 0 there is nothing to adapt and the spin stays 0.
+	AdaptiveSpin bool
 
 	// MinBatch floors the slot-array size of freshly allocated batches
 	// (default 4).
@@ -316,24 +389,25 @@ type Spec[S, P any] struct {
 
 // Engine runs the aggregator/batch lifecycle for one shared structure.
 type Engine[S, P any] struct {
-	aggs        []aggregator[S, P]
-	ctl         []aggCtl
-	minBatch    int
-	freezerSpin int
-	partitioned bool
-	singleSided bool
-	recycle     bool
-	adaptive    bool
-	eliminate   Eliminator
-	makeData    func(n int) P
-	resetData   func(p *P)
-	applyPush   func(agg int, b *Batch[S, P], seq, pushAtFreeze int64)
-	applyPop    func(agg int, b *Batch[S, P], e, popAtFreeze int64)
-	trySoloPush func(agg int, b *Batch[S, P]) bool
-	trySoloPop  func(agg int, b *Batch[S, P]) bool
-	m           *metrics.SEC
-	tids        *tid.Allocator
-	maxThreads  int
+	aggs         []aggregator[S, P]
+	ctl          []aggCtl
+	minBatch     int
+	freezerSpin  int
+	adaptiveSpin bool
+	partitioned  bool
+	singleSided  bool
+	recycle      bool
+	adaptive     bool
+	eliminate    Eliminator
+	makeData     func(n int) P
+	resetData    func(p *P)
+	applyPush    func(agg int, b *Batch[S, P], seq, pushAtFreeze int64)
+	applyPop     func(agg int, b *Batch[S, P], e, popAtFreeze int64)
+	trySoloPush  func(agg int, b *Batch[S, P]) bool
+	trySoloPop   func(agg int, b *Batch[S, P]) bool
+	m            *metrics.SEC
+	tids         *tid.Allocator
+	maxThreads   int
 
 	// effK is the effective aggregator count in [1, len(aggs)];
 	// scaleEpoch increments on every resize so observers (and tests)
@@ -365,39 +439,52 @@ func New[S, P any](spec Spec[S, P]) *Engine[S, P] {
 		spec.Eliminate = PairElim
 	}
 	e := &Engine[S, P]{
-		aggs:        make([]aggregator[S, P], spec.Aggregators),
-		ctl:         make([]aggCtl, spec.Aggregators),
-		minBatch:    spec.MinBatch,
-		freezerSpin: spec.FreezerSpin,
-		partitioned: spec.Partitioned,
-		singleSided: spec.SingleSided,
-		recycle:     spec.Recycle,
-		adaptive:    spec.Adaptive,
-		eliminate:   spec.Eliminate,
-		makeData:    spec.MakeData,
-		resetData:   spec.ResetData,
-		applyPush:   spec.ApplyPush,
-		applyPop:    spec.ApplyPop,
-		trySoloPush: spec.TrySoloPush,
-		trySoloPop:  spec.TrySoloPop,
-		m:           spec.Metrics,
-		tids:        tid.New(spec.MaxThreads),
-		maxThreads:  spec.MaxThreads,
+		aggs:         make([]aggregator[S, P], spec.Aggregators),
+		ctl:          make([]aggCtl, spec.Aggregators),
+		minBatch:     spec.MinBatch,
+		freezerSpin:  spec.FreezerSpin,
+		adaptiveSpin: spec.AdaptiveSpin && spec.FreezerSpin > 0,
+		partitioned:  spec.Partitioned,
+		singleSided:  spec.SingleSided,
+		recycle:      spec.Recycle,
+		adaptive:     spec.Adaptive,
+		eliminate:    spec.Eliminate,
+		makeData:     spec.MakeData,
+		resetData:    spec.ResetData,
+		applyPush:    spec.ApplyPush,
+		applyPop:     spec.ApplyPop,
+		trySoloPush:  spec.TrySoloPush,
+		trySoloPop:   spec.TrySoloPop,
+		m:            spec.Metrics,
+		tids:         tid.New(spec.MaxThreads),
+		maxThreads:   spec.MaxThreads,
 	}
 	e.effK.Store(int32(spec.Aggregators))
 	if e.recycle {
 		e.hazards = make([]hazardSlot[S, P], spec.MaxThreads)
 	}
-	if e.adaptive {
+	if e.adaptive || e.trySoloPush != nil || e.trySoloPop != nil {
+		// Scratch batches back both the solo fast path and the TryPop
+		// steal primitive; the latter works with Adaptive off.
 		e.solo = make([]*Batch[S, P], spec.MaxThreads)
+	}
+	if e.adaptive || e.adaptiveSpin {
 		for i := range e.ctl {
 			// Start optimistic: assume no contention until a freeze or a
 			// solo miss proves otherwise. Engines without solo appliers
 			// stay in batched mode regardless.
 			e.ctl[i].ewma.Store(degreeUnit)
-			if e.trySoloPush != nil {
+			if e.adaptive && e.trySoloPush != nil {
 				e.ctl[i].mode.Store(modeSolo)
 			}
+		}
+	}
+	if e.adaptiveSpin {
+		for i := range e.ctl {
+			// Start at the configured (paper-sized) spin: a contended
+			// start behaves exactly like the fixed setting, and solo-ish
+			// load decays it within a few near-empty freezes.
+			e.ctl[i].spin.Store(int64(spec.FreezerSpin))
 		}
 	}
 	for i := range e.aggs {
@@ -463,28 +550,39 @@ func (e *Engine[S, P]) resetBatch(b *Batch[S, P]) {
 	}
 }
 
-// hazarded reports whether any live session's hazard slot names b.
-// Sound because every session publishes its batch before using it and
-// re-validates the aggregator pointer afterwards: once b is
-// uninstalled, a session whose re-validation succeeded is visible here,
-// and one whose re-validation will fail never touches b again.
-func (e *Engine[S, P]) hazarded(b *Batch[S, P]) bool {
+// reclaim is the full hazard scan: one pass over the HighWater hazard
+// slots collecting the published batches, then one pass over a's limbo
+// list filtering against that set - hazard-quiescent batches move to
+// the free list (overflow drops to the GC). Hazard-major order makes
+// the scan cost HighWater atomic loads per *scan*, not per limbo
+// entry; the epoch in nextBatch makes scans rare. Called only inside
+// Freeze.
+//
+// Soundness: every session publishes its batch before using it and
+// re-validates the aggregator pointer afterwards, so once a batch is
+// uninstalled (which happens before it can reach limbo), a session
+// whose re-validation succeeded is visible to this scan's hazard-slot
+// pass, and one whose re-validation will fail never touches the batch
+// again.
+func (e *Engine[S, P]) reclaim(a *aggregator[S, P]) {
+	hz := a.hzbuf[:0]
 	n := e.tids.HighWater()
 	for i := 0; i < n; i++ {
-		if e.hazards[i].p.Load() == b {
-			return true
+		if p := e.hazards[i].p.Load(); p != nil {
+			hz = append(hz, p)
 		}
 	}
-	return false
-}
-
-// reclaim moves hazard-quiescent batches from a's limbo list to its
-// free list (dropping overflow to the GC). Called only inside Freeze.
-func (e *Engine[S, P]) reclaim(a *aggregator[S, P]) {
 	keep := a.limbo[:0]
 	for _, b := range a.limbo {
+		held := false
+		for _, h := range hz {
+			if h == b {
+				held = true
+				break
+			}
+		}
 		switch {
-		case e.hazarded(b):
+		case held:
 			keep = append(keep, b)
 		case len(a.free) < maxFree:
 			a.free = append(a.free, b)
@@ -494,18 +592,40 @@ func (e *Engine[S, P]) reclaim(a *aggregator[S, P]) {
 		a.limbo[i] = nil
 	}
 	a.limbo = keep
+	for i := range hz {
+		hz[i] = nil // the scratch must not pin batches until the next scan
+	}
+	a.hzbuf = hz[:0]
 }
 
 // nextBatch produces the batch Freeze installs: a recycled one when
 // recycling is on and a quiescent batch of sufficient capacity exists,
 // a fresh allocation otherwise. Called only inside Freeze.
+//
+// The reclaim epoch lives here: a full hazard scan runs at most once
+// per reclaimPeriod freezes - or early, when the limbo list crosses
+// its high-water mark - instead of on every freeze that finds the free
+// list dry. reclaimPeriod equals maxFree, so one scan stocks the free
+// list for the whole epoch and the deferred freezes between scans
+// still reuse batches rather than allocate.
 func (e *Engine[S, P]) nextBatch(agg int) *Batch[S, P] {
 	if !e.recycle {
 		return e.NewBatch()
 	}
 	a := &e.aggs[agg]
-	if len(a.free) == 0 && len(a.limbo) > 0 {
-		e.reclaim(a)
+	a.sinceScan++
+	if len(a.limbo) > 0 {
+		switch {
+		case a.sinceScan >= reclaimPeriod || len(a.limbo) >= limboHighWater:
+			a.sinceScan = 0
+			e.ctl[agg].reclaimScans.Add(1)
+			e.m.RecordReclaim(agg, true)
+			e.reclaim(a)
+		case len(a.free) == 0:
+			// The pre-epoch engine scanned here; count the deferral.
+			e.ctl[agg].reclaimSkips.Add(1)
+			e.m.RecordReclaim(agg, false)
+		}
 	}
 	want := e.sizeBatch()
 	for n := len(a.free); n > 0; n = len(a.free) {
@@ -583,6 +703,22 @@ func (e *Engine[S, P]) FastPath(agg int) (hits, misses int64) {
 	return e.ctl[agg].fastHits.Load(), e.ctl[agg].fastMiss.Load()
 }
 
+// EffectiveSpin reports the pre-freeze backoff aggregator agg
+// currently pays (equal to Spec.FreezerSpin unless AdaptiveSpin
+// retuned it).
+func (e *Engine[S, P]) EffectiveSpin(agg int) int { return e.spinFor(agg) }
+
+// ReclaimStats reports how many of aggregator agg's freezes ran a full
+// hazard scan and how many deferred one under the reclaim epoch.
+func (e *Engine[S, P]) ReclaimStats(agg int) (scans, skips int64) {
+	return e.ctl[agg].reclaimScans.Load(), e.ctl[agg].reclaimSkips.Load()
+}
+
+// LimboLen reports how many retired batches aggregator agg currently
+// holds in limbo (diagnostics and boundedness tests; racy against a
+// concurrent freezer).
+func (e *Engine[S, P]) LimboLen(agg int) int { return len(e.aggs[agg].limbo) }
+
 // InUse reports how many sessions are currently live.
 func (e *Engine[S, P]) InUse() int { return e.tids.InUse() }
 
@@ -607,6 +743,9 @@ func (e *Engine[S, P]) observe(c *aggCtl, obs int64) {
 	o := c.ewma.Load()
 	v := o - o/4 + obs/4
 	c.ewma.Store(v)
+	if !e.adaptive {
+		return // spin-only engines track the EWMA but never switch modes
+	}
 	switch {
 	case v <= soloEnterMax:
 		if e.trySoloPush != nil {
@@ -615,6 +754,41 @@ func (e *Engine[S, P]) observe(c *aggCtl, obs int64) {
 	case v >= soloExitMin:
 		c.mode.Store(modeBatched)
 	}
+}
+
+// updateSpin folds the post-freeze EWMA into aggregator agg's spin
+// controller: multiplicative growth toward the configured ceiling
+// while batches freeze well-filled, halving toward zero while they
+// freeze near-empty. Only freezers call it, but it runs after the
+// install that releases the next freezer, so the load/store pair is
+// deliberately not a CAS loop for the same reason observe's is not: a
+// rare overlapped update loses one step of a bounded heuristic and
+// nothing else.
+func (e *Engine[S, P]) updateSpin(c *aggCtl) {
+	d := c.ewma.Load()
+	cur := c.spin.Load()
+	switch {
+	case d >= spinGrowDeg:
+		// +1 restarts growth from a fully decayed (zero) spin.
+		next := min(cur*2+1, int64(e.freezerSpin))
+		if next != cur {
+			c.spin.Store(next)
+		}
+	case d <= spinDecayDeg:
+		if cur > 0 {
+			c.spin.Store(cur / 2)
+		}
+	}
+}
+
+// spinFor is the pre-freeze backoff aggregator agg currently pays: the
+// controller's value under adaptive spin, the fixed configuration
+// otherwise.
+func (e *Engine[S, P]) spinFor(agg int) int {
+	if e.adaptiveSpin {
+		return int(e.ctl[agg].spin.Load())
+	}
+	return e.freezerSpin
 }
 
 // maybeResize adjusts the effective aggregator count on the mean
@@ -644,11 +818,15 @@ func (e *Engine[S, P]) maybeResize() {
 }
 
 // observeFreeze records a frozen batch's degree into the adaptivity
-// signal and periodically runs the shard-scaling check.
+// signal, retunes the spin controller, and periodically runs the
+// shard-scaling check.
 func (e *Engine[S, P]) observeFreeze(agg, ops int) {
 	c := &e.ctl[agg]
 	e.observe(c, int64(ops)*degreeUnit)
-	if c.freezes.Add(1)%resizePeriod == 0 && e.partitioned && len(e.aggs) > 1 {
+	if e.adaptiveSpin {
+		e.updateSpin(c)
+	}
+	if e.adaptive && c.freezes.Add(1)%resizePeriod == 0 && e.partitioned && len(e.aggs) > 1 {
 		e.maybeResize()
 	}
 }
@@ -662,8 +840,9 @@ func (e *Engine[S, P]) observeFreeze(agg, ops int) {
 // inherits the list with a happens-before edge) and the installed
 // batch is recycled when a quiescent one is available.
 func (e *Engine[S, P]) Freeze(agg int, b *Batch[S, P]) {
-	if e.freezerSpin > 0 {
-		backoff.Spin(e.freezerSpin) // grow the batch (§3.1)
+	spin := e.spinFor(agg)
+	if spin > 0 {
+		backoff.Spin(spin) // grow the batch (§3.1)
 	}
 	limit := int64(len(b.slots))
 	pops := min(b.PopCount.Load(), limit)
@@ -681,8 +860,9 @@ func (e *Engine[S, P]) Freeze(agg int, b *Batch[S, P]) {
 			capacity = len(b.slots)
 		}
 		e.m.RecordBatchOcc(agg, int(pushes+pops), int(2*e.eliminate(pushes, pops)), capacity)
+		e.m.RecordSpin(agg, spin)
 	}
-	if e.adaptive {
+	if e.adaptive || e.adaptiveSpin {
 		e.observeFreeze(agg, int(pushes+pops))
 	}
 }
@@ -879,4 +1059,27 @@ func (e *Engine[S, P]) Pop(id, agg int) PopTicket[S, P] {
 		}
 		return PopTicket[S, P]{B: b, Off: seq - el, K: k}
 	}
+}
+
+// TryPop attempts exactly one solo direct apply on aggregator agg on
+// behalf of session id, bypassing the aggregator's mode and the batch
+// protocol entirely - the pool's peek-then-steal primitive. On success
+// the returned ticket reads like a surviving pop's (one op, offset 0);
+// ok=false means the structure's solo applier detected contention and
+// left the structure unchanged, with nothing announced, so the caller
+// is free to walk away or escalate to the full Pop.
+//
+// Deliberately recorded nowhere: a foreign thief's single probe is not
+// evidence about the home sessions' batch degree, so it feeds neither
+// the EWMA nor the fast-path counters, and having announced on no
+// batch it needs no hazard and no Done.
+func (e *Engine[S, P]) TryPop(id, agg int) (PopTicket[S, P], bool) {
+	if e.trySoloPop == nil {
+		return PopTicket[S, P]{}, false
+	}
+	sb := e.soloBatch(id)
+	if !e.trySoloPop(agg, sb) {
+		return PopTicket[S, P]{}, false
+	}
+	return PopTicket[S, P]{B: sb, Off: 0, K: 1}, true
 }

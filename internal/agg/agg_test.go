@@ -336,23 +336,30 @@ func TestRecycledBatchAliasing(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	b0 := e.ActiveBatch(0)
 
-	// Op 1 freezes b0 (singleton batch) and retires it to limbo; the
-	// announcer's own hazard still pins it there.
-	v1 := int64(1)
-	e.Push(id, 0, &v1)
-	e.Done(id)
-
-	// Op 2 freezes b0's successor; its freezer reclaims the now
-	// hazard-quiescent b0, resets it, and reinstalls it.
-	v2 := int64(2)
-	e.Push(id, 0, &v2)
-	e.Done(id)
-
-	active := e.ActiveBatch(0)
-	if active != b0 {
-		t.Fatalf("after two freezes the active batch is not the recycled first batch (free list bypassed)")
+	// Each singleton push freezes the active batch and retires it to
+	// limbo; the reclaim epoch defers the hazard scan until
+	// reclaimPeriod freezes have passed, after which quiescent batches
+	// cycle back through the free list. Run until the installed batch
+	// is one we have seen before - that is a recycled batch, reset by
+	// the freezer and not yet touched by any announcer.
+	seen := map[*Batch[int64, []int64]]bool{e.ActiveBatch(0): true}
+	var active *Batch[int64, []int64]
+	for i := 1; ; i++ {
+		if i > 4*reclaimPeriod {
+			t.Fatalf("no batch recycled within %d freezes (free list bypassed)", 4*reclaimPeriod)
+		}
+		v := int64(i)
+		e.Push(id, 0, &v)
+		e.Done(id)
+		active = e.ActiveBatch(0)
+		if seen[active] {
+			break
+		}
+		seen[active] = true
+	}
+	if scans, _ := e.ReclaimStats(0); scans == 0 {
+		t.Fatal("batch recycled without any hazard scan recorded")
 	}
 	if got := active.PushCount.Load(); got != 0 {
 		t.Fatalf("recycled batch PushCount = %d, want 0", got)
@@ -382,6 +389,198 @@ func TestRecycledBatchAliasing(t *testing.T) {
 		t.Fatalf("refilled recycled batch served %d, want 133", got)
 	}
 	e.Done(id)
+}
+
+// TestAdaptiveSpinDecaysAndRegrows drives the freezer-backoff
+// controller through both regimes by hand-freezing batches: sustained
+// near-empty freezes must decay the effective spin from the configured
+// value to zero (solo-ish load stops paying the backoff), and
+// sustained well-filled freezes must grow it back, never past the
+// configured ceiling.
+func TestAdaptiveSpinDecaysAndRegrows(t *testing.T) {
+	const ceiling = 256
+	m := metrics.NewSEC(1)
+	spec := noopSpec(1, 64, true)
+	spec.FreezerSpin = ceiling
+	spec.AdaptiveSpin = true
+	spec.Metrics = m
+	e := New(spec)
+	if got := e.EffectiveSpin(0); got != ceiling {
+		t.Fatalf("initial effective spin = %d, want configured %d", got, ceiling)
+	}
+	// Singleton batches: degree 1.0, below the decay threshold.
+	for i := 0; i < 16; i++ {
+		b := e.NewBatch()
+		b.PushCount.Store(1)
+		e.Freeze(0, b)
+	}
+	if got := e.EffectiveSpin(0); got != 0 {
+		t.Fatalf("effective spin after near-empty freezes = %d, want 0", got)
+	}
+	// Full batches: 4 slots per side -> degree 8, above the growth
+	// threshold.
+	for i := 0; i < 32; i++ {
+		b := e.NewBatch()
+		b.PushCount.Store(int64(b.Cap()))
+		b.PopCount.Store(int64(b.Cap()))
+		e.Freeze(0, b)
+		if got := e.EffectiveSpin(0); got > ceiling {
+			t.Fatalf("effective spin %d exceeds configured ceiling %d", got, ceiling)
+		}
+	}
+	if got := e.EffectiveSpin(0); got != ceiling {
+		t.Fatalf("effective spin after well-filled freezes = %d, want ceiling %d", got, ceiling)
+	}
+	// The metrics collector saw the spin every batch actually paid, so
+	// the average sits strictly between the extremes.
+	if avg := m.Snapshot().SpinAvg(); avg <= 0 || avg >= ceiling {
+		t.Fatalf("SpinAvg = %.1f, want within (0, %d)", avg, ceiling)
+	}
+}
+
+// TestFixedSpinUnaffectedByController: without AdaptiveSpin the
+// effective spin is the configuration, no matter what the EWMA does.
+func TestFixedSpinUnaffectedByController(t *testing.T) {
+	spec := noopSpec(1, 64, true)
+	spec.FreezerSpin = 64
+	e := New(spec)
+	for i := 0; i < 8; i++ {
+		b := e.NewBatch()
+		b.PushCount.Store(1)
+		e.Freeze(0, b)
+	}
+	if got := e.EffectiveSpin(0); got != 64 {
+		t.Fatalf("fixed effective spin = %d, want 64", got)
+	}
+}
+
+// TestReclaimEpochAmortization pins the reclaim epoch's contract under
+// a steady recycling workload: the full hazard scan runs at most once
+// per reclaimPeriod freezes (plus the bootstrap scan), deferred
+// freezes are counted as skips, the limbo list stays bounded by its
+// high-water mark, and the steady-state freeze path still recycles
+// rather than allocate (the aliasing test covers reset-ness).
+func TestReclaimEpochAmortization(t *testing.T) {
+	spec := noopSpec(1, 8, true)
+	spec.Recycle = true
+	e := New(spec)
+	id, err := e.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const ops = 200 // one freeze each: singleton batches
+	v := int64(1)
+	for i := 0; i < ops; i++ {
+		e.Push(id, 0, &v)
+		e.Done(id)
+		if l := e.LimboLen(0); l > limboHighWater {
+			t.Fatalf("limbo length %d exceeds high-water %d after op %d", l, limboHighWater, i)
+		}
+	}
+	scans, skips := e.ReclaimStats(0)
+	if scans == 0 {
+		t.Fatal("steady recycling ran no hazard scans at all")
+	}
+	if max := int64(ops/reclaimPeriod + 1); scans > max {
+		t.Fatalf("%d scans over %d freezes, want <= 1 per %d freezes (%d)",
+			scans, ops, reclaimPeriod, max)
+	}
+	if skips == 0 {
+		t.Fatal("no deferred scans recorded (epoch never engaged)")
+	}
+}
+
+// TestReclaimEpochLimboBoundedUnderHazards: sessions parked on hazards
+// (ticket consumed but Done withheld) pin their batches in limbo; the
+// high-water trigger must still bound the list, scanning early instead
+// of letting deferrals stack retired batches without limit.
+func TestReclaimEpochLimboBoundedUnderHazards(t *testing.T) {
+	spec := noopSpec(1, 16, true)
+	spec.Recycle = true
+	e := New(spec)
+	ids := make([]int, 8)
+	for i := range ids {
+		id, err := e.Register()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	driver := ids[0]
+	v := int64(1)
+	// Park 7 sessions mid-operation: each announces (publishing its
+	// hazard) and completes, but never calls Done, so its last batch
+	// stays pinned in limbo across every scan.
+	for _, id := range ids[1:] {
+		e.Push(id, 0, &v)
+	}
+	for i := 0; i < 100; i++ {
+		e.Push(driver, 0, &v)
+		e.Done(driver)
+		if l := e.LimboLen(0); l > limboHighWater {
+			t.Fatalf("limbo length %d exceeds high-water %d with hazards parked", l, limboHighWater)
+		}
+	}
+	// Release the parked sessions; the next scans drain their batches.
+	for _, id := range ids[1:] {
+		e.Done(id)
+	}
+	for i := 0; i < 2*reclaimPeriod; i++ {
+		e.Push(driver, 0, &v)
+		e.Done(driver)
+	}
+	if l := e.LimboLen(0); l > limboHighWater {
+		t.Fatalf("limbo length %d after releasing hazards, want <= %d", l, limboHighWater)
+	}
+}
+
+// TestTryPopStealBypassesProtocol: the steal primitive is one solo
+// apply through the session's scratch batch - no announcement, no
+// freeze, no fast-path accounting - and a contended attempt reports
+// failure with the structure untouched. It must work with Adaptive
+// off, since pool shards steal regardless of mode.
+func TestTryPopStealBypassesProtocol(t *testing.T) {
+	var state atomic.Int64
+	state.Store(5)
+	var contended atomic.Bool
+	e := New(Spec[int64, []int64]{
+		Aggregators: 2,
+		MaxThreads:  4,
+		Partitioned: true,
+		Eliminate:   NoElim,
+		MakeData:    func(n int) []int64 { return make([]int64, n) },
+		ApplyPush:   func(int, *Batch[int64, []int64], int64, int64) {},
+		ApplyPop:    func(int, *Batch[int64, []int64], int64, int64) {},
+		TrySoloPop: func(_ int, b *Batch[int64, []int64]) bool {
+			if contended.Load() {
+				return false
+			}
+			b.Data[0] = state.Add(-1)
+			return true
+		},
+	})
+	id, err := e.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := e.ActiveBatch(1)
+	tk, ok := e.TryPop(id, 1)
+	if !ok {
+		t.Fatal("uncontended TryPop failed")
+	}
+	if tk.Off != 0 || tk.K != 1 || tk.B.Data[0] != 4 {
+		t.Fatalf("TryPop ticket = {Off:%d K:%d Data:%d}, want {0 1 4}", tk.Off, tk.K, tk.B.Data[0])
+	}
+	if e.ActiveBatch(1) != before {
+		t.Fatal("TryPop froze the victim aggregator's batch")
+	}
+	if hits, misses := e.FastPath(1); hits != 0 || misses != 0 {
+		t.Fatalf("TryPop fed the fast-path counters (%d/%d), want none", hits, misses)
+	}
+	contended.Store(true)
+	if _, ok := e.TryPop(id, 1); ok {
+		t.Fatal("contended TryPop reported success")
+	}
 }
 
 // TestSoloFastPathEngages: an adaptive engine under a single

@@ -29,8 +29,22 @@ type Config struct {
 
 	// FreezerSpin is the freezer's batch-growing pre-freeze backoff in
 	// spin iterations (§3.1 of the paper; also the funnel delegate's
-	// spin). Default 128; 0 disables it and keeps batches small.
+	// spin). Default 128; 0 disables it and keeps batches small. Under
+	// AdaptiveSpin this is the ceiling of the per-aggregator
+	// controller rather than the value every freeze pays.
 	FreezerSpin int
+
+	// FreezerSpinSet records that WithFreezerSpin was given explicitly,
+	// for packages whose own default differs from the shared 128 (the
+	// pool's shards default to 0 - its sharding already spreads
+	// contention - and must not silently inherit the stack's spin).
+	FreezerSpinSet bool
+
+	// AdaptiveSpin replaces the fixed FreezerSpin with a per-aggregator
+	// controller driven by the batch-degree EWMA: the effective spin
+	// grows toward FreezerSpin while batches freeze well-filled and
+	// decays toward zero while they freeze near-empty.
+	AdaptiveSpin bool
 
 	// NoElimination disables in-batch elimination (the SEC ablation).
 	NoElimination bool
@@ -127,7 +141,21 @@ func WithMaxThreads(n int) Option {
 // WithFreezerSpin sets the batch-growing backoff in spin iterations; 0
 // (or less) disables it.
 func WithFreezerSpin(s int) Option {
-	return func(c *Config) { c.FreezerSpin = max(s, 0) }
+	return func(c *Config) {
+		c.FreezerSpin = max(s, 0)
+		c.FreezerSpinSet = true
+	}
+}
+
+// WithAdaptiveSpin toggles the adaptive freezer backoff: instead of
+// every freeze paying the fixed WithFreezerSpin delay, each aggregator
+// tunes its own pre-freeze spin on the batch-degree EWMA - growing
+// toward the configured value while batches freeze well-filled
+// (waiting is buying batch degree) and decaying toward zero while
+// they freeze near-empty (waiting is pure latency). WithFreezerSpin
+// remains the ceiling; with a ceiling of 0 there is nothing to adapt.
+func WithAdaptiveSpin(on bool) Option {
+	return func(c *Config) { c.AdaptiveSpin = on }
 }
 
 // WithoutElimination disables in-batch elimination, leaving freezing

@@ -73,3 +73,26 @@ func TestClamping(t *testing.T) {
 		t.Fatalf("invalid options mutated defaults: %+v", c)
 	}
 }
+
+func TestAdaptiveSpinOption(t *testing.T) {
+	if c := config.Resolve(nil); c.AdaptiveSpin {
+		t.Fatal("AdaptiveSpin defaults on; the fixed paper backoff must stay the default")
+	}
+	c := config.Resolve([]config.Option{config.WithAdaptiveSpin(true)})
+	if !c.AdaptiveSpin {
+		t.Fatal("config.WithAdaptiveSpin(true) not applied")
+	}
+	if c.FreezerSpin != 128 {
+		t.Fatalf("WithAdaptiveSpin changed the spin ceiling to %d, want default 128", c.FreezerSpin)
+	}
+	if c.FreezerSpinSet {
+		t.Fatal("FreezerSpinSet true without WithFreezerSpin (the pool's 0-spin default would be lost)")
+	}
+	if c := config.Resolve([]config.Option{config.WithFreezerSpin(64)}); !c.FreezerSpinSet || c.FreezerSpin != 64 {
+		t.Fatalf("WithFreezerSpin(64) = (%d, set=%v), want (64, true)", c.FreezerSpin, c.FreezerSpinSet)
+	}
+	c = config.Resolve([]config.Option{config.WithAdaptiveSpin(true), config.WithAdaptiveSpin(false)})
+	if c.AdaptiveSpin {
+		t.Fatal("config.WithAdaptiveSpin(false) did not override")
+	}
+}

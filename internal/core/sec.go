@@ -92,6 +92,13 @@ type Options struct {
 	// combining degrees (§3.1 of the paper). Default 128; 0 disables.
 	FreezerSpin int
 
+	// AdaptiveSpin turns FreezerSpin into the ceiling of a
+	// per-aggregator controller driven by the batch-degree EWMA: the
+	// effective spin grows toward FreezerSpin while batches freeze
+	// well-filled and decays toward zero while they freeze near-empty
+	// (see DESIGN.md §9).
+	AdaptiveSpin bool
+
 	// NoElimination disables in-batch elimination, leaving freezing and
 	// combining intact: both a push and a pop combiner may then apply
 	// their sides of a batch. This is the ablation isolating how much
@@ -157,19 +164,20 @@ func New[T any](opts Options) *Stack[T] {
 		s.rec = ebr.NewManager[node[T]](o.MaxThreads)
 	}
 	s.eng = agg.New(agg.Spec[node[T], popChain[T]]{
-		Aggregators: o.Aggregators,
-		MaxThreads:  o.MaxThreads,
-		FreezerSpin: o.FreezerSpin,
-		Partitioned: true,
-		Recycle:     o.BatchRecycle,
-		Adaptive:    o.Adaptive,
-		Eliminate:   eliminate,
-		ResetData:   s.resetChain,
-		ApplyPush:   s.applyPush,
-		ApplyPop:    s.applyPop,
-		TrySoloPush: s.trySoloPush,
-		TrySoloPop:  s.trySoloPop,
-		Metrics:     m,
+		Aggregators:  o.Aggregators,
+		MaxThreads:   o.MaxThreads,
+		FreezerSpin:  o.FreezerSpin,
+		AdaptiveSpin: o.AdaptiveSpin,
+		Partitioned:  true,
+		Recycle:      o.BatchRecycle,
+		Adaptive:     o.Adaptive,
+		Eliminate:    eliminate,
+		ResetData:    s.resetChain,
+		ApplyPush:    s.applyPush,
+		ApplyPop:     s.applyPop,
+		TrySoloPush:  s.trySoloPush,
+		TrySoloPop:   s.trySoloPop,
+		Metrics:      m,
 	})
 	return s
 }
@@ -328,6 +336,32 @@ func (h *Handle[T]) Pop() (v T, ok bool) {
 	h.releaseSubstack(t.B, t.K)
 	eng.Done(h.tid) // finished with the batch's published chain
 	return v, ok
+}
+
+// TryPop attempts to serve one pop with a single Treiber-style CAS
+// through the session's scratch batch, bypassing the batch protocol
+// regardless of the aggregator's mode - the cheap steal primitive
+// behind the pool's peek-then-steal Get. applied=false means the CAS
+// lost to a concurrent operation: the stack is unchanged, nothing was
+// announced, and the caller may walk away or escalate to the full
+// Pop. applied=true answers the pop: ok=false when the stack was
+// observed empty (linearizing at the top load, like Pop), ok=true
+// with the detached top's value otherwise. Unlike Pop it never joins
+// a batch, never eliminates, and feeds no adaptivity signal - a
+// foreign thief's probe says nothing about the home threads' degree.
+func (h *Handle[T]) TryPop() (v T, ok, applied bool) {
+	h.enter()
+	defer h.exit()
+	eng := h.s.eng
+	t, applied := eng.TryPop(h.tid, eng.AggOf(h.tid))
+	if !applied {
+		return v, false, false
+	}
+	v, ok = getValue(t.B, t.Off)
+	h.releaseSubstack(t.B, t.K)
+	// No Done: TryPop announces on no shared batch, so the session's
+	// hazard was never published.
+	return v, ok, true
 }
 
 // applyPop is the paper's PopFromStack, executed only by a batch's

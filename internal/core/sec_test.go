@@ -335,3 +335,57 @@ func TestCloseWithRecyclingReleasesEBRSlot(t *testing.T) {
 		h.Close()
 	}
 }
+
+// TestTryPopStealAnswers pins the steal primitive's three outcomes on
+// a live stack: a hit detaches the top, an empty stack answers with
+// applied=true/ok=false, and the stack stays consistent with full
+// operations interleaved.
+func TestTryPopStealAnswers(t *testing.T) {
+	s := core.New[int64](core.Options{Aggregators: 1, MaxThreads: 4})
+	h := s.Register()
+	defer h.Close()
+	if _, ok, applied := h.TryPop(); !applied || ok {
+		t.Fatalf("TryPop on empty stack = (ok=%v, applied=%v), want (false, true)", ok, applied)
+	}
+	h.Push(7)
+	h.Push(9)
+	if v, ok, applied := h.TryPop(); !applied || !ok || v != 9 {
+		t.Fatalf("TryPop = (%d, %v, %v), want (9, true, true)", v, ok, applied)
+	}
+	if v, ok := h.Pop(); !ok || v != 7 {
+		t.Fatalf("Pop after steal = (%d, %v), want (7, true)", v, ok)
+	}
+	if _, ok, applied := h.TryPop(); !applied || ok {
+		t.Fatalf("TryPop on drained stack = (ok=%v, applied=%v), want (false, true)", ok, applied)
+	}
+}
+
+// BenchmarkEmptyProbe is the pool Get miss loop's per-shard cost,
+// before and after the steal primitive: "full" is what probing a
+// foreign shard used to cost (a full-protocol Pop observing EMPTY -
+// announcement, freeze, combiner election), "steal" is the TryPop that
+// replaced it (one top-pointer load through the scratch batch). Both
+// report allocations; steal must show 0 allocs/op.
+func BenchmarkEmptyProbe(b *testing.B) {
+	b.Run("full", func(b *testing.B) {
+		s := core.New[int64](core.Options{Aggregators: 1, MaxThreads: 4})
+		h := s.Register()
+		defer h.Close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h.Pop()
+		}
+	})
+	b.Run("steal", func(b *testing.B) {
+		s := core.New[int64](core.Options{Aggregators: 1, MaxThreads: 4})
+		h := s.Register()
+		defer h.Close()
+		h.TryPop() // allocate the scratch batch once
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h.TryPop()
+		}
+	})
+}

@@ -177,10 +177,11 @@ func TestSeriesReport(t *testing.T) {
 
 func TestDegreeTableFormat(t *testing.T) {
 	out := DegreeTable("Table 1", []DegreeRow{
-		{Workload: "100%upd", BatchingDegree: 17.8, EliminationPct: 79, CombiningPct: 21},
+		{Workload: "100%upd", BatchingDegree: 17.8, EliminationPct: 79, CombiningPct: 21, SpinAvg: 96.5, ReclaimScans: 12, ReclaimSkips: 84},
 		{Workload: "50%upd", BatchingDegree: 17.2, EliminationPct: 79, CombiningPct: 21},
 	})
-	for _, want := range []string{"Table 1", "Batching Degree", "17.8", "%Elimination", "79%", "%Combining", "21%"} {
+	for _, want := range []string{"Table 1", "Batching Degree", "17.8", "%Elimination", "79%", "%Combining", "21%",
+		"SpinAvg", "96.5", "ReclaimScan/Skip", "12/84"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("degree table missing %q:\n%s", want, out)
 		}

@@ -11,8 +11,10 @@ import (
 
 // Schema identifies the JSON layout. v2 added allocs_op/bytes_op to
 // every point (the allocation trajectory the batch-recycling work is
-// measured by) and fastpath_pct to degree rows.
-const Schema = "secbench/v2"
+// measured by) and fastpath_pct to degree rows. v3 added
+// spin_avg/reclaim_scans/reclaim_skips to degree rows (the adaptive
+// freezer backoff and reclaim-epoch trajectories).
+const Schema = "secbench/v3"
 
 // BenchDoc is the top-level JSON document for one figure or table: its
 // sweeps' throughput series and/or its degree tables.

@@ -109,6 +109,9 @@ type DegreeRow struct {
 	CombiningPct   float64 `json:"combining_pct"`
 	OccupancyPct   float64 `json:"occupancy_pct"`
 	FastPathPct    float64 `json:"fastpath_pct"`
+	SpinAvg        float64 `json:"spin_avg"`
+	ReclaimScans   int64   `json:"reclaim_scans"`
+	ReclaimSkips   int64   `json:"reclaim_skips"`
 }
 
 // DegreeRowFrom fills a row from a degree snapshot.
@@ -120,6 +123,9 @@ func DegreeRowFrom(workload string, s metrics.Snapshot) DegreeRow {
 		CombiningPct:   s.CombiningPct(),
 		OccupancyPct:   s.OccupancyPct(),
 		FastPathPct:    s.FastPathPct(),
+		SpinAvg:        s.SpinAvg(),
+		ReclaimScans:   s.ReclaimScans,
+		ReclaimSkips:   s.ReclaimSkips,
 	}
 }
 
@@ -156,6 +162,16 @@ func DegreeTable(title string, rows []DegreeRow) string {
 	fmt.Fprintf(&b, "%-18s", "%FastPath")
 	for _, r := range rows {
 		fmt.Fprintf(&b, " %9.0f%%", r.FastPathPct)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%-18s", "SpinAvg")
+	for _, r := range rows {
+		fmt.Fprintf(&b, " %10.1f", r.SpinAvg)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%-18s", "ReclaimScan/Skip")
+	for _, r := range rows {
+		fmt.Fprintf(&b, " %10s", fmt.Sprintf("%d/%d", r.ReclaimScans, r.ReclaimSkips))
 	}
 	b.WriteByte('\n')
 	return b.String()

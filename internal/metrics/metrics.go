@@ -16,14 +16,17 @@ import (
 // batch, so a shard sees updates only from the threads of one
 // aggregator.
 type shard struct {
-	batches    atomic.Int64 // batches frozen
-	ops        atomic.Int64 // operations that belonged to frozen batches
-	eliminated atomic.Int64 // operations eliminated in-batch
-	combined   atomic.Int64 // operations applied to the shared stack
-	capacity   atomic.Int64 // summed op capacity of frozen batches
-	fastHits   atomic.Int64 // solo fast-path operations applied directly
-	fastMisses atomic.Int64 // solo fast-path attempts that hit contention
-	_          [pad.CacheLine - 7*8]byte
+	batches      atomic.Int64 // batches frozen
+	ops          atomic.Int64 // operations that belonged to frozen batches
+	eliminated   atomic.Int64 // operations eliminated in-batch
+	combined     atomic.Int64 // operations applied to the shared stack
+	capacity     atomic.Int64 // summed op capacity of frozen batches
+	fastHits     atomic.Int64 // solo fast-path operations applied directly
+	fastMisses   atomic.Int64 // solo fast-path attempts that hit contention
+	spinSum      atomic.Int64 // summed effective pre-freeze spin of frozen batches
+	reclaimScans atomic.Int64 // freezes that ran a full hazard scan
+	reclaimSkips atomic.Int64 // freezes that deferred one under the reclaim epoch
+	_            [2*pad.CacheLine - 10*8]byte
 }
 
 // SEC aggregates per-aggregator statistics for a SEC stack instance.
@@ -78,6 +81,34 @@ func (m *SEC) RecordBatchOcc(agg, ops, eliminated, capacity int) {
 	m.record(agg, ops, eliminated, capacity)
 }
 
+// RecordSpin tallies the effective pre-freeze backoff one frozen batch
+// of aggregator agg actually paid, in spin iterations. With a fixed
+// FreezerSpin every batch records the same value; under adaptive spin
+// the running average (Snapshot.SpinAvg) shows where the controller
+// settled.
+func (m *SEC) RecordSpin(agg, spin int) {
+	if m == nil {
+		return
+	}
+	m.shards[agg].spinSum.Add(int64(spin))
+}
+
+// RecordReclaim tallies one freeze's reclamation decision on aggregator
+// agg: scanned=true is a full hazard-slot scan, scanned=false a freeze
+// that deferred one under the reclaim epoch (the pre-epoch engine
+// would have scanned). skips/(scans+skips) is the amortization rate
+// the epoch buys.
+func (m *SEC) RecordReclaim(agg int, scanned bool) {
+	if m == nil {
+		return
+	}
+	if scanned {
+		m.shards[agg].reclaimScans.Add(1)
+	} else {
+		m.shards[agg].reclaimSkips.Add(1)
+	}
+}
+
 // RecordFastPath tallies one solo fast-path attempt of aggregator agg:
 // a hit applied the operation directly (bypassing the batch protocol
 // entirely - such operations never appear in Ops), a miss detected
@@ -97,13 +128,16 @@ func (m *SEC) RecordFastPath(agg int, hit bool) {
 // Snapshot is a point-in-time view of the collected statistics,
 // aggregated over all shards.
 type Snapshot struct {
-	Batches    int64
-	Ops        int64
-	Eliminated int64
-	Combined   int64
-	Capacity   int64
-	FastHits   int64
-	FastMisses int64
+	Batches      int64
+	Ops          int64
+	Eliminated   int64
+	Combined     int64
+	Capacity     int64
+	FastHits     int64
+	FastMisses   int64
+	SpinSum      int64
+	ReclaimScans int64
+	ReclaimSkips int64
 }
 
 // Accumulate adds other's counters into s, for callers aggregating
@@ -116,6 +150,9 @@ func (s *Snapshot) Accumulate(other Snapshot) {
 	s.Capacity += other.Capacity
 	s.FastHits += other.FastHits
 	s.FastMisses += other.FastMisses
+	s.SpinSum += other.SpinSum
+	s.ReclaimScans += other.ReclaimScans
+	s.ReclaimSkips += other.ReclaimSkips
 }
 
 // Snapshot sums all shards. It is safe to call concurrently with
@@ -135,6 +172,9 @@ func (m *SEC) Snapshot() Snapshot {
 		out.Capacity += s.capacity.Load()
 		out.FastHits += s.fastHits.Load()
 		out.FastMisses += s.fastMisses.Load()
+		out.SpinSum += s.spinSum.Load()
+		out.ReclaimScans += s.reclaimScans.Load()
+		out.ReclaimSkips += s.reclaimSkips.Load()
 	}
 	return out
 }
@@ -153,6 +193,9 @@ func (m *SEC) Reset() {
 		s.capacity.Store(0)
 		s.fastHits.Store(0)
 		s.fastMisses.Store(0)
+		s.spinSum.Store(0)
+		s.reclaimScans.Store(0)
+		s.reclaimSkips.Store(0)
 	}
 }
 
@@ -192,6 +235,29 @@ func (s Snapshot) OccupancyPct() float64 {
 		return 0
 	}
 	return 100 * float64(s.Ops) / float64(s.Capacity)
+}
+
+// SpinAvg is the mean effective pre-freeze backoff per frozen batch,
+// in spin iterations - the fixed FreezerSpin for a stock engine, the
+// controller's running average under adaptive spin. Zero when no
+// batches were recorded.
+func (s Snapshot) SpinAvg() float64 {
+	if s.Batches == 0 {
+		return 0
+	}
+	return float64(s.SpinSum) / float64(s.Batches)
+}
+
+// ReclaimSkipPct is the percentage of reclaim decisions the epoch
+// deferred: skips / (scans + skips), i.e. how much of the pre-epoch
+// engine's hazard-scan traffic the amortization removed. Zero when
+// reclamation never ran (recycling off, or free list never dry).
+func (s Snapshot) ReclaimSkipPct() float64 {
+	total := s.ReclaimScans + s.ReclaimSkips
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(s.ReclaimSkips) / float64(total)
 }
 
 // FastPathPct is the percentage of completed operations that the solo

@@ -189,3 +189,49 @@ func TestOccupancyZeroWithoutCapacity(t *testing.T) {
 		t.Fatalf("nil collector OccupancyPct = %.1f, want 0", got)
 	}
 }
+
+func TestSpinAndReclaimCounters(t *testing.T) {
+	m := NewSEC(2)
+	m.RecordBatchOcc(0, 1, 0, 8)
+	m.RecordSpin(0, 128)
+	m.RecordBatchOcc(0, 1, 0, 8)
+	m.RecordSpin(0, 64)
+	m.RecordBatchOcc(1, 1, 0, 8)
+	m.RecordSpin(1, 0)
+	m.RecordReclaim(0, true)
+	m.RecordReclaim(0, false)
+	m.RecordReclaim(1, false)
+	m.RecordReclaim(1, false)
+	s := m.Snapshot()
+	if s.SpinSum != 192 {
+		t.Fatalf("SpinSum = %d, want 192", s.SpinSum)
+	}
+	if got := s.SpinAvg(); got != 64 { // 192 spins over 3 batches
+		t.Fatalf("SpinAvg = %.1f, want 64", got)
+	}
+	if s.ReclaimScans != 1 || s.ReclaimSkips != 3 {
+		t.Fatalf("reclaim counters = %d/%d, want 1/3", s.ReclaimScans, s.ReclaimSkips)
+	}
+	if got := s.ReclaimSkipPct(); got != 75 {
+		t.Fatalf("ReclaimSkipPct = %.1f, want 75", got)
+	}
+	var acc Snapshot
+	acc.Accumulate(s)
+	acc.Accumulate(s)
+	if acc.SpinSum != 384 || acc.ReclaimScans != 2 || acc.ReclaimSkips != 6 {
+		t.Fatalf("accumulated spin/reclaim = %d/%d/%d, want 384/2/6", acc.SpinSum, acc.ReclaimScans, acc.ReclaimSkips)
+	}
+	m.Reset()
+	if s := m.Snapshot(); s.SpinSum != 0 || s.ReclaimScans != 0 || s.ReclaimSkips != 0 {
+		t.Fatalf("spin/reclaim counters survive Reset: %+v", s)
+	}
+	var nilM *SEC
+	nilM.RecordSpin(0, 7) // nil collector must be a no-op
+	nilM.RecordReclaim(0, true)
+	if got := nilM.Snapshot().SpinAvg(); got != 0 {
+		t.Fatalf("nil collector SpinAvg = %.1f, want 0", got)
+	}
+	if got := (Snapshot{}).ReclaimSkipPct(); got != 0 {
+		t.Fatalf("empty ReclaimSkipPct = %.1f, want 0", got)
+	}
+}

@@ -6,13 +6,22 @@
 // Get may be served by any shard. The implementation shards elements
 // across per-slice SEC stacks; a Get first tries its own shard (which
 // preserves locality and lets SEC's elimination cancel Put/Get pairs of
-// nearby threads) and then steals round-robin from the others.
+// nearby threads), then sweeps the other shards with the cheap steal
+// primitive - one Treiber-style CAS per shard, no announcement, no
+// batch protocol - and only escalates to full operations on shards
+// whose steal attempt hit contention. The steal sweep starts at a
+// per-handle pseudo-random victim so concurrent thieves do not walk
+// the shards in lockstep.
 package pool
 
 import (
+	"errors"
+	"fmt"
+
 	"secstack/internal/config"
 	"secstack/internal/core"
 	"secstack/internal/tid"
+	"secstack/internal/xrand"
 )
 
 // Pool is a sharded concurrent object pool. Use Register to obtain
@@ -36,6 +45,23 @@ func WithShards(n int) Option { return config.WithShards(n) }
 // bound.
 func WithMaxThreads(n int) Option { return config.WithMaxThreads(n) }
 
+// WithFreezerSpin sets the batch-growing pre-freeze backoff of the
+// pool's SEC shards in spin iterations. The pool's default is 0 - not
+// the stack's 128 - because its sharding already spreads contention
+// and a Get escalating to the full protocol should not stall on
+// freezes hoping for announcers. Steal probes never pay the spin
+// either way; only full-protocol operations freeze batches.
+func WithFreezerSpin(s int) Option { return config.WithFreezerSpin(s) }
+
+// WithAdaptiveSpin toggles the adaptive freezer backoff in the pool's
+// SEC shards: each shard tunes its pre-freeze spin on its batch-degree
+// EWMA, growing toward the ceiling under contention and decaying
+// toward zero when batches freeze near-empty. The ceiling is
+// WithFreezerSpin when given, else the shared default (128) - with the
+// pool's own 0-spin default there would be nothing for the controller
+// to do.
+func WithAdaptiveSpin(on bool) Option { return config.WithAdaptiveSpin(on) }
+
 // WithAdaptive toggles contention adaptivity in the pool's SEC shards:
 // each shard's operations take the solo fast path (one direct CAS)
 // while its recent batch degree is ~1 and fall back to the full batch
@@ -53,18 +79,31 @@ func New[T any](opts ...Option) *Pool[T] {
 		shards: make([]*core.Stack[T], c.Shards),
 		tids:   tid.New(c.MaxThreads),
 	}
+	// The pool's shards default to no freezer spin (see WithFreezerSpin);
+	// an explicit setting - or enabling the adaptive controller, which
+	// needs a non-zero ceiling - opts into the configured value.
+	spin := 0
+	if c.FreezerSpinSet || c.AdaptiveSpin {
+		spin = c.FreezerSpin
+	}
 	for i := range p.shards {
 		// One aggregator per shard: the pool's sharding already spreads
 		// contention, and each shard sees only nearby threads.
 		p.shards[i] = core.New[T](core.Options{
 			Aggregators:  1,
 			MaxThreads:   c.MaxThreads,
+			FreezerSpin:  spin,
+			AdaptiveSpin: c.AdaptiveSpin,
 			Adaptive:     c.Adaptive,
 			BatchRecycle: c.BatchRecycle,
 		})
 	}
 	return p
 }
+
+// ErrExhausted is returned by TryRegister when MaxThreads handles are
+// live at the same time.
+var ErrExhausted = errors.New("pool: more than MaxThreads handles live")
 
 // Handle is a per-goroutine session. Handles must not be shared between
 // goroutines, and should be Closed when their goroutine is done so the
@@ -74,23 +113,49 @@ type Handle[T any] struct {
 	id      int
 	home    int
 	handles []*core.Handle[T]
+	rng     *xrand.State // rotates the steal sweep's starting victim
 }
 
 // Register returns a new handle. Slots released by Close are recycled,
 // so registration panics only when MaxThreads handles are live at the
-// same time.
+// same time; TryRegister is the non-panicking variant.
 func (p *Pool[T]) Register() *Handle[T] {
+	h, err := p.TryRegister()
+	if err != nil {
+		panic(err.Error())
+	}
+	return h
+}
+
+// TryRegister is Register with an error in place of the exhaustion
+// panic, for callers that prefer backpressure over crashing - the same
+// contract the stack, deque and funnel packages offer.
+func (p *Pool[T]) TryRegister() (*Handle[T], error) {
 	id, err := p.tids.Acquire()
 	if err != nil {
-		panic("pool: more than MaxThreads handles live")
+		return nil, ErrExhausted
 	}
 	h := &Handle[T]{p: p, id: id, handles: make([]*core.Handle[T], len(p.shards))}
 	for i, s := range p.shards {
-		h.handles[i] = s.Register()
+		sh, err := s.TryRegister()
+		if err != nil {
+			// Unreachable while shard MaxThreads matches the pool's, but
+			// unwind cleanly rather than leak the slots already taken,
+			// and keep the documented error identity rather than the
+			// shard's internal one.
+			for j := 0; j < i; j++ {
+				h.handles[j].Close()
+			}
+			p.tids.Release(id)
+			return nil, fmt.Errorf("%w: shard %d: %v", ErrExhausted, i, err)
+		}
+		h.handles[i] = sh
 	}
-	// Home shard rotates with the thread id to spread threads.
+	// Home shard rotates with the thread id to spread threads; the
+	// steal sweep's start decorrelates further per Get.
 	h.home = id % len(p.shards)
-	return h
+	h.rng = xrand.New(uint64(id)) // splitmix64 decorrelates adjacent ids
+	return h, nil
 }
 
 // Close releases the handle and its per-shard sessions for reuse by a
@@ -114,8 +179,41 @@ func (h *Handle[T]) Put(v T) {
 
 // Get removes and returns some element; ok is false only if every shard
 // was observed empty.
+//
+// The miss loop is peek-then-steal: after the home shard's full Pop
+// (which keeps elimination with nearby threads), every foreign shard
+// is probed with TryPop - one Treiber-style CAS, no announcement -
+// starting from a pseudo-random victim so concurrent thieves fan out
+// instead of convoying shard by shard. Only if some steal hit
+// contention (meaning elements may exist but the CAS lost) does Get
+// fall back to the full batch protocol across the shards; steals that
+// observed an empty shard already have their answer.
 func (h *Handle[T]) Get() (v T, ok bool) {
+	if v, ok = h.handles[h.home].Pop(); ok {
+		return v, true
+	}
 	n := len(h.handles)
+	if n == 1 {
+		return v, false
+	}
+	off := h.rng.Intn(n - 1)
+	contended := false
+	for i := 0; i < n-1; i++ {
+		idx := (h.home + 1 + (off+i)%(n-1)) % n
+		if v, ok, applied := h.handles[idx].TryPop(); applied {
+			if ok {
+				return v, true
+			}
+			continue // observed empty, uncontended: answered
+		}
+		contended = true
+	}
+	if !contended {
+		return v, false
+	}
+	// Contended steals mean concurrent operations on those shards; join
+	// their batches through the full protocol, home included (it may
+	// have refilled while the sweep ran).
 	for i := 0; i < n; i++ {
 		idx := (h.home + i) % n
 		if v, ok = h.handles[idx].Pop(); ok {

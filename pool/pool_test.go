@@ -95,6 +95,141 @@ func TestConcurrentConservation(t *testing.T) {
 	}
 }
 
+func TestTryRegisterExhaustion(t *testing.T) {
+	p := New[int](WithMaxThreads(2), WithShards(2))
+	a, err := p.TryRegister()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.TryRegister(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.TryRegister(); err == nil {
+		t.Fatal("TryRegister succeeded past MaxThreads live handles")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Register did not panic at exhaustion")
+			}
+		}()
+		p.Register()
+	}()
+	a.Close()
+	b, err := p.TryRegister()
+	if err != nil {
+		t.Fatalf("TryRegister after Close: %v", err)
+	}
+	b.Close()
+}
+
+// TestStealServesForeignShards pins the peek-then-steal path directly:
+// a consumer whose home shard is empty must recover elements parked on
+// foreign shards through the steal sweep (with adaptivity off, so the
+// victims' stacks are in batched mode and the steal still lands).
+func TestStealServesForeignShards(t *testing.T) {
+	for _, adaptive := range []bool{false, true} {
+		p := New[int](WithShards(4), WithAdaptive(adaptive))
+		producers := make([]*Handle[int], 8)
+		for i := range producers {
+			producers[i] = p.Register()
+			producers[i].Put(i)
+		}
+		c := p.Register() // home 0; shard 0 holds producers 0 and 4's elements
+		seen := make(map[int]bool)
+		for i := 0; i < len(producers); i++ {
+			v, ok := c.Get()
+			if !ok {
+				t.Fatalf("adaptive=%v: Get #%d failed with %d elements remaining", adaptive, i, p.Size())
+			}
+			if seen[v] {
+				t.Fatalf("adaptive=%v: value %d returned twice", adaptive, v)
+			}
+			seen[v] = true
+		}
+		if _, ok := c.Get(); ok {
+			t.Fatalf("adaptive=%v: Get on drained pool succeeded", adaptive)
+		}
+	}
+}
+
+// TestStealChurnWaves is the steal-path churn stress (run under -race
+// in CI): 4 waves of MaxThreads handles, half of them thieves that
+// never Put - their home shards stay empty, so every element they
+// recover crossed shards through TryPop (or the contended-steal
+// fallback). Adaptive mode, batch recycling and adaptive spin are all
+// on, so steals race solo CASes, full-protocol combiners and batch
+// reuse on the victim shards. Conservation is value-exact: every
+// value put comes back exactly once (a compensating double-pop plus
+// lost element would keep the aggregate counts equal; per-value
+// tallies catch it).
+func TestStealChurnWaves(t *testing.T) {
+	const maxThreads, waves, per = 8, 4, 200
+	p := New[int64](
+		WithMaxThreads(maxThreads),
+		WithShards(3),
+		WithAdaptive(true),
+		WithBatchRecycling(true),
+		WithAdaptiveSpin(true),
+	)
+	var put int64
+	counts := make(map[int64]int)
+	var mu sync.Mutex
+	for wave := 0; wave < waves; wave++ {
+		var wg sync.WaitGroup
+		for w := 0; w < maxThreads; w++ {
+			wg.Add(1)
+			go func(wave, w int) {
+				defer wg.Done()
+				h := p.Register()
+				defer h.Close()
+				base := int64(wave*maxThreads+w) << 32
+				myPut := int64(0)
+				myGot := make(map[int64]int)
+				if w%2 == 0 { // producer: feeds its home shard
+					for i := int64(1); i <= per; i++ {
+						h.Put(base + i)
+						myPut++
+					}
+				} else { // thief: drains cross-shard only
+					for i := 0; i < per; i++ {
+						if v, ok := h.Get(); ok {
+							myGot[v]++
+						}
+					}
+				}
+				mu.Lock()
+				put += myPut
+				for v, c := range myGot {
+					counts[v] += c
+				}
+				mu.Unlock()
+			}(wave, w)
+		}
+		wg.Wait()
+	}
+	h := p.Register()
+	defer h.Close()
+	for {
+		v, ok := h.Get()
+		if !ok {
+			break
+		}
+		counts[v]++
+	}
+	for v, c := range counts {
+		if c != 1 {
+			t.Fatalf("steal churn: value %d recovered %d times", v, c)
+		}
+	}
+	if int64(len(counts)) != put {
+		t.Fatalf("steal churn: recovered %d distinct values, put %d", len(counts), put)
+	}
+	if p.Size() != 0 {
+		t.Fatalf("steal churn: Size=%d after full drain", p.Size())
+	}
+}
+
 func TestSizeQuiescent(t *testing.T) {
 	p := New[int](WithShards(2))
 	h := p.Register()

@@ -156,6 +156,14 @@ func TestLinearizabilitySECVariants(t *testing.T) {
 		"AdaptiveRecycle": {stack.WithAdaptive(true), stack.WithBatchRecycling(true), stack.WithRecycling()},
 		"BatchRecycle":    {stack.WithBatchRecycling(true)},
 		"AdaptiveAgg5":    {stack.WithAdaptive(true), stack.WithAggregators(5), stack.WithBatchRecycling(true)},
+		// Adaptive freezer backoff (DESIGN.md §9): the per-aggregator
+		// spin controller retunes the freeze timing mid-history; alone,
+		// stacked on the solo fast path + batch recycling (freeze timing
+		// interacts with hazard publication), and with a large ceiling so
+		// histories straddle grown and decayed spins.
+		"AdaptiveSpin":     {stack.WithAdaptiveSpin(true)},
+		"AdaptiveSpinBig":  {stack.WithAdaptiveSpin(true), stack.WithFreezerSpin(2048)},
+		"AdaptiveSpinFull": {stack.WithAdaptiveSpin(true), stack.WithAdaptive(true), stack.WithBatchRecycling(true), stack.WithRecycling()},
 	}
 	for name, opt := range variants {
 		name, opt := name, opt

@@ -22,8 +22,19 @@ func WithMaxThreads(n int) Option { return config.WithMaxThreads(n) }
 
 // WithFreezerSpin sets the freezer's batch-growing pre-freeze backoff
 // in spin iterations (SEC, deque, funnel; §3.1 of the paper). Default
-// 128; 0 disables it, keeping batches small.
+// 128; 0 disables it, keeping batches small. Under WithAdaptiveSpin
+// this is the controller's ceiling rather than the delay every freeze
+// pays.
 func WithFreezerSpin(s int) Option { return config.WithFreezerSpin(s) }
+
+// WithAdaptiveSpin toggles the adaptive freezer backoff in the
+// batch-protocol structures (SEC, deque, funnel; pool shards honour
+// it too): each aggregator tunes its own pre-freeze spin on the
+// batch-degree EWMA, growing toward WithFreezerSpin while batches
+// freeze well-filled and decaying toward zero while they freeze
+// near-empty, so lightly loaded aggregators stop paying the backoff
+// the paper sizes for high contention. See DESIGN.md §9.
+func WithAdaptiveSpin(on bool) Option { return config.WithAdaptiveSpin(on) }
 
 // WithoutElimination disables SEC's in-batch elimination, leaving
 // freezing and combining intact - the paper's ablation isolating how

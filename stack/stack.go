@@ -291,6 +291,7 @@ func NewSEC[T any](opts ...Option) *SECStack[T] {
 		Aggregators:    c.Aggregators,
 		MaxThreads:     c.MaxThreads,
 		FreezerSpin:    c.FreezerSpin,
+		AdaptiveSpin:   c.AdaptiveSpin,
 		NoElimination:  c.NoElimination,
 		Recycle:        c.Recycle,
 		CollectMetrics: c.CollectMetrics,
