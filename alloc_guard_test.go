@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"secstack/funnel"
+	"secstack/internal/core"
 	"secstack/pool"
 	"secstack/stack"
 )
@@ -122,6 +123,34 @@ func TestAllocCeilingPoolStealHit(t *testing.T) {
 	})
 	if avg > allocCeiling {
 		t.Fatalf("pool Get steal-hit allocates %.3f allocs/op, ceiling %.2f", avg, allocCeiling)
+	}
+}
+
+// TestAllocCeilingTryPushSteal: a TryPush/TryPop cycle - the steal
+// primitives both of the pool's sweeps are built from - is two
+// Treiber-style CASes through the session's scratch batch, with the
+// node cycling through the handle's reclamation pool: nothing on the
+// heap in steady state. (The contended-miss sides are pinned at 0 by
+// internal/agg's TestTryPushStealBypassesProtocol and the forced
+// overflow guards in the pool package.)
+func TestAllocCeilingTryPushSteal(t *testing.T) {
+	s := core.New[int64](core.Options{Aggregators: 1, MaxThreads: 4, Recycle: true})
+	h := s.Register()
+	defer h.Close()
+	for i := int64(0); i < 4096; i++ { // settle EBR epochs and the scratch batch
+		h.TryPush(i)
+		h.TryPop()
+	}
+	avg := testing.AllocsPerRun(2000, func() {
+		if !h.TryPush(7) {
+			t.Fatal("uncontended TryPush did not apply")
+		}
+		if _, ok, applied := h.TryPop(); !applied || !ok {
+			t.Fatal("uncontended TryPop did not answer")
+		}
+	})
+	if avg > allocCeiling {
+		t.Fatalf("TryPush/TryPop steal cycle allocates %.3f allocs/op, ceiling %.2f", avg, allocCeiling)
 	}
 }
 

@@ -18,7 +18,13 @@
 // Table 3 the Sapphire repeats. Output is text tables with the same
 // rows/series the paper plots; -table additionally prints the batch
 // occupancy and elimination-rate counters the agg engine records for
-// the deque and funnel next to the paper's SEC stack degrees.
+// the deque, funnel and pool next to the paper's SEC stack degrees
+// (the pool rows carry the put-steal and shard-scaling inheritance
+// counters of the bidirectional load-balancing work).
+//
+// With -json, each figure or table is also written as one
+// machine-readable BENCH_<fig>.json document (schema secbench/v4; see
+// internal/harness/json.go for the version history).
 package main
 
 import (
@@ -396,9 +402,10 @@ func figSpin(title string, m harness.Machine, st settings, doc *harness.BenchDoc
 // runTable renders a Table 1/2/3-style degree table set - batching
 // degree, %elimination, %combining and %occupancy per update mix,
 // averaged across the machine's thread ladder as the paper does - for
-// each of the three batch-protocol structures: the SEC stack (the
-// paper's Tables 1-3), the deque and the funnel (whose degree counters
-// the shared agg engine records identically).
+// each of the batch-protocol structures: the SEC stack (the paper's
+// Tables 1-3), the deque and the funnel (whose degree counters the
+// shared agg engine records identically), and the pool (whose rows add
+// the put-steal hit/miss and spin-inheritance counters).
 func runTable(n int, st settings) {
 	var m harness.Machine
 	switch n {
@@ -423,6 +430,7 @@ func runTable(n int, st settings) {
 		}},
 		{"deque", harness.RunDeque},
 		{"funnel", harness.RunFunnel},
+		{"pool", harness.RunPool},
 	}
 	for _, sc := range structures {
 		rows := make([]harness.DegreeRow, 0, 3)

@@ -16,6 +16,14 @@
 // has no single word that one CAS can move, so combining (batching
 // many operations per lock acquisition) is exactly what makes the lock
 // cheap.
+//
+// The engine's lifecycle (announce, freeze, combine, reclaim) and its
+// optional adaptivity - the solo fast path (WithAdaptive, a TryLock
+// apply when an end's recent batch degree is ~1), batch recycling
+// (WithBatchRecycling) and the adaptive freezer backoff
+// (WithAdaptiveSpin) - are documented in internal/agg and DESIGN.md
+// §8-§10; the deque honours the same shared options as the other
+// structures (see README.md for the matrix).
 package deque
 
 import (

@@ -1,6 +1,8 @@
 // Package secstack is a from-scratch Go reproduction of "Sharded
 // Elimination and Combining for Highly-Efficient Concurrent Stacks"
-// (Singh, Metaxakis, Fatourou; PPoPP '26).
+// (Singh, Metaxakis, Fatourou; PPoPP '26). See README.md for the
+// architecture diagram, the functional-options matrix, and the
+// figure-reproduction workflow.
 //
 // The public API lives in secstack/stack: the SEC stack itself plus the
 // five baseline concurrent stacks the paper evaluates against (Treiber,
@@ -21,6 +23,14 @@
 // funnel) and appliers (a splice-substack CAS, a per-end mutex apply,
 // a hardware fetch&add plus prefix sums). See DESIGN.md §1 for the
 // instantiation table.
+//
+// Beyond the paper, the engine is contention-adaptive (DESIGN.md
+// §8-§10): a solo fast path and dynamic shard scaling with controller
+// inheritance adapt the batching machinery to the observed load, batch
+// recycling and epoch-batched hazard reclamation make the steady-state
+// hot paths allocation-free, and single-CAS steal primitives (TryPush,
+// TryPop) give the pool bidirectional cross-shard load balancing - Get
+// steals from quiet shards, Put overflows away from saturated ones.
 //
 // The benchmark families in bench_test.go and the cmd/secbench tool
 // regenerate every figure and table of the paper's evaluation; see

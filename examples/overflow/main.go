@@ -1,0 +1,121 @@
+// Overflow: the pool's bidirectional cross-shard load balancing.
+//
+// Build and run:
+//
+//	go run ./examples/overflow
+//
+// A pool shards its elements across SEC stacks, and each handle has a
+// home shard - great for locality, bad when load is skewed. Two steal
+// primitives rebalance it, one per direction:
+//
+//   - Get steal (peek-then-steal): a Get whose home shard is empty
+//     probes the foreign shards with one Treiber-style CAS each - no
+//     announcement, no batch protocol - and recovers elements wherever
+//     they were parked.
+//   - Put overflow (steal for Put): a Put first probes its home shard
+//     with the same single-CAS primitive; after the home CAS loses
+//     pool.WithPutOverflow consecutive rounds (the shard is
+//     saturated), Puts sweep the foreign shards and spill to whichever
+//     has spare capacity, falling back to the home shard's full batch
+//     protocol only when every shard is contended.
+//
+// The first phase below is deterministic: a producer deliberately
+// skews the pool by parking everything on its own home shard, and a
+// consumer with a different home drains it all cross-shard. The second
+// phase runs real contention - producers sharing one home shard racing
+// a thief - so the overflow valve can engage; whether a particular CAS
+// loses depends on the scheduler, so the example asserts what is
+// always true (exact conservation: every element put is recovered
+// exactly once) and leaves the put-steal hit/miss telemetry, available
+// through pool.WithMetrics and Pool.Snapshot, to cmd/secbench -table
+// and the deterministic tests in the pool package.
+package main
+
+import (
+	"fmt"
+	"sync"
+
+	"secstack/pool"
+)
+
+func main() {
+	p := pool.New[int](
+		pool.WithShards(4),
+		pool.WithPutOverflow(1), // overflow on the first lost home CAS
+		pool.WithMetrics(),
+	)
+
+	// Phase 1: a deliberately skewed pool, rebalanced by Get steal.
+	// Handles draw sequential ids, so the first two handles get homes 0
+	// and 1: everything the producer puts lands on shard 1, and every
+	// Get the consumer performs must steal cross-shard (its home shard
+	// 0 stays empty).
+	consumer := p.Register() // home shard 0
+	producer := p.Register() // home shard 1
+	const parked = 8
+	for i := 0; i < parked; i++ {
+		producer.Put(i)
+	}
+	drained := 0
+	for {
+		if _, ok := consumer.Get(); !ok {
+			break
+		}
+		drained++
+	}
+	fmt.Printf("consumer stole %d of %d elements parked on a foreign shard; pool empty: %v\n",
+		drained, parked, p.Size() == 0)
+
+	// Phase 2: genuine contention on one home shard, the regime the
+	// Put-overflow valve exists for. Producers sharing a home race each
+	// other (and a thief popping underneath them); any Put whose home
+	// CAS loses spills to a quiet foreign shard instead of piling onto
+	// the hot one. Conservation is exact either way.
+	const goroutines, per = 4, 2000
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	seen := make(map[int]int)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			h := p.Register()
+			defer h.Close()
+			if g%2 == 0 { // producer
+				for i := 0; i < per; i++ {
+					h.Put(g<<20 | i)
+				}
+			} else { // thief: drains whatever shard holds elements
+				local := make(map[int]int)
+				for i := 0; i < per; i++ {
+					if v, ok := h.Get(); ok {
+						local[v]++
+					}
+				}
+				mu.Lock()
+				for v, c := range local {
+					seen[v] += c
+				}
+				mu.Unlock()
+			}
+		}(g)
+	}
+	wg.Wait()
+	for {
+		v, ok := consumer.Get()
+		if !ok {
+			break
+		}
+		seen[v]++
+	}
+	exact := len(seen) == (goroutines/2)*per
+	for _, c := range seen {
+		if c != 1 {
+			exact = false
+		}
+	}
+	fmt.Printf("contended overflow phase: every element recovered exactly once: %v\n", exact)
+
+	consumer.Close()
+	producer.Close()
+}

@@ -1,0 +1,18 @@
+package main
+
+// The example's output is asserted, so the rebalancing demonstration
+// runs as an Example test in the ordinary test tier (and in CI's docs
+// gate): a regression in either steal direction - elements stranded on
+// a skewed shard, or elements lost or duplicated under contended
+// overflow - breaks the expected output.
+
+// Example runs the overflow demonstration and pins its deterministic
+// claims: a consumer whose home shard is empty recovers every element
+// parked on a foreign shard, and the contended overflow phase
+// conserves elements exactly.
+func Example() {
+	main()
+	// Output:
+	// consumer stole 8 of 8 elements parked on a foreign shard; pool empty: true
+	// contended overflow phase: every element recovered exactly once: true
+}

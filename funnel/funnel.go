@@ -206,6 +206,25 @@ func (h *Handle) FetchAdd(amount int64) int64 {
 	return v
 }
 
+// TryFetchAdd attempts FetchAdd with a single CAS on the central
+// counter through the session's scratch batch, bypassing announcement
+// and delegation regardless of the aggregator's mode - the funnel's
+// twin of the engine's TryPush/TryPop steal primitives, for callers
+// that would rather retry or walk away than wait out a batch.
+// applied=false means the CAS lost to a concurrent operation: the
+// counter is unchanged and nothing was announced. applied=true returns
+// the value the counter held immediately before the add, exactly as
+// FetchAdd does.
+func (h *Handle) TryFetchAdd(amount int64) (old int64, applied bool) {
+	h.amt = amount
+	eng := h.f.eng
+	t, applied := eng.TryPush(h.id, eng.AggOf(h.id), &h.amt)
+	if !applied {
+		return 0, false
+	}
+	return t.B.Data[t.Seq], true
+}
+
 // applyBatch is the delegate's combiner body: walk the frozen batch's
 // announced amounts in sequence order accumulating prefix sums, apply
 // the total to the central counter with a single hardware fetch&add,

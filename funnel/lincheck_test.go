@@ -146,3 +146,63 @@ func TestFunnelLinearizabilityRecycledHandleSlots(t *testing.T) {
 		}
 	}
 }
+
+// runHistorySteal drives mixed histories in which every FetchAdd first
+// attempts TryFetchAdd - the funnel's single-CAS steal primitive,
+// bypassing announcement and delegation - and escalates to the full
+// batched FetchAdd only when the CAS reports contention. Applied
+// steals and delegated operations must linearize together.
+func runHistorySteal(f *funnel.Funnel, threads, opsPer int, seed uint64) []lincheck.CtrOp {
+	rec := lincheck.NewCtrRecorder(threads)
+	var wg sync.WaitGroup
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			h := f.Register()
+			defer h.Close()
+			rng := xrand.New(seed + uint64(t)*7919)
+			for i := 0; i < opsPer; i++ {
+				amt := int64(rng.Intn(7)) - 3
+				inv := rec.Begin()
+				ret, applied := h.TryFetchAdd(amt)
+				if !applied {
+					ret = h.FetchAdd(amt) // contended steal: full protocol
+				}
+				rec.Record(t, amt, ret, inv)
+			}
+		}(t)
+	}
+	wg.Wait()
+	return rec.History()
+}
+
+// TestFunnelLinearizabilityPutSteal checks TryFetchAdd against the
+// exhaustive counter checker across the knobs it interacts with:
+// stock delegation, adaptivity (steal CASes race solo ones and mode
+// flips), and batch recycling (scratch batches alongside recycled
+// prefix-sum batches).
+func TestFunnelLinearizabilityPutSteal(t *testing.T) {
+	variants := map[string][]funnel.Option{
+		"PutSteal":         nil,
+		"PutStealAdaptive": {funnel.WithAdaptive(true), funnel.WithBatchRecycling(true)},
+		"PutStealFull": {funnel.WithAdaptive(true), funnel.WithBatchRecycling(true),
+			funnel.WithAdaptiveSpin(true)},
+	}
+	for name, opt := range variants {
+		name, opt := name, opt
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			for r := 0; r < 20; r++ {
+				f := funnel.New(opt...)
+				h := runHistorySteal(f, 4, 4, uint64(r)*48611+3)
+				if !lincheck.CheckCounter(h, 0) {
+					for _, op := range h {
+						t.Logf("%s", op)
+					}
+					t.Fatalf("round %d: put-steal history not linearizable", r)
+				}
+			}
+		})
+	}
+}

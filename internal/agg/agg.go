@@ -28,6 +28,29 @@
 // CAS for the stack, a per-end mutex apply for the deque, one hardware
 // fetch&add plus prefix sums for the funnel).
 //
+// # Lifecycle of one operation
+//
+// Every full-protocol operation moves through four stages:
+//
+//  1. Announce: Push/Pop load the session's aggregator's active batch
+//     (publishing it through the session's hazard slot when recycling
+//     is on) and fetch&increment its side's counter; the returned
+//     sequence number is the operation's slot in the batch.
+//  2. Freeze: the first announcer of either side wins the freezer race,
+//     waits out the batch-growing backoff (fixed or adaptive), snapshots
+//     both counters, and installs the next batch - which releases every
+//     spinning announcer. Operations that announced past the snapshot
+//     retry in the new batch.
+//  3. Combine: sequence numbers below the eliminator's e cancel against
+//     the opposite side in place; the first survivor of each side
+//     becomes that side's combiner, applies all its survivors to the
+//     shared structure through the Spec applier, and raises the applied
+//     flag its sibling survivors wait on.
+//  4. Reclaim: once the caller has consumed its ticket it calls Done,
+//     dropping its hazard; retired batches sit in the aggregator's limbo
+//     list until an epoch-batched hazard scan proves them quiescent and
+//     recycles them (Spec.Recycle) or the GC takes them.
+//
 // # Contention adaptivity
 //
 // The full batch lifecycle is worth paying only when there is something
@@ -69,13 +92,22 @@
 //     list, and each scan reads the hazard slots once for the whole
 //     limbo list rather than once per limbo batch. Scan/skip counters
 //     prove the amortization.
-//   - A steal primitive (TryPop): one direct solo apply through the
-//     per-session scratch batch, bypassing mode and announcement
-//     entirely - the pool's peek-then-steal probe of foreign shards.
+//   - Steal primitives (TryPop and TryPush): one direct solo apply
+//     through the per-session scratch batch, bypassing mode and
+//     announcement entirely - the pool's peek-then-steal probe of
+//     foreign shards on the Get side, and its Put-overflow valve on
+//     the push side.
+//   - Per-aggregator state inheritance on dynamic shard scaling: when
+//     the effective shard count grows, the newly-live aggregator's
+//     spin controller and batch-degree EWMA are seeded from the mean
+//     of the surviving aggregators instead of whatever stale state the
+//     shard retired with, so sessions remapped onto it do not pay a
+//     spin (or mode) tuned for a load that no longer exists.
 package agg
 
 import (
 	"errors"
+	"sync"
 	"sync/atomic"
 
 	"secstack/internal/backoff"
@@ -226,7 +258,12 @@ type aggCtl struct {
 	reclaimScans atomic.Int64
 	reclaimSkips atomic.Int64
 
-	_ [2*pad.CacheLine - 8*8]byte
+	// inherits counts how many times this aggregator went live through
+	// a shard-scaling grow and had its controller state seeded from the
+	// surviving aggregators' mean.
+	inherits atomic.Int64
+
+	_ [2*pad.CacheLine - 9*8]byte
 }
 
 const (
@@ -412,8 +449,13 @@ type Engine[S, P any] struct {
 	// effK is the effective aggregator count in [1, len(aggs)];
 	// scaleEpoch increments on every resize so observers (and tests)
 	// can detect remappings. Non-adaptive engines pin effK = len(aggs).
+	// resizeMu serializes resizes (rare: at most one check per
+	// resizePeriod freezes per aggregator), so a grow's controller
+	// seeding cannot race another grow into clobbering a shard that
+	// just went live; freezers never block on it (TryLock).
 	effK       atomic.Int32
 	scaleEpoch atomic.Uint64
+	resizeMu   sync.Mutex
 
 	// hazards[id] is session id's published batch reference; solo[id]
 	// its scratch batch. Both indexed by session id, each entry owned
@@ -794,8 +836,18 @@ func (e *Engine[S, P]) spinFor(agg int) int {
 // maybeResize adjusts the effective aggregator count on the mean
 // degree EWMA of the currently active shards: saturated batches grow
 // toward Spec.Aggregators, near-empty ones consolidate toward 1 so the
-// remaining shards see enough load to batch.
+// remaining shards see enough load to batch. A grow seeds the
+// newly-live aggregator's controller state from the survivors before
+// publishing the new count, so remapped sessions never observe the
+// stale tuning the shard retired with. Resizes are serialized by
+// resizeMu - TryLock, so a freezer whose check collides with a
+// resize in flight simply skips it (its degree signal is stale by
+// definition then) rather than wait.
 func (e *Engine[S, P]) maybeResize() {
+	if !e.resizeMu.TryLock() {
+		return
+	}
+	defer e.resizeMu.Unlock()
 	k := int(e.effK.Load())
 	if k < 1 || k > len(e.aggs) {
 		return
@@ -807,15 +859,56 @@ func (e *Engine[S, P]) maybeResize() {
 	mean := sum / int64(k)
 	switch {
 	case mean >= growDegree && k < len(e.aggs):
-		if e.effK.CompareAndSwap(int32(k), int32(k+1)) {
-			e.scaleEpoch.Add(1)
-		}
+		e.inheritCtl(k)
+		e.ctl[k].inherits.Add(1)
+		e.m.RecordSpinInherit(k)
+		e.effK.Store(int32(k + 1))
+		e.scaleEpoch.Add(1)
 	case mean <= shrinkDegree && k > 1:
-		if e.effK.CompareAndSwap(int32(k), int32(k-1)) {
-			e.scaleEpoch.Add(1)
-		}
+		e.effK.Store(int32(k - 1))
+		e.scaleEpoch.Add(1)
 	}
 }
+
+// inheritCtl seeds aggregator idx's adaptivity state - batch-degree
+// EWMA, solo/batched mode, and (under adaptive spin) the effective
+// pre-freeze backoff - from the mean of the k currently live
+// aggregators. Without it, a shard going live again after a shrink
+// would resume with whatever EWMA and spin it retired with (or, on its
+// first activation, the configured ceiling): sessions remapped onto it
+// by the scale epoch would pay a backoff tuned for a load that no
+// longer exists until enough of their own freezes retuned it. Called
+// only under resizeMu, before the effK store that makes the shard
+// reachable, so seeding can never touch a live shard's state.
+func (e *Engine[S, P]) inheritCtl(k int) {
+	var ewmaSum, spinSum int64
+	for i := 0; i < k; i++ {
+		ewmaSum += e.ctl[i].ewma.Load()
+		spinSum += e.ctl[i].spin.Load()
+	}
+	c := &e.ctl[k]
+	mean := ewmaSum / int64(k)
+	c.ewma.Store(mean)
+	if e.adaptiveSpin {
+		c.spin.Store(spinSum / int64(k))
+	}
+	// Apply the solo-mode hysteresis to the inherited degree so the mode
+	// bit is consistent with the seeded EWMA; inside the band the shard
+	// keeps its previous mode, exactly as a live shard would.
+	switch {
+	case mean <= soloEnterMax:
+		if e.trySoloPush != nil {
+			c.mode.Store(modeSolo)
+		}
+	case mean >= soloExitMin:
+		c.mode.Store(modeBatched)
+	}
+}
+
+// Inherits reports how many times aggregator agg went live through a
+// shard-scaling grow with controller state seeded from the surviving
+// aggregators (diagnostics and tests).
+func (e *Engine[S, P]) Inherits(agg int) int64 { return e.ctl[agg].inherits.Load() }
 
 // observeFreeze records a frozen batch's degree into the adaptivity
 // signal, retunes the spin controller, and periodically runs the
@@ -1082,4 +1175,31 @@ func (e *Engine[S, P]) TryPop(id, agg int) (PopTicket[S, P], bool) {
 		return PopTicket[S, P]{}, false
 	}
 	return PopTicket[S, P]{B: sb, Off: 0, K: 1}, true
+}
+
+// TryPush is TryPop's push-side twin: exactly one solo direct apply of
+// val on aggregator agg on behalf of session id, bypassing the
+// aggregator's mode and the batch protocol entirely - the pool's
+// Put-overflow primitive, which lets a Put spill onto a quiet foreign
+// shard when its home shard's solo CAS keeps losing. On success the
+// returned ticket reads like a solo push's; ok=false means the
+// structure's solo applier detected contention and left the structure
+// unchanged, with nothing announced, so the caller is free to try the
+// next shard or escalate to the full Push.
+//
+// Like TryPop it is deliberately recorded nowhere: a foreign
+// overflow's single attempt is not evidence about the victim sessions'
+// batch degree, so it feeds neither the EWMA nor the fast-path
+// counters, and having announced on no shared batch it needs no hazard
+// and no Done.
+func (e *Engine[S, P]) TryPush(id, agg int, val *S) (PushTicket[S, P], bool) {
+	if e.trySoloPush == nil {
+		return PushTicket[S, P]{}, false
+	}
+	sb := e.soloBatch(id)
+	sb.slots[0].Store(val)
+	if !e.trySoloPush(agg, sb) {
+		return PushTicket[S, P]{}, false
+	}
+	return PushTicket[S, P]{B: sb, Seq: 0}, true
 }

@@ -893,3 +893,184 @@ func TestPushTicketSeq(t *testing.T) {
 		}
 	}
 }
+
+// TestTryPushStealBypassesProtocol: the push-side steal primitive is
+// one solo apply through the session's scratch batch - no
+// announcement, no freeze, no fast-path accounting - and a contended
+// attempt reports failure with the structure untouched. Like TryPop it
+// must work with Adaptive off, since pool shards overflow regardless
+// of mode.
+func TestTryPushStealBypassesProtocol(t *testing.T) {
+	var sum atomic.Int64
+	var contended atomic.Bool
+	e := New(Spec[int64, []int64]{
+		Aggregators: 2,
+		MaxThreads:  4,
+		Partitioned: true,
+		Eliminate:   NoElim,
+		MakeData:    func(n int) []int64 { return make([]int64, n) },
+		ApplyPush:   func(int, *Batch[int64, []int64], int64, int64) {},
+		ApplyPop:    func(int, *Batch[int64, []int64], int64, int64) {},
+		TrySoloPush: func(_ int, b *Batch[int64, []int64]) bool {
+			if contended.Load() {
+				return false
+			}
+			b.Data[0] = sum.Add(*b.Slot(0))
+			return true
+		},
+	})
+	id, err := e.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := e.ActiveBatch(1)
+	v := int64(7)
+	tk, ok := e.TryPush(id, 1, &v)
+	if !ok {
+		t.Fatal("uncontended TryPush failed")
+	}
+	if tk.Seq != 0 || tk.B.Data[0] != 7 {
+		t.Fatalf("TryPush ticket = {Seq:%d Data:%d}, want {0 7}", tk.Seq, tk.B.Data[0])
+	}
+	if e.ActiveBatch(1) != before {
+		t.Fatal("TryPush froze the victim aggregator's batch")
+	}
+	if hits, misses := e.FastPath(1); hits != 0 || misses != 0 {
+		t.Fatalf("TryPush fed the fast-path counters (%d/%d), want none", hits, misses)
+	}
+	contended.Store(true)
+	if _, ok := e.TryPush(id, 1, &v); ok {
+		t.Fatal("contended TryPush reported success")
+	}
+	if got := sum.Load(); got != 7 {
+		t.Fatalf("contended TryPush changed the structure: sum = %d, want 7", got)
+	}
+	// The miss path allocates nothing once the scratch batch exists: a
+	// sweep over many contended shards must be CAS-cost only.
+	if avg := testing.AllocsPerRun(200, func() { e.TryPush(id, 0, &v) }); avg > 0 {
+		t.Fatalf("contended TryPush allocates %.2f allocs/op, want 0", avg)
+	}
+}
+
+// TestTryPushWithoutSoloApplier: an engine whose structure provides no
+// TrySoloPush (no solo semantics at all) reports every TryPush as not
+// applied rather than panicking.
+func TestTryPushWithoutSoloApplier(t *testing.T) {
+	e := New(noopSpec(1, 4, true))
+	id, err := e.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := int64(1)
+	if _, ok := e.TryPush(id, 0, &v); ok {
+		t.Fatal("TryPush applied on an engine without a solo push applier")
+	}
+}
+
+// TestSpinInheritanceOnResize pins the controller-seeding rule of
+// dynamic shard scaling: when the effective shard count grows, the
+// newly-live aggregator's spin controller and degree EWMA must be
+// seeded from the mean of the surviving aggregators - not resume from
+// the stale values the shard retired with (or the configured ceiling) -
+// and the mode bit must be consistent with the inherited degree.
+func TestSpinInheritanceOnResize(t *testing.T) {
+	const ceiling = 1024
+	m := metrics.NewSEC(4)
+	spec := noopSpecAdaptive(4, 64)
+	spec.FreezerSpin = ceiling
+	spec.AdaptiveSpin = true
+	spec.Metrics = m
+	e := New(spec)
+
+	// Consolidate to one shard: sustained near-empty batches.
+	for i := 0; i < 16; i++ {
+		for a := 0; a < 4; a++ {
+			e.ctl[a].ewma.Store(degreeUnit)
+		}
+		e.maybeResize()
+	}
+	if got := e.EffectiveAggregators(); got != 1 {
+		t.Fatalf("effective aggregators after low-degree runs = %d, want 1", got)
+	}
+
+	// Poison the dormant shard with the stale state the pre-inheritance
+	// engine would have resumed with, and give the survivor a settled
+	// mid-range tuning.
+	e.ctl[1].spin.Store(ceiling)
+	e.ctl[1].ewma.Store(degreeUnit)
+	e.ctl[1].mode.Store(modeSolo)
+	const survivorSpin, survivorDeg = 96, 8 * degreeUnit
+	e.ctl[0].spin.Store(survivorSpin)
+	e.ctl[0].ewma.Store(survivorDeg)
+	e.ctl[0].mode.Store(modeBatched)
+
+	e.maybeResize() // mean degree 8.0 >= growDegree: grow 1 -> 2
+	if got := e.EffectiveAggregators(); got != 2 {
+		t.Fatalf("effective aggregators after high-degree run = %d, want 2", got)
+	}
+	if got := e.EffectiveSpin(1); got != survivorSpin {
+		t.Fatalf("newly-live shard's spin = %d, want inherited mean %d (stale was %d)",
+			got, survivorSpin, ceiling)
+	}
+	if got := e.ctl[1].ewma.Load(); got != survivorDeg {
+		t.Fatalf("newly-live shard's EWMA = %d, want inherited mean %d", got, survivorDeg)
+	}
+	if e.soloMode(1) {
+		t.Fatal("newly-live shard kept stale solo mode despite inherited degree >= exit threshold")
+	}
+	if got := e.Inherits(1); got != 1 {
+		t.Fatalf("Inherits(1) = %d, want 1", got)
+	}
+	if got := m.Snapshot().SpinInherits; got != 1 {
+		t.Fatalf("metrics SpinInherits = %d, want 1", got)
+	}
+
+	// Grow 2 -> 3: the seed is the mean over both survivors.
+	e.ctl[0].spin.Store(64)
+	e.ctl[0].ewma.Store(8 * degreeUnit)
+	e.ctl[1].spin.Store(128)
+	e.ctl[1].ewma.Store(10 * degreeUnit)
+	e.ctl[2].spin.Store(ceiling) // stale
+	e.maybeResize()
+	if got := e.EffectiveAggregators(); got != 3 {
+		t.Fatalf("effective aggregators = %d, want 3", got)
+	}
+	if got := e.EffectiveSpin(2); got != 96 {
+		t.Fatalf("second grow seeded spin %d, want mean(64, 128) = 96", got)
+	}
+	if got := e.ctl[2].ewma.Load(); got != 9*degreeUnit {
+		t.Fatalf("second grow seeded EWMA %d, want mean %d", got, 9*degreeUnit)
+	}
+	if got := m.Snapshot().SpinInherits; got != 2 {
+		t.Fatalf("metrics SpinInherits = %d after two grows, want 2", got)
+	}
+}
+
+// TestSpinInheritanceSeedsSoloMode: a grow under a low inherited degree
+// (possible when the resize races a load drop) seeds solo mode, so the
+// new shard's first operations take the fast path its degree warrants.
+func TestSpinInheritanceSeedsSoloMode(t *testing.T) {
+	e := New(noopSpecAdaptive(2, 64))
+	if got := e.EffectiveAggregators(); got != 2 {
+		t.Fatalf("initial effective aggregators = %d, want 2", got)
+	}
+	// Shrink to 1, then poison the dormant shard's mode.
+	for i := 0; i < 8; i++ {
+		for a := 0; a < 2; a++ {
+			e.ctl[a].ewma.Store(degreeUnit)
+		}
+		e.maybeResize()
+	}
+	if got := e.EffectiveAggregators(); got != 1 {
+		t.Fatalf("effective aggregators = %d, want 1", got)
+	}
+	e.ctl[1].mode.Store(modeBatched)
+	// inheritCtl is what maybeResize runs on a grow; drive it directly
+	// with a low survivor degree (a grow immediately followed by a load
+	// drop) to pin the solo seeding branch.
+	e.ctl[0].ewma.Store(degreeUnit)
+	e.inheritCtl(1)
+	if !e.soloMode(1) {
+		t.Fatal("inherited degree ~1 did not seed solo mode")
+	}
+}

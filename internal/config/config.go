@@ -70,6 +70,14 @@ type Config struct {
 	// Shards is the pool's SEC-stack count.
 	Shards int
 
+	// PutOverflow is the pool's Put-overflow threshold: after this many
+	// consecutive home-shard solo-CAS losses, a Put sweeps the foreign
+	// shards with the TryPush steal primitive (one splice CAS, no batch
+	// protocol) before falling back to the home shard's full protocol -
+	// the push-side twin of Get's peek-then-steal. 0 disables overflow
+	// and pins every Put to its home shard. Default 2.
+	PutOverflow int
+
 	// Initial is the funnel counter's starting value.
 	Initial int64
 
@@ -105,6 +113,7 @@ func Default() Config {
 		MaxThreads:     256,
 		FreezerSpin:    128,
 		Shards:         4,
+		PutOverflow:    2,
 		BackoffMin:     4,
 		BackoffMax:     1024,
 		ElimArraySize:  16,
@@ -194,6 +203,15 @@ func WithMetrics() Option {
 // WithShards sets the pool's shard count (clamped to at least 1).
 func WithShards(n int) Option {
 	return func(c *Config) { c.Shards = max(n, 1) }
+}
+
+// WithPutOverflow sets the pool's Put-overflow threshold: how many
+// consecutive home-shard solo-CAS losses a handle tolerates before its
+// Puts start sweeping foreign shards with the TryPush steal primitive.
+// 0 disables overflow (every Put stays on its home shard); negative
+// values clamp to 0.
+func WithPutOverflow(threshold int) Option {
+	return func(c *Config) { c.PutOverflow = max(threshold, 0) }
 }
 
 // WithInitial sets the funnel counter's starting value.

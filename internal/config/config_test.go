@@ -96,3 +96,18 @@ func TestAdaptiveSpinOption(t *testing.T) {
 		t.Fatal("config.WithAdaptiveSpin(false) did not override")
 	}
 }
+
+func TestPutOverflowOption(t *testing.T) {
+	if c := config.Resolve(nil); c.PutOverflow != 2 {
+		t.Fatalf("PutOverflow default = %d, want 2", c.PutOverflow)
+	}
+	if c := config.Resolve([]config.Option{config.WithPutOverflow(5)}); c.PutOverflow != 5 {
+		t.Fatalf("WithPutOverflow(5) = %d", c.PutOverflow)
+	}
+	if c := config.Resolve([]config.Option{config.WithPutOverflow(0)}); c.PutOverflow != 0 {
+		t.Fatalf("WithPutOverflow(0) = %d, want 0 (disabled)", c.PutOverflow)
+	}
+	if c := config.Resolve([]config.Option{config.WithPutOverflow(-3)}); c.PutOverflow != 0 {
+		t.Fatalf("WithPutOverflow(-3) = %d, want clamp to 0", c.PutOverflow)
+	}
+}

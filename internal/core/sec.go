@@ -203,6 +203,12 @@ type Handle[T any] struct {
 	tid    int
 	rec    *ebr.Handle[node[T]] // nil when recycling is off
 	closed bool
+
+	// spare is a scrubbed node recovered from a failed TryPush when no
+	// reclamation substrate exists to take it (rec == nil); the next
+	// alloc reuses it, so a contended steal sweep costs CASes, not
+	// dead allocations.
+	spare *node[T]
 }
 
 // Register returns a new handle. Thread ids are drawn from a lock-free
@@ -249,9 +255,15 @@ func (h *Handle[T]) Close() {
 	h.s.eng.Release(h.tid)
 }
 
-// alloc produces an initialized node, recycled when possible.
+// alloc produces an initialized node, recycled when possible (from the
+// EBR pool, or from the spare a failed TryPush left behind).
 func (h *Handle[T]) alloc(v T) *node[T] {
 	if h.rec == nil {
+		if n := h.spare; n != nil {
+			h.spare = nil
+			n.value = v
+			return n
+		}
 		return &node[T]{value: v}
 	}
 	n := h.rec.Alloc()
@@ -362,6 +374,38 @@ func (h *Handle[T]) TryPop() (v T, ok, applied bool) {
 	// No Done: TryPop announces on no shared batch, so the session's
 	// hazard was never published.
 	return v, ok, true
+}
+
+// TryPush is TryPop's push-side twin: one Treiber-style CAS attempt
+// splicing a single node under the top pointer through the session's
+// scratch batch, bypassing the batch protocol regardless of the
+// aggregator's mode - the steal primitive behind the pool's
+// Put-overflow sweep. applied=false means the CAS lost to a concurrent
+// operation: the stack is unchanged, nothing was announced, the node
+// is recovered (into the handle's reclamation pool, or as the handle's
+// spare when recycling is off), and the caller may try elsewhere or
+// escalate to the full Push. Like TryPop it never joins a batch, never
+// eliminates, and feeds no adaptivity signal.
+func (h *Handle[T]) TryPush(v T) (applied bool) {
+	h.enter()
+	defer h.exit()
+	eng := h.s.eng
+	n := h.alloc(v)
+	if _, applied = eng.TryPush(h.tid, eng.AggOf(h.tid), n); !applied {
+		// The node was never published; clear it and hand it straight
+		// back so a failed attempt costs no allocation in steady state.
+		var zero T
+		n.value = zero
+		n.next = nil
+		if h.rec != nil {
+			h.rec.Unalloc(n)
+		} else {
+			h.spare = n
+		}
+	}
+	// No Done: TryPush announces on no shared batch, so the session's
+	// hazard was never published.
+	return applied
 }
 
 // applyPop is the paper's PopFromStack, executed only by a batch's

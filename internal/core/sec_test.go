@@ -389,3 +389,37 @@ func BenchmarkEmptyProbe(b *testing.B) {
 		}
 	})
 }
+
+// TestTryPushStealAnswers pins the push-side steal primitive on a live
+// stack: an applied TryPush is a real push (LIFO-ordered against full
+// operations), it works with node recycling on, and a sequence of
+// TryPushes drains back in reverse order through both TryPop and Pop.
+func TestTryPushStealAnswers(t *testing.T) {
+	for _, recycle := range []bool{false, true} {
+		s := core.New[int64](core.Options{Aggregators: 1, MaxThreads: 4, Recycle: recycle})
+		h := s.Register()
+		if !h.TryPush(7) {
+			t.Fatalf("recycle=%v: uncontended TryPush did not apply", recycle)
+		}
+		h.Push(9) // full protocol on top of a stolen push
+		if !h.TryPush(11) {
+			t.Fatalf("recycle=%v: TryPush over a full push did not apply", recycle)
+		}
+		if got := s.Len(); got != 3 {
+			t.Fatalf("recycle=%v: Len = %d after three pushes, want 3", recycle, got)
+		}
+		if v, ok, applied := h.TryPop(); !applied || !ok || v != 11 {
+			t.Fatalf("recycle=%v: TryPop = (%d, %v, %v), want (11, true, true)", recycle, v, ok, applied)
+		}
+		if v, ok := h.Pop(); !ok || v != 9 {
+			t.Fatalf("recycle=%v: Pop = (%d, %v), want (9, true)", recycle, v, ok)
+		}
+		if v, ok := h.Pop(); !ok || v != 7 {
+			t.Fatalf("recycle=%v: Pop = (%d, %v), want (7, true)", recycle, v, ok)
+		}
+		if _, ok := h.Pop(); ok {
+			t.Fatalf("recycle=%v: Pop on drained stack succeeded", recycle)
+		}
+		h.Close()
+	}
+}

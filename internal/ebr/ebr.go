@@ -185,6 +185,15 @@ func (h *Handle[T]) Retire(p *T) {
 	}
 }
 
+// Unalloc returns an object obtained from Alloc straight to the free
+// list, without the epoch delay Retire imposes. It is only safe for
+// objects that were never made reachable to another thread - e.g. a
+// node whose publishing CAS lost - since an unpublished object cannot
+// be held by any concurrent reader.
+func (h *Handle[T]) Unalloc(p *T) {
+	h.free = append(h.free, p)
+}
+
 // Alloc returns a recycled object if one is available, or a fresh
 // zero-valued one otherwise. The caller is responsible for
 // re-initializing recycled objects.

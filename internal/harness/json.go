@@ -13,8 +13,11 @@ import (
 // every point (the allocation trajectory the batch-recycling work is
 // measured by) and fastpath_pct to degree rows. v3 added
 // spin_avg/reclaim_scans/reclaim_skips to degree rows (the adaptive
-// freezer backoff and reclaim-epoch trajectories).
-const Schema = "secbench/v3"
+// freezer backoff and reclaim-epoch trajectories). v4 added
+// put_steal_hits/put_steal_misses/spin_inherits to degree rows (the
+// pool's bidirectional load balancing and the shard-scaling
+// inheritance trajectory) and the pool structure to the degree tables.
+const Schema = "secbench/v4"
 
 // BenchDoc is the top-level JSON document for one figure or table: its
 // sweeps' throughput series and/or its degree tables.
@@ -48,7 +51,7 @@ type PointJSON struct {
 // rate, batching degree per workload).
 type TableJSON struct {
 	Title     string      `json:"title"`
-	Structure string      `json:"structure"` // "stack", "deque", "funnel"
+	Structure string      `json:"structure"` // "stack", "deque", "funnel", "pool"
 	Rows      []DegreeRow `json:"rows"`
 }
 

@@ -112,6 +112,9 @@ type DegreeRow struct {
 	SpinAvg        float64 `json:"spin_avg"`
 	ReclaimScans   int64   `json:"reclaim_scans"`
 	ReclaimSkips   int64   `json:"reclaim_skips"`
+	PutStealHits   int64   `json:"put_steal_hits"`
+	PutStealMisses int64   `json:"put_steal_misses"`
+	SpinInherits   int64   `json:"spin_inherits"`
 }
 
 // DegreeRowFrom fills a row from a degree snapshot.
@@ -126,6 +129,9 @@ func DegreeRowFrom(workload string, s metrics.Snapshot) DegreeRow {
 		SpinAvg:        s.SpinAvg(),
 		ReclaimScans:   s.ReclaimScans,
 		ReclaimSkips:   s.ReclaimSkips,
+		PutStealHits:   s.PutStealHits,
+		PutStealMisses: s.PutStealMisses,
+		SpinInherits:   s.SpinInherits,
 	}
 }
 
@@ -172,6 +178,16 @@ func DegreeTable(title string, rows []DegreeRow) string {
 	fmt.Fprintf(&b, "%-18s", "ReclaimScan/Skip")
 	for _, r := range rows {
 		fmt.Fprintf(&b, " %10s", fmt.Sprintf("%d/%d", r.ReclaimScans, r.ReclaimSkips))
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%-18s", "PutSteal hit/miss")
+	for _, r := range rows {
+		fmt.Fprintf(&b, " %10s", fmt.Sprintf("%d/%d", r.PutStealHits, r.PutStealMisses))
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%-18s", "SpinInherits")
+	for _, r := range rows {
+		fmt.Fprintf(&b, " %10d", r.SpinInherits)
 	}
 	b.WriteByte('\n')
 	return b.String()

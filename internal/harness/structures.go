@@ -14,6 +14,7 @@ import (
 	"secstack/deque"
 	"secstack/funnel"
 	"secstack/internal/metrics"
+	"secstack/pool"
 )
 
 // structureOps is one worker's operation set over a generic structure:
@@ -143,6 +144,46 @@ func RunDeque(cfg Config) Result {
 			}
 		}
 		return register, func() metrics.Snapshot { return d.Metrics().Snapshot() }
+	})
+}
+
+// RunPool measures an instrumented pool under cfg's mix: pushes map to
+// Put, pops to Get, and peeks to a borrow/return Get+Put pair - the
+// pool's natural read-modify cycle, since a pool offers no read-only
+// operation. Adaptivity and batch recycling are on (the configuration
+// the pool's steal primitives are designed around), so the snapshot's
+// put-steal columns are live exactly when overflow engages; the
+// snapshot merges the pool-level steal counters with the shards'
+// engine degrees.
+func RunPool(cfg Config) Result {
+	return runStructure(cfg, func(cfg Config) (func(t int) structureOps, func() metrics.Snapshot) {
+		p := pool.New[int64](
+			pool.WithMetrics(),
+			pool.WithMaxThreads(cfg.Threads+1),
+			pool.WithAdaptive(true),
+			pool.WithBatchRecycling(true),
+		)
+		if cfg.Prefill > 0 {
+			h := p.Register()
+			for i := 0; i < cfg.Prefill; i++ {
+				h.Put(int64(1)<<48 | int64(i))
+			}
+			h.Close()
+		}
+		register := func(t int) structureOps {
+			h := p.Register()
+			return structureOps{
+				push: func(v int64) { h.Put(v) },
+				pop:  func() { h.Get() },
+				read: func() {
+					if v, ok := h.Get(); ok {
+						h.Put(v)
+					}
+				},
+				done: h.Close,
+			}
+		}
+		return register, p.Snapshot
 	})
 }
 

@@ -26,7 +26,10 @@ type shard struct {
 	spinSum      atomic.Int64 // summed effective pre-freeze spin of frozen batches
 	reclaimScans atomic.Int64 // freezes that ran a full hazard scan
 	reclaimSkips atomic.Int64 // freezes that deferred one under the reclaim epoch
-	_            [2*pad.CacheLine - 10*8]byte
+	putStealHits atomic.Int64 // overflow Puts that landed on a foreign shard via TryPush
+	putStealMiss atomic.Int64 // overflow sweeps that found every foreign shard contended
+	spinInherits atomic.Int64 // shard-scaling grows that seeded this shard's controller
+	_            [2*pad.CacheLine - 13*8]byte
 }
 
 // SEC aggregates per-aggregator statistics for a SEC stack instance.
@@ -109,6 +112,36 @@ func (m *SEC) RecordReclaim(agg int, scanned bool) {
 	}
 }
 
+// RecordPutSteal tallies one Put-overflow outcome: hit=true is a Put
+// that spilled onto foreign shard agg through the TryPush steal
+// primitive after its home shard's solo CAS kept losing; hit=false is
+// an overflow sweep that found every foreign shard contended too and
+// fell back to the home shard's full batch protocol (recorded against
+// the home shard). The pool is the only caller; the ratio shows how
+// often an overloaded home shard actually found spare capacity
+// elsewhere.
+func (m *SEC) RecordPutSteal(agg int, hit bool) {
+	if m == nil {
+		return
+	}
+	if hit {
+		m.shards[agg].putStealHits.Add(1)
+	} else {
+		m.shards[agg].putStealMiss.Add(1)
+	}
+}
+
+// RecordSpinInherit tallies one shard-scaling grow that turned
+// aggregator agg live with controller state (spin, degree EWMA, mode)
+// seeded from the surviving aggregators' mean rather than the stale
+// state the shard retired with.
+func (m *SEC) RecordSpinInherit(agg int) {
+	if m == nil {
+		return
+	}
+	m.shards[agg].spinInherits.Add(1)
+}
+
 // RecordFastPath tallies one solo fast-path attempt of aggregator agg:
 // a hit applied the operation directly (bypassing the batch protocol
 // entirely - such operations never appear in Ops), a miss detected
@@ -128,16 +161,19 @@ func (m *SEC) RecordFastPath(agg int, hit bool) {
 // Snapshot is a point-in-time view of the collected statistics,
 // aggregated over all shards.
 type Snapshot struct {
-	Batches      int64
-	Ops          int64
-	Eliminated   int64
-	Combined     int64
-	Capacity     int64
-	FastHits     int64
-	FastMisses   int64
-	SpinSum      int64
-	ReclaimScans int64
-	ReclaimSkips int64
+	Batches        int64
+	Ops            int64
+	Eliminated     int64
+	Combined       int64
+	Capacity       int64
+	FastHits       int64
+	FastMisses     int64
+	SpinSum        int64
+	ReclaimScans   int64
+	ReclaimSkips   int64
+	PutStealHits   int64
+	PutStealMisses int64
+	SpinInherits   int64
 }
 
 // Accumulate adds other's counters into s, for callers aggregating
@@ -153,6 +189,9 @@ func (s *Snapshot) Accumulate(other Snapshot) {
 	s.SpinSum += other.SpinSum
 	s.ReclaimScans += other.ReclaimScans
 	s.ReclaimSkips += other.ReclaimSkips
+	s.PutStealHits += other.PutStealHits
+	s.PutStealMisses += other.PutStealMisses
+	s.SpinInherits += other.SpinInherits
 }
 
 // Snapshot sums all shards. It is safe to call concurrently with
@@ -175,6 +214,9 @@ func (m *SEC) Snapshot() Snapshot {
 		out.SpinSum += s.spinSum.Load()
 		out.ReclaimScans += s.reclaimScans.Load()
 		out.ReclaimSkips += s.reclaimSkips.Load()
+		out.PutStealHits += s.putStealHits.Load()
+		out.PutStealMisses += s.putStealMiss.Load()
+		out.SpinInherits += s.spinInherits.Load()
 	}
 	return out
 }
@@ -196,6 +238,9 @@ func (m *SEC) Reset() {
 		s.spinSum.Store(0)
 		s.reclaimScans.Store(0)
 		s.reclaimSkips.Store(0)
+		s.putStealHits.Store(0)
+		s.putStealMiss.Store(0)
+		s.spinInherits.Store(0)
 	}
 }
 
@@ -258,6 +303,18 @@ func (s Snapshot) ReclaimSkipPct() float64 {
 		return 0
 	}
 	return 100 * float64(s.ReclaimSkips) / float64(total)
+}
+
+// PutStealPct is the percentage of Put-overflow sweeps that landed on
+// a foreign shard: hits / (hits + misses). Zero when overflow never
+// engaged (home solo CASes kept winning, or the threshold was never
+// reached).
+func (s Snapshot) PutStealPct() float64 {
+	total := s.PutStealHits + s.PutStealMisses
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(s.PutStealHits) / float64(total)
 }
 
 // FastPathPct is the percentage of completed operations that the solo

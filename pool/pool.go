@@ -4,14 +4,30 @@
 //
 // A pool relaxes the stack's LIFO contract to "some element": Put and
 // Get may be served by any shard. The implementation shards elements
-// across per-slice SEC stacks; a Get first tries its own shard (which
-// preserves locality and lets SEC's elimination cancel Put/Get pairs of
-// nearby threads), then sweeps the other shards with the cheap steal
-// primitive - one Treiber-style CAS per shard, no announcement, no
-// batch protocol - and only escalates to full operations on shards
-// whose steal attempt hit contention. The steal sweep starts at a
-// per-handle pseudo-random victim so concurrent thieves do not walk
-// the shards in lockstep.
+// across per-slice SEC stacks and balances load across them in both
+// directions with the engine's steal primitives (one Treiber-style CAS
+// through a per-session scratch batch - no announcement, no batch
+// protocol):
+//
+//   - Get first tries its own home shard with the full protocol (which
+//     preserves locality and lets SEC's elimination cancel Put/Get
+//     pairs of nearby threads), then sweeps the other shards with the
+//     TryPop steal primitive, and only escalates to full operations on
+//     shards whose steal attempt hit contention.
+//   - Put probes its home shard with the TryPush steal primitive -
+//     uncontended, a Put is one CAS. After the home solo CAS loses
+//     WithPutOverflow consecutive rounds, the home shard is saturated
+//     and Puts overflow: they sweep the foreign shards with TryPush,
+//     spilling elements to whichever shard has spare capacity, and
+//     fall back to the home shard's full batch protocol (joining its
+//     batches, where elimination and combining absorb the contention)
+//     only when every foreign shard is contended too.
+//
+// Both sweeps start at a per-handle pseudo-random victim so concurrent
+// thieves and overflowers fan out instead of walking the shards in
+// lockstep. Together they make shard load bidirectionally
+// self-balancing: Get drains quiet shards and Put avoids saturated
+// ones, so contention migrates to wherever capacity is.
 package pool
 
 import (
@@ -20,6 +36,7 @@ import (
 
 	"secstack/internal/config"
 	"secstack/internal/core"
+	"secstack/internal/metrics"
 	"secstack/internal/tid"
 	"secstack/internal/xrand"
 )
@@ -27,8 +44,10 @@ import (
 // Pool is a sharded concurrent object pool. Use Register to obtain
 // per-goroutine handles.
 type Pool[T any] struct {
-	shards []*core.Stack[T]
-	tids   *tid.Allocator
+	shards   []*core.Stack[T]
+	tids     *tid.Allocator
+	overflow int          // Put-overflow threshold; 0 disables
+	m        *metrics.SEC // put-steal counters (nil without WithMetrics)
 }
 
 // Option configures New; it is the shared option type of the whole
@@ -72,12 +91,35 @@ func WithAdaptive(on bool) Option { return config.WithAdaptive(on) }
 // so their steady-state freeze paths allocate nothing.
 func WithBatchRecycling(on bool) Option { return config.WithBatchRecycling(on) }
 
+// WithPutOverflow sets the Put-overflow threshold: after this many
+// consecutive home-shard solo-CAS losses, a handle's Puts sweep the
+// foreign shards with the TryPush steal primitive before falling back
+// to the home shard's full batch protocol - the push-side twin of
+// Get's peek-then-steal, completing bidirectional shard balancing.
+// Default 2; 0 disables overflow and pins every Put to its home shard.
+func WithPutOverflow(threshold int) Option { return config.WithPutOverflow(threshold) }
+
+// WithRecycling routes the shards' stack nodes through DEBRA-style
+// epoch-based reclamation instead of fresh allocation, so a
+// steady-state Put/Get cycle - overflow steals included - allocates
+// nothing.
+func WithRecycling() Option { return config.WithRecycling() }
+
+// WithMetrics enables the pool's put-steal counters (overflow hits and
+// misses, via Metrics or Snapshot) and the per-shard engine degree
+// counters Snapshot merges in.
+func WithMetrics() Option { return config.WithMetrics() }
+
 // New returns an empty pool.
 func New[T any](opts ...Option) *Pool[T] {
 	c := config.Resolve(opts)
 	p := &Pool[T]{
-		shards: make([]*core.Stack[T], c.Shards),
-		tids:   tid.New(c.MaxThreads),
+		shards:   make([]*core.Stack[T], c.Shards),
+		tids:     tid.New(c.MaxThreads),
+		overflow: c.PutOverflow,
+	}
+	if c.CollectMetrics {
+		p.m = metrics.NewSEC(c.Shards)
 	}
 	// The pool's shards default to no freezer spin (see WithFreezerSpin);
 	// an explicit setting - or enabling the adaptive controller, which
@@ -90,15 +132,35 @@ func New[T any](opts ...Option) *Pool[T] {
 		// One aggregator per shard: the pool's sharding already spreads
 		// contention, and each shard sees only nearby threads.
 		p.shards[i] = core.New[T](core.Options{
-			Aggregators:  1,
-			MaxThreads:   c.MaxThreads,
-			FreezerSpin:  spin,
-			AdaptiveSpin: c.AdaptiveSpin,
-			Adaptive:     c.Adaptive,
-			BatchRecycle: c.BatchRecycle,
+			Aggregators:    1,
+			MaxThreads:     c.MaxThreads,
+			FreezerSpin:    spin,
+			AdaptiveSpin:   c.AdaptiveSpin,
+			Recycle:        c.Recycle,
+			Adaptive:       c.Adaptive,
+			BatchRecycle:   c.BatchRecycle,
+			CollectMetrics: c.CollectMetrics,
 		})
 	}
 	return p
+}
+
+// Metrics returns the pool-level put-steal collector (overflow hits
+// and misses per victim shard), or nil if WithMetrics was not given.
+// For the merged view including the shards' engine degree counters,
+// use Snapshot.
+func (p *Pool[T]) Metrics() *metrics.SEC { return p.m }
+
+// Snapshot merges the pool-level put-steal counters with every shard's
+// engine degree snapshot - batching degree, occupancy, fast-path and
+// reclaim counters summed across shards - so one snapshot carries the
+// whole pool's trajectory. Zero value when WithMetrics was not given.
+func (p *Pool[T]) Snapshot() metrics.Snapshot {
+	out := p.m.Snapshot()
+	for _, s := range p.shards {
+		out.Accumulate(s.Metrics().Snapshot())
+	}
+	return out
 }
 
 // ErrExhausted is returned by TryRegister when MaxThreads handles are
@@ -113,7 +175,14 @@ type Handle[T any] struct {
 	id      int
 	home    int
 	handles []*core.Handle[T]
-	rng     *xrand.State // rotates the steal sweep's starting victim
+	rng     *xrand.State // rotates both sweeps' starting victims
+
+	// putMiss counts consecutive home-shard solo-CAS losses; at the
+	// pool's overflow threshold, Puts start sweeping foreign shards.
+	// Reset by any home solo success, decayed - not reset - by a
+	// successful overflow steal, so a still-saturated home costs one
+	// probe per Put, not a fresh run-up to the threshold.
+	putMiss int
 }
 
 // Register returns a new handle. Slots released by Close are recycled,
@@ -172,9 +241,64 @@ func (h *Handle[T]) Close() {
 	h.id = -1
 }
 
-// Put adds v to the pool.
+// foreignVictim maps step i of a sweep starting at offset off (drawn
+// from rng over [0, shards-1)) to a foreign shard index: the rotation
+// visits every shard except home exactly once, from a per-sweep
+// pseudo-random start so concurrent sweeps - Get's steals and Put's
+// overflows alike - fan out instead of convoying shard by shard.
+func (h *Handle[T]) foreignVictim(off, i int) int {
+	n := len(h.handles)
+	return (h.home + 1 + (off+i)%(n-1)) % n
+}
+
+// Put adds v to the pool, preferring the handle's home shard.
+//
+// The fast path is one TryPush - a single Treiber-style CAS on the
+// home shard, no announcement, no batch protocol. When that CAS loses
+// WithPutOverflow consecutive rounds the home shard is saturated, and
+// Put overflows: it sweeps the foreign shards with TryPush, starting
+// from a pseudo-random victim, spilling the element to the first quiet
+// shard - the push-side twin of Get's steal sweep. Only when every
+// foreign shard is contended too (or overflow is disabled) does Put
+// fall back to the home shard's full batch protocol, joining its
+// batches where elimination and combining absorb exactly the
+// contention the probes observed.
 func (h *Handle[T]) Put(v T) {
+	overflowing := h.p.overflow > 0 && h.putMiss >= h.p.overflow && len(h.handles) > 1
+	if !overflowing {
+		if h.handles[h.home].TryPush(v) {
+			h.putMiss = 0
+			return
+		}
+		if h.p.overflow == 0 || len(h.handles) == 1 {
+			h.handles[h.home].Push(v)
+			return
+		}
+		if h.putMiss++; h.putMiss < h.p.overflow {
+			h.handles[h.home].Push(v)
+			return
+		}
+	}
+	// Overflow: the home solo CAS lost the threshold's worth of
+	// consecutive rounds. Spill to a quiet foreign shard.
+	n := len(h.handles)
+	off := h.rng.Intn(n - 1)
+	for i := 0; i < n-1; i++ {
+		idx := h.foreignVictim(off, i)
+		if h.handles[idx].TryPush(v) {
+			h.p.m.RecordPutSteal(idx, true)
+			// Decay instead of reset: the next Put probes home once and
+			// resumes overflowing on loss, rather than paying the full
+			// run-up while home is still saturated.
+			h.putMiss = h.p.overflow - 1
+			return
+		}
+	}
+	// Every shard is contended: batching is what absorbs that. Join the
+	// home shard's full protocol and restart the loss count.
+	h.p.m.RecordPutSteal(h.home, false)
 	h.handles[h.home].Push(v)
+	h.putMiss = 0
 }
 
 // Get removes and returns some element; ok is false only if every shard
@@ -199,7 +323,7 @@ func (h *Handle[T]) Get() (v T, ok bool) {
 	off := h.rng.Intn(n - 1)
 	contended := false
 	for i := 0; i < n-1; i++ {
-		idx := (h.home + 1 + (off+i)%(n-1)) % n
+		idx := h.foreignVictim(off, i)
 		if v, ok, applied := h.handles[idx].TryPop(); applied {
 			if ok {
 				return v, true

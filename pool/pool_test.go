@@ -240,3 +240,164 @@ func TestSizeQuiescent(t *testing.T) {
 		t.Fatalf("Size = %d, want 10", p.Size())
 	}
 }
+
+// TestPutOverflowsToQuietShard pins the Put-overflow path
+// deterministically: a handle whose home solo CAS has (by forced
+// counter, as the threshold's worth of lost rounds would) saturated
+// must spill its next Put onto a foreign shard through TryPush - home
+// untouched - decay its loss count by one, and record the steal hit.
+// The decayed counter means the following Put probes home again and,
+// finding it quiet, resets.
+func TestPutOverflowsToQuietShard(t *testing.T) {
+	p := New[int](WithShards(4), WithMetrics())
+	h := p.Register()
+	defer h.Close()
+
+	h.putMiss = p.overflow // the home CAS just lost its threshold'th round
+	h.Put(42)
+	if got := p.shards[h.home].Len(); got != 0 {
+		t.Fatalf("overflowing Put left %d elements on the saturated home shard", got)
+	}
+	if got := p.Size(); got != 1 {
+		t.Fatalf("Size = %d after overflow Put, want 1", got)
+	}
+	if got := h.putMiss; got != p.overflow-1 {
+		t.Fatalf("putMiss after steal hit = %d, want decayed %d", got, p.overflow-1)
+	}
+	snap := p.Snapshot()
+	if snap.PutStealHits != 1 || snap.PutStealMisses != 0 {
+		t.Fatalf("put-steal counters = %d/%d, want 1/0", snap.PutStealHits, snap.PutStealMisses)
+	}
+
+	// Home recovered: the next Put probes home, lands there, resets.
+	h.Put(43)
+	if got := p.shards[h.home].Len(); got != 1 {
+		t.Fatalf("post-recovery Put left %d elements on home, want 1", got)
+	}
+	if h.putMiss != 0 {
+		t.Fatalf("putMiss after home success = %d, want 0", h.putMiss)
+	}
+
+	// Everything drains through Get regardless of where it spilled.
+	seen := map[int]bool{}
+	for i := 0; i < 2; i++ {
+		v, ok := h.Get()
+		if !ok {
+			t.Fatalf("Get #%d failed with %d elements left", i, p.Size())
+		}
+		seen[v] = true
+	}
+	if !seen[42] || !seen[43] {
+		t.Fatalf("drain recovered %v, want {42, 43}", seen)
+	}
+}
+
+// TestPutOverflowDisabled: WithPutOverflow(0) pins every Put to its
+// home shard no matter how many losses accumulated.
+func TestPutOverflowDisabled(t *testing.T) {
+	p := New[int](WithShards(4), WithPutOverflow(0), WithMetrics())
+	h := p.Register()
+	defer h.Close()
+	h.putMiss = 1 << 20 // even absurd loss counts must not divert
+	h.Put(1)
+	h.Put(2)
+	if got := p.shards[h.home].Len(); got != 2 {
+		t.Fatalf("home shard holds %d elements with overflow disabled, want 2", got)
+	}
+	if snap := p.Snapshot(); snap.PutStealHits != 0 || snap.PutStealMisses != 0 {
+		t.Fatalf("put-steal counters = %d/%d with overflow disabled, want 0/0",
+			snap.PutStealHits, snap.PutStealMisses)
+	}
+}
+
+// TestPutOverflowSingleShard: with one shard there is nowhere to
+// spill; Put must serve locally and never sweep.
+func TestPutOverflowSingleShard(t *testing.T) {
+	p := New[int](WithShards(1), WithMetrics())
+	h := p.Register()
+	defer h.Close()
+	h.putMiss = p.overflow
+	h.Put(5)
+	if v, ok := h.Get(); !ok || v != 5 {
+		t.Fatalf("Get = (%d, %v), want (5, true)", v, ok)
+	}
+	if snap := p.Snapshot(); snap.PutStealHits != 0 || snap.PutStealMisses != 0 {
+		t.Fatalf("single-shard pool recorded put steals: %d/%d", snap.PutStealHits, snap.PutStealMisses)
+	}
+}
+
+// TestPutOverflowChurnWaves is the overflow-path churn stress (run
+// under -race in CI): waves of handles whose producers all share one
+// home shard Put through the overflow machinery (threshold 1, so any
+// solo loss diverts) while thieves drain cross-shard, racing solo
+// CASes, TryPush spills, TryPop steals, full-protocol combiners and
+// batch reuse. Conservation is value-exact: every value put comes back
+// exactly once.
+func TestPutOverflowChurnWaves(t *testing.T) {
+	const maxThreads, waves, per = 8, 4, 200
+	p := New[int64](
+		WithMaxThreads(maxThreads),
+		WithShards(3),
+		WithPutOverflow(1),
+		WithAdaptive(true),
+		WithBatchRecycling(true),
+		WithRecycling(),
+		WithMetrics(),
+	)
+	var put int64
+	counts := make(map[int64]int)
+	var mu sync.Mutex
+	for wave := 0; wave < waves; wave++ {
+		var wg sync.WaitGroup
+		for w := 0; w < maxThreads; w++ {
+			wg.Add(1)
+			go func(wave, w int) {
+				defer wg.Done()
+				h := p.Register()
+				defer h.Close()
+				base := int64(wave*maxThreads+w) << 32
+				myPut := int64(0)
+				myGot := make(map[int64]int)
+				if w%2 == 0 { // producer: hammers its home shard, overflowing on contention
+					for i := int64(1); i <= per; i++ {
+						h.Put(base + i)
+						myPut++
+					}
+				} else { // thief: drains cross-shard
+					for i := 0; i < per; i++ {
+						if v, ok := h.Get(); ok {
+							myGot[v]++
+						}
+					}
+				}
+				mu.Lock()
+				put += myPut
+				for v, c := range myGot {
+					counts[v] += c
+				}
+				mu.Unlock()
+			}(wave, w)
+		}
+		wg.Wait()
+	}
+	h := p.Register()
+	defer h.Close()
+	for {
+		v, ok := h.Get()
+		if !ok {
+			break
+		}
+		counts[v]++
+	}
+	for v, c := range counts {
+		if c != 1 {
+			t.Fatalf("overflow churn: value %d recovered %d times", v, c)
+		}
+	}
+	if int64(len(counts)) != put {
+		t.Fatalf("overflow churn: recovered %d distinct values, put %d", len(counts), put)
+	}
+	if p.Size() != 0 {
+		t.Fatalf("overflow churn: Size=%d after full drain", p.Size())
+	}
+}

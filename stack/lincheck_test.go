@@ -182,3 +182,91 @@ func TestLinearizabilitySECVariants(t *testing.T) {
 		})
 	}
 }
+
+// stealHandle is the steal-capable surface SEC handles
+// (internal/core.Handle) expose beyond the public Handle interface:
+// the single-CAS TryPush/TryPop primitives the pool's bidirectional
+// load balancing is built from.
+type stealHandle interface {
+	stack.Handle[int64]
+	TryPush(v int64) bool
+	TryPop() (v int64, ok, applied bool)
+}
+
+// runHistoryPutSteal drives mixed histories in which every update
+// first attempts its steal primitive - TryPush for pushes, TryPop for
+// pops - and escalates to the full batch protocol only when the CAS
+// reports contention, exactly as the pool's Put overflow and Get steal
+// sweeps do. Applied steals and full-protocol operations must
+// linearize together.
+func runHistoryPutSteal(s *stack.SECStack[int64], threads, opsPer int, seed uint64) []lincheck.Op {
+	rec := lincheck.NewRecorder(threads)
+	var wg sync.WaitGroup
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			h := s.Register().(stealHandle)
+			defer h.Close()
+			rng := xrand.New(seed + uint64(t)*7919)
+			base := int64(t+1) << 32
+			for i := 0; i < opsPer; i++ {
+				switch rng.Intn(4) {
+				case 0, 1:
+					v := base + int64(i)
+					inv := rec.Begin()
+					if !h.TryPush(v) {
+						h.Push(v) // contended steal: full protocol
+					}
+					rec.RecordPush(t, v, inv)
+				case 2:
+					inv := rec.Begin()
+					v, ok, applied := h.TryPop()
+					if !applied {
+						v, ok = h.Pop() // contended steal: full protocol
+					}
+					rec.RecordPop(t, v, ok, inv)
+				default:
+					inv := rec.Begin()
+					v, ok := h.Peek()
+					rec.RecordPeek(t, v, ok, inv)
+				}
+			}
+		}(t)
+	}
+	wg.Wait()
+	return rec.History()
+}
+
+// TestLinearizabilityPutSteal checks the steal primitives against the
+// exhaustive checker across the SEC knobs they interact with: stock
+// batching, adaptivity (steals race solo CASes and mode flips), batch
+// recycling (scratch batches alongside recycled protocol batches),
+// node recycling (steals draw from and retire into EBR pools), and
+// many shards under adaptive spin.
+func TestLinearizabilityPutSteal(t *testing.T) {
+	variants := map[string][]stack.Option{
+		"PutSteal":         nil,
+		"PutStealAdaptive": {stack.WithAdaptive(true), stack.WithBatchRecycling(true)},
+		"PutStealRecycle":  {stack.WithRecycling()},
+		"PutStealAgg5":     {stack.WithAggregators(5), stack.WithAdaptive(true)},
+		"PutStealFull": {stack.WithAdaptive(true), stack.WithBatchRecycling(true),
+			stack.WithRecycling(), stack.WithAdaptiveSpin(true)},
+	}
+	for name, opt := range variants {
+		name, opt := name, opt
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			for r := 0; r < 20; r++ {
+				s := stack.NewSEC[int64](opt...)
+				h := runHistoryPutSteal(s, 4, 4, uint64(r)*48611+3)
+				if !lincheck.CheckStack(h) {
+					for _, op := range h {
+						t.Logf("%s", op)
+					}
+					t.Fatalf("round %d: put-steal history not linearizable", r)
+				}
+			}
+		})
+	}
+}

@@ -31,7 +31,13 @@
 //
 // Configuration is uniform functional options (see Option); the same
 // option set configures all six algorithms through New, each algorithm
-// reading the knobs it understands.
+// reading the knobs it understands - and the sibling deque, pool and
+// funnel packages alias the same option type, so one vocabulary
+// configures the whole repository (README.md carries the full
+// option-by-structure matrix). SEC's engine-level knobs - adaptivity
+// (WithAdaptive), batch recycling (WithBatchRecycling), the adaptive
+// freezer backoff (WithAdaptiveSpin) - are documented on their options
+// below and in DESIGN.md §8-§10.
 package stack
 
 import (
