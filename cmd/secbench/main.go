@@ -13,6 +13,7 @@
 //	secbench -all -paper      # paper-fidelity settings (5s x 5 runs)
 //	secbench -all -quick      # fast smoke settings (100ms x 1 run)
 //	secbench -fig 2a -json out/   # also write out/BENCH_fig2a.json
+//	secbench -list            # print the algorithm registry and exit
 //
 // Figures 5-8 and Table 2 are the IceLake repeats; Figures 9-12 and
 // Table 3 the Sapphire repeats. Output is text tables with the same
@@ -23,7 +24,7 @@
 // counters of the bidirectional load-balancing work).
 //
 // With -json, each figure or table is also written as one
-// machine-readable BENCH_<fig>.json document (schema secbench/v4; see
+// machine-readable BENCH_<fig>.json document (schema secbench/v5; see
 // internal/harness/json.go for the version history).
 package main
 
@@ -123,8 +124,14 @@ func main() {
 		csvDir  = flag.String("csv", "", "directory to also write long-form CSVs into")
 		jsonDir = flag.String("json", "", "directory to write one machine-readable BENCH_<fig>.json per sweep into")
 		latency = flag.Bool("latency", false, "print a per-algorithm latency comparison (companion measurement)")
+		list    = flag.Bool("list", false, "list the benchmarked algorithm registry and exit")
 	)
 	flag.Parse()
+
+	if *list {
+		listAlgorithms()
+		return
+	}
 
 	st := settings{duration: *dur, runs: *runs, prefill: *prefill, verbose: *verbose, csvDir: *csvDir, jsonDir: *jsonDir}
 	if *paper {
@@ -170,6 +177,16 @@ func main() {
 	if !ran {
 		flag.Usage()
 		os.Exit(2)
+	}
+}
+
+// listAlgorithms prints the stack registry, one algorithm per line, in
+// registry order. The same registry backs seccheck -list and the secd
+// handshake banner, so the three tools always agree on what's
+// servable (stack.Algorithms is the single source of truth).
+func listAlgorithms() {
+	for _, a := range stack.Algorithms() {
+		fmt.Printf("%-4s %s\n", a, stack.Describe(a))
 	}
 }
 

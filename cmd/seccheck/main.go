@@ -6,6 +6,7 @@
 //
 //	seccheck                  # check every algorithm briefly
 //	seccheck -alg SEC -rounds 500 -threads 6
+//	seccheck -list            # print the algorithm registry and exit
 package main
 
 import (
@@ -26,8 +27,19 @@ func main() {
 		threads = flag.Int("threads", 4, "concurrent threads per round")
 		opsPer  = flag.Int("ops", 4, "operations per thread per round (keep small: the check is exponential)")
 		consOps = flag.Int("conservation-ops", 200000, "per-thread operations for the conservation pass")
+		list    = flag.Bool("list", false, "list the checkable algorithm registry and exit")
 	)
 	flag.Parse()
+
+	// The registry printed here is the same stack.Algorithms() slice
+	// that secbench -list, secd -list and the secd handshake banner
+	// report, so every tool agrees on the servable set.
+	if *list {
+		for _, a := range stack.Algorithms() {
+			fmt.Printf("%-4s %s\n", a, stack.Describe(a))
+		}
+		return
+	}
 
 	algs := stack.Algorithms()
 	if *algFlag != "" {

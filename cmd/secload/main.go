@@ -1,0 +1,330 @@
+// Command secload drives a live secd server with configurable
+// connection fan-in and op mixes, and reports served throughput with
+// client-observed p50/p99 latency - the load-generator half of the
+// served-throughput experiments (EXPERIMENTS.md "Served throughput").
+//
+// Usage:
+//
+//	secload -conns 64 -duration 2s                 # one rung, mixed ops
+//	secload -conns 8,64,256 -duration 2s -mix pool # a connection ladder
+//	secload -json out/                             # also write BENCH_served.json
+//	                                               # (schema secbench/v5, same
+//	                                               # point layout as secbench)
+//
+// Every connection performs the wire handshake (so over-capacity rungs
+// surface as busy counts, not errors), then issues one operation at a
+// time until the window closes. Throughput counts completed replies;
+// protocol errors - unexpected statuses, broken frames - make secload
+// exit nonzero, which is what the CI loopback smoke asserts. With
+// -expect-idle, secload verifies after the rungs that the server's
+// live-session gauge has drained back to just the checking connection,
+// i.e. connection churn leaked no handle slots.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"secstack/internal/harness"
+	"secstack/internal/metrics"
+	"secstack/internal/wire"
+	"secstack/internal/xrand"
+)
+
+// mixEntry weights one opcode in a workload mix.
+type mixEntry struct {
+	op     wire.Op
+	weight int // percent
+}
+
+// mixes are the served workloads; weights sum to 100. "mixed" touches
+// all three engines the way a real front-end would; the single-engine
+// mixes isolate one instantiation for the tables.
+var mixes = map[string][]mixEntry{
+	"stack": {
+		{wire.OpStackPush, 45}, {wire.OpStackPop, 45}, {wire.OpStackPeek, 10},
+	},
+	"pool": {
+		{wire.OpPoolPut, 50}, {wire.OpPoolGet, 50},
+	},
+	"funnel": {
+		{wire.OpFunnelAdd, 60}, {wire.OpFunnelTryAdd, 30}, {wire.OpFunnelLoad, 10},
+	},
+	"mixed": {
+		{wire.OpStackPush, 20}, {wire.OpStackPop, 20},
+		{wire.OpPoolPut, 15}, {wire.OpPoolGet, 15},
+		{wire.OpFunnelAdd, 15}, {wire.OpFunnelTryAdd, 10}, {wire.OpFunnelLoad, 5},
+	},
+}
+
+func mixNames() []string {
+	names := make([]string, 0, len(mixes))
+	for n := range mixes {
+		names = append(names, n)
+	}
+	return names
+}
+
+// pick maps a roll in [0,100) onto the mix.
+func pick(mix []mixEntry, roll int) wire.Op {
+	for _, e := range mix {
+		if roll < e.weight {
+			return e.op
+		}
+		roll -= e.weight
+	}
+	return mix[len(mix)-1].op
+}
+
+// acceptable reports whether status is a valid protocol outcome for
+// op; anything else is a protocol error.
+func acceptable(op wire.Op, status wire.Status) bool {
+	switch status {
+	case wire.StatusOK:
+		return true
+	case wire.StatusEmpty:
+		return op == wire.OpStackPop || op == wire.OpStackPeek || op == wire.OpPoolGet
+	case wire.StatusContended:
+		return op == wire.OpFunnelTryAdd
+	}
+	return false
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7425", "secd server address")
+		connsArg = flag.String("conns", "64", "comma-separated connection-count ladder, e.g. 8,64,256")
+		duration = flag.Duration("duration", 2*time.Second, "measurement window per rung")
+		mixName  = flag.String("mix", "mixed", fmt.Sprintf("op mix: one of %v", mixNames()))
+		label    = flag.String("label", "", "series label (default: the mix name)")
+		jsonDir  = flag.String("json", "", "directory to write BENCH_served.json into")
+		idle     = flag.Bool("expect-idle", false, "after the rungs, verify the server's session gauge drained to this client alone")
+		seed     = flag.Uint64("seed", 0x5ecd, "base RNG seed for the op streams")
+	)
+	flag.Parse()
+
+	mix, ok := mixes[*mixName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "secload: unknown mix %q (known: %v)\n", *mixName, mixNames())
+		os.Exit(2)
+	}
+	if *label == "" {
+		*label = *mixName
+	}
+	ladder, err := parseLadder(*connsArg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "secload: %v\n", err)
+		os.Exit(2)
+	}
+
+	points := make([]harness.ServedPoint, 0, len(ladder))
+	for _, conns := range ladder {
+		p := runRung(*addr, conns, *duration, mix, *seed)
+		points = append(points, p)
+		fmt.Printf("# %d conns: %.0f ops/s, p50 %v, p99 %v, %d errors, %d busy\n",
+			conns, p.OpsPerSec(), p.P50, p.P99, p.Errors, p.Busy)
+	}
+
+	fmt.Println()
+	title := fmt.Sprintf("Served throughput (%s mix, %v windows) against %s", *mixName, *duration, *addr)
+	harness.WriteServedTable(os.Stdout, title, points)
+
+	if *jsonDir != "" {
+		if err := writeJSON(*jsonDir, title, *label, *mixName, points); err != nil {
+			fmt.Fprintf(os.Stderr, "secload: json: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	exit := 0
+	var totalOps, totalErrs int64
+	for _, p := range points {
+		totalOps += p.Ops
+		totalErrs += p.Errors
+	}
+	if totalErrs > 0 {
+		fmt.Fprintf(os.Stderr, "secload: %d protocol errors\n", totalErrs)
+		exit = 1
+	}
+	if totalOps == 0 {
+		fmt.Fprintln(os.Stderr, "secload: no operations completed")
+		exit = 1
+	}
+	if *idle {
+		if err := expectIdle(*addr); err != nil {
+			fmt.Fprintf(os.Stderr, "secload: %v\n", err)
+			exit = 1
+		} else {
+			fmt.Println("# server session gauge drained to this client alone: no leaked handle slots")
+		}
+	}
+	os.Exit(exit)
+}
+
+// parseLadder parses "8,64,256" into a connection ladder.
+func parseLadder(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad -conns entry %q", p)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// conn is one load connection after a successful handshake.
+type conn struct {
+	c  net.Conn
+	br *bufio.Reader
+}
+
+// dial connects and performs the wire handshake. busy=true means the
+// server refused the session with backpressure.
+func dial(addr string) (cn *conn, busy bool, err error) {
+	c, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, false, err
+	}
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	if _, err := c.Write(wire.AppendRequest(nil, wire.Request{Op: wire.OpHello, Arg: wire.HelloArg()})); err != nil {
+		c.Close()
+		return nil, false, err
+	}
+	br := bufio.NewReader(c)
+	rep, err := wire.ReadReply(br)
+	if err != nil {
+		c.Close()
+		return nil, false, err
+	}
+	if rep.Status == wire.StatusBusy {
+		c.Close()
+		return nil, true, nil
+	}
+	if rep.Status != wire.StatusOK {
+		c.Close()
+		return nil, false, fmt.Errorf("handshake status %v", rep.Status)
+	}
+	return &conn{c: c, br: br}, false, nil
+}
+
+// runRung drives one connection-count rung for the window and returns
+// its served point.
+func runRung(addr string, conns int, window time.Duration, mix []mixEntry, seed uint64) harness.ServedPoint {
+	var (
+		ops, errs, busy atomic.Int64
+		hist            metrics.LatencyHist
+		wg              sync.WaitGroup
+		gate            = make(chan struct{})
+	)
+	for i := 0; i < conns; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cn, isBusy, err := dial(addr)
+			if isBusy {
+				// Backpressure is the protocol working as specified, not
+				// an error; the rung just runs with fewer live sessions.
+				busy.Add(1)
+				return
+			}
+			if err != nil {
+				errs.Add(1)
+				return
+			}
+			defer cn.c.Close()
+			rng := xrand.New(seed + uint64(i)*7919)
+			var local metrics.LatencyHist
+			var buf []byte
+			<-gate
+			deadline := time.Now().Add(window)
+			for time.Now().Before(deadline) {
+				op := pick(mix, rng.Intn(100))
+				buf = wire.AppendRequest(buf[:0], wire.Request{Op: op, Arg: int64(rng.Intn(1000))})
+				start := time.Now()
+				if _, err := cn.c.Write(buf); err != nil {
+					errs.Add(1)
+					return
+				}
+				rep, err := wire.ReadReply(cn.br)
+				if err != nil {
+					errs.Add(1)
+					return
+				}
+				local.Record(time.Since(start))
+				if !acceptable(op, rep.Status) {
+					errs.Add(1)
+					return
+				}
+				ops.Add(1)
+			}
+			hist.Merge(&local)
+		}(i)
+	}
+	close(gate)
+	start := time.Now()
+	wg.Wait()
+	elapsed := time.Since(start)
+	if elapsed < window {
+		elapsed = window
+	}
+	return harness.ServedPointFrom(conns, ops.Load(), errs.Load(), busy.Load(), elapsed, &hist)
+}
+
+// expectIdle dials one checking connection and polls the server's
+// session gauge until it reads 1 (the checker itself), failing if the
+// load connections' handle slots did not all recycle.
+func expectIdle(addr string) error {
+	cn, isBusy, err := dial(addr)
+	if err != nil || isBusy {
+		return fmt.Errorf("idle check dial: busy=%v err=%v", isBusy, err)
+	}
+	defer cn.c.Close()
+	var buf []byte
+	deadline := time.Now().Add(5 * time.Second)
+	last := int64(-1)
+	for time.Now().Before(deadline) {
+		buf = wire.AppendRequest(buf[:0], wire.Request{Op: wire.OpStats})
+		if _, err := cn.c.Write(buf); err != nil {
+			return fmt.Errorf("idle check: %v", err)
+		}
+		rep, err := wire.ReadReply(cn.br)
+		if err != nil || rep.Status != wire.StatusOK {
+			return fmt.Errorf("idle check stats: %v %v", rep.Status, err)
+		}
+		if last = rep.Value; last == 1 {
+			return nil
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return fmt.Errorf("idle check: %d sessions still live (leaked handle slots?)", last)
+}
+
+// writeJSON emits the ladder as BENCH_served.json with the same point
+// schema secbench writes (secbench/v5).
+func writeJSON(dir, title, label, workload string, pts []harness.ServedPoint) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	doc := harness.NewBenchDoc("served")
+	doc.AddServedSeries(title, label, workload, pts)
+	f, err := os.Create(filepath.Join(dir, "BENCH_served.json"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return doc.WriteJSON(f)
+}

@@ -19,6 +19,7 @@
 package funnel
 
 import (
+	"errors"
 	"fmt"
 	"sync/atomic"
 
@@ -169,15 +170,31 @@ type Handle struct {
 	amt int64
 }
 
+// ErrExhausted is returned by TryRegister when MaxThreads handles are
+// live at the same time.
+var ErrExhausted = errors.New("funnel: more than MaxThreads handles live")
+
 // Register returns a new handle. Thread ids released by Close are
 // recycled, so registration panics only when MaxThreads handles are
-// live at the same time.
+// live at the same time; TryRegister is the non-panicking variant.
 func (f *Funnel) Register() *Handle {
-	id, err := f.eng.Register()
+	h, err := f.TryRegister()
 	if err != nil {
 		panic(fmt.Sprintf("funnel: more than MaxThreads=%d handles live", f.eng.MaxThreads()))
 	}
-	return &Handle{f: f, id: id}
+	return h
+}
+
+// TryRegister is Register with ErrExhausted in place of the exhaustion
+// panic, for callers (like the secd server mapping connections onto
+// handles) that prefer backpressure over crashing - the same contract
+// the stack, deque and pool packages offer.
+func (f *Funnel) TryRegister() (*Handle, error) {
+	id, err := f.eng.Register()
+	if err != nil {
+		return nil, ErrExhausted
+	}
+	return &Handle{f: f, id: id}, nil
 }
 
 // Close releases the handle's thread id for reuse by a future Register.

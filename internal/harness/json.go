@@ -17,7 +17,12 @@ import (
 // put_steal_hits/put_steal_misses/spin_inherits to degree rows (the
 // pool's bidirectional load balancing and the shard-scaling
 // inheritance trajectory) and the pool structure to the degree tables.
-const Schema = "secbench/v4"
+// v5 added get_steal_hits/get_steal_misses to degree rows (the Get
+// steal sweep's mirror of the Put-overflow counters, so the tables
+// show both balancing directions) and the p50_us/p99_us point fields
+// that served-throughput sweeps (cmd/secload driving a live secd)
+// emit.
+const Schema = "secbench/v5"
 
 // BenchDoc is the top-level JSON document for one figure or table: its
 // sweeps' throughput series and/or its degree tables.
@@ -45,6 +50,13 @@ type PointJSON struct {
 	Runs        int     `json:"runs"`
 	AllocsPerOp float64 `json:"allocs_op"`
 	BytesPerOp  float64 `json:"bytes_op"`
+
+	// P50Micros and P99Micros carry client-observed round-trip latency
+	// for served-throughput points (cmd/secload); zero - and omitted -
+	// for in-process sweeps, whose per-op latency is the reciprocal of
+	// throughput rather than a measured distribution.
+	P50Micros float64 `json:"p50_us,omitempty"`
+	P99Micros float64 `json:"p99_us,omitempty"`
 }
 
 // TableJSON is one structure's degree table (occupancy, elimination

@@ -114,6 +114,8 @@ type DegreeRow struct {
 	ReclaimSkips   int64   `json:"reclaim_skips"`
 	PutStealHits   int64   `json:"put_steal_hits"`
 	PutStealMisses int64   `json:"put_steal_misses"`
+	GetStealHits   int64   `json:"get_steal_hits"`
+	GetStealMisses int64   `json:"get_steal_misses"`
 	SpinInherits   int64   `json:"spin_inherits"`
 }
 
@@ -131,6 +133,8 @@ func DegreeRowFrom(workload string, s metrics.Snapshot) DegreeRow {
 		ReclaimSkips:   s.ReclaimSkips,
 		PutStealHits:   s.PutStealHits,
 		PutStealMisses: s.PutStealMisses,
+		GetStealHits:   s.GetStealHits,
+		GetStealMisses: s.GetStealMisses,
 		SpinInherits:   s.SpinInherits,
 	}
 }
@@ -183,6 +187,11 @@ func DegreeTable(title string, rows []DegreeRow) string {
 	fmt.Fprintf(&b, "%-18s", "PutSteal hit/miss")
 	for _, r := range rows {
 		fmt.Fprintf(&b, " %10s", fmt.Sprintf("%d/%d", r.PutStealHits, r.PutStealMisses))
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%-18s", "GetSteal hit/miss")
+	for _, r := range rows {
+		fmt.Fprintf(&b, " %10s", fmt.Sprintf("%d/%d", r.GetStealHits, r.GetStealMisses))
 	}
 	b.WriteByte('\n')
 	fmt.Fprintf(&b, "%-18s", "SpinInherits")

@@ -1,0 +1,84 @@
+package harness
+
+// Served-throughput mode: the measurement shapes cmd/secload emits
+// when it drives a live secd server over loopback or a real network.
+// Unlike Run, the harness does not execute these workloads itself -
+// the load generator measures at the client side - but the output
+// flows through the same Series/BenchDoc machinery, so a served sweep
+// lands in EXPERIMENTS.md and BENCH_*.json with the same point schema
+// as every in-process figure, plus the client-observed latency
+// quantiles only a served measurement has.
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"secstack/internal/metrics"
+)
+
+// ServedPoint is one rung of a served-throughput ladder: N connections
+// driving a fixed op mix for a fixed window.
+type ServedPoint struct {
+	Conns    int           // concurrent connections
+	Ops      int64         // completed operations (all statuses that reached a reply)
+	Errors   int64         // protocol errors (unexpected status, broken frame)
+	Busy     int64         // handshakes refused with backpressure
+	Elapsed  time.Duration // measurement window
+	P50, P99 time.Duration // client-observed round-trip latency quantiles
+}
+
+// OpsPerSec is the rung's served throughput.
+func (p ServedPoint) OpsPerSec() float64 {
+	if p.Elapsed <= 0 {
+		return 0
+	}
+	return float64(p.Ops) / p.Elapsed.Seconds()
+}
+
+// ServedPointFrom summarizes one rung from its merged latency
+// histogram.
+func ServedPointFrom(conns int, ops, errors, busy int64, elapsed time.Duration, h *metrics.LatencyHist) ServedPoint {
+	return ServedPoint{
+		Conns:   conns,
+		Ops:     ops,
+		Errors:  errors,
+		Busy:    busy,
+		Elapsed: elapsed,
+		P50:     h.Quantile(0.50),
+		P99:     h.Quantile(0.99),
+	}
+}
+
+// WriteServedTable renders a served ladder as a text table: one row
+// per connection count, with throughput and the latency quantiles the
+// paper-style Mops tables cannot carry.
+func WriteServedTable(w io.Writer, title string, pts []ServedPoint) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", title)
+	fmt.Fprintf(&b, "%8s %12s %10s %10s %8s %6s\n", "conns", "ops/s", "p50", "p99", "errors", "busy")
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%8d %12.0f %10s %10s %8d %6d\n",
+			p.Conns, p.OpsPerSec(), p.P50, p.P99, p.Errors, p.Busy)
+	}
+	io.WriteString(w, b.String())
+}
+
+// AddServedSeries appends a served ladder to the document as one
+// series: the shared point schema (column, threads=conns, mops) plus
+// the served-only p50_us/p99_us latency fields of schema v5.
+func (d *BenchDoc) AddServedSeries(title, label, workload string, pts []ServedPoint) {
+	out := SeriesJSON{Title: title, Workload: workload, Columns: []string{label}}
+	for _, p := range pts {
+		out.Points = append(out.Points, PointJSON{
+			Column:    label,
+			Threads:   p.Conns,
+			Mops:      p.OpsPerSec() / 1e6,
+			Runs:      1,
+			P50Micros: float64(p.P50) / float64(time.Microsecond),
+			P99Micros: float64(p.P99) / float64(time.Microsecond),
+		})
+	}
+	d.Series = append(d.Series, out)
+}

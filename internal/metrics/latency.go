@@ -1,0 +1,123 @@
+package metrics
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// LatencyHist is a fixed-size log-linear latency histogram in the
+// HDR style: durations bucket by octave of nanoseconds with latSub
+// linear sub-buckets per octave, bounding quantile error to about
+// 1/latSub of the value while keeping Record to a handful of integer
+// instructions and one atomic add. The zero value is ready to use;
+// all methods are safe for concurrent use.
+//
+// secd records one histogram per opcode (per-op p50/p99 service
+// latency) and secload one per run (client-observed round-trip
+// latency); both read quantiles out with Quantile after merging
+// per-worker histograms with Merge.
+type LatencyHist struct {
+	counts [latBuckets]atomic.Int64
+}
+
+const (
+	latSubBits = 3 // 8 linear sub-buckets per octave: ~±6% quantile error
+	latSub     = 1 << latSubBits
+	// latBuckets covers every int64 nanosecond value: latSub exact
+	// buckets for values below latSub, then latSub sub-buckets per
+	// octave for each of the remaining 64-latSubBits octaves.
+	latBuckets = latSub + (64-latSubBits)*latSub
+)
+
+// latBucket maps a non-negative nanosecond count to its bucket index.
+// Values below latSub map to themselves (exact); above, the octave
+// (exponent) selects a run of latSub buckets and the next latSubBits
+// mantissa bits select within it, so bucket boundaries are monotone.
+func latBucket(ns int64) int {
+	u := uint64(ns)
+	if u < latSub {
+		return int(u)
+	}
+	exp := uint(bits.Len64(u)) - latSubBits - 1
+	return latSub + int(uint64(exp)<<latSubBits) + int((u>>exp)&(latSub-1))
+}
+
+// Record adds one observation. Negative durations clamp to zero.
+func (h *LatencyHist) Record(d time.Duration) {
+	if h == nil {
+		return
+	}
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.counts[latBucket(ns)].Add(1)
+}
+
+// Merge adds other's counts into h. Safe to call while either
+// histogram is still being written; the result is then approximate,
+// exact once writers have stopped.
+func (h *LatencyHist) Merge(other *LatencyHist) {
+	if h == nil || other == nil {
+		return
+	}
+	for i := range other.counts {
+		if n := other.counts[i].Load(); n != 0 {
+			h.counts[i].Add(n)
+		}
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *LatencyHist) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	var total int64
+	for i := range h.counts {
+		total += h.counts[i].Load()
+	}
+	return total
+}
+
+// Quantile returns the q-quantile (q in [0,1]) of the recorded
+// durations, as the representative value of the bucket holding that
+// rank. Zero when nothing was recorded.
+func (h *LatencyHist) Quantile(q float64) time.Duration {
+	if h == nil {
+		return 0
+	}
+	total := h.Count()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q*float64(total-1)) + 1
+	var seen int64
+	for i := range h.counts {
+		seen += h.counts[i].Load()
+		if seen >= rank {
+			return bucketValue(i)
+		}
+	}
+	return bucketValue(latBuckets - 1)
+}
+
+// bucketValue is latBucket's representative inverse: exact for the
+// small linear buckets, the sub-bucket midpoint for log-linear ones.
+func bucketValue(idx int) time.Duration {
+	if idx < latSub {
+		return time.Duration(idx)
+	}
+	idx -= latSub
+	exp := uint(idx >> latSubBits)
+	mant := uint64(idx & (latSub - 1))
+	lower := (latSub + mant) << exp
+	return time.Duration(lower + (uint64(1)<<exp)/2)
+}

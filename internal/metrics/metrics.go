@@ -28,8 +28,10 @@ type shard struct {
 	reclaimSkips atomic.Int64 // freezes that deferred one under the reclaim epoch
 	putStealHits atomic.Int64 // overflow Puts that landed on a foreign shard via TryPush
 	putStealMiss atomic.Int64 // overflow sweeps that found every foreign shard contended
+	getStealHits atomic.Int64 // Gets that stole an element from a foreign shard via TryPop
+	getStealMiss atomic.Int64 // steal sweeps that hit only contention and escalated
 	spinInherits atomic.Int64 // shard-scaling grows that seeded this shard's controller
-	_            [2*pad.CacheLine - 13*8]byte
+	_            [2*pad.CacheLine - 15*8]byte
 }
 
 // SEC aggregates per-aggregator statistics for a SEC stack instance.
@@ -131,6 +133,26 @@ func (m *SEC) RecordPutSteal(agg int, hit bool) {
 	}
 }
 
+// RecordGetSteal tallies one Get steal-sweep outcome - the mirror of
+// RecordPutSteal, so the degree tables show both balancing directions.
+// hit=true is a Get whose home shard came up empty and that stole an
+// element from foreign shard agg through the TryPop steal primitive;
+// hit=false is a sweep that found no element but hit contention on
+// some shard and escalated to the full batch protocol (recorded
+// against the home shard). Sweeps that observed every shard
+// uncontendedly empty record nothing: an empty pool is an answer, not
+// a balancing failure. The pool is the only caller.
+func (m *SEC) RecordGetSteal(agg int, hit bool) {
+	if m == nil {
+		return
+	}
+	if hit {
+		m.shards[agg].getStealHits.Add(1)
+	} else {
+		m.shards[agg].getStealMiss.Add(1)
+	}
+}
+
 // RecordSpinInherit tallies one shard-scaling grow that turned
 // aggregator agg live with controller state (spin, degree EWMA, mode)
 // seeded from the surviving aggregators' mean rather than the stale
@@ -173,6 +195,8 @@ type Snapshot struct {
 	ReclaimSkips   int64
 	PutStealHits   int64
 	PutStealMisses int64
+	GetStealHits   int64
+	GetStealMisses int64
 	SpinInherits   int64
 }
 
@@ -191,6 +215,8 @@ func (s *Snapshot) Accumulate(other Snapshot) {
 	s.ReclaimSkips += other.ReclaimSkips
 	s.PutStealHits += other.PutStealHits
 	s.PutStealMisses += other.PutStealMisses
+	s.GetStealHits += other.GetStealHits
+	s.GetStealMisses += other.GetStealMisses
 	s.SpinInherits += other.SpinInherits
 }
 
@@ -216,6 +242,8 @@ func (m *SEC) Snapshot() Snapshot {
 		out.ReclaimSkips += s.reclaimSkips.Load()
 		out.PutStealHits += s.putStealHits.Load()
 		out.PutStealMisses += s.putStealMiss.Load()
+		out.GetStealHits += s.getStealHits.Load()
+		out.GetStealMisses += s.getStealMiss.Load()
 		out.SpinInherits += s.spinInherits.Load()
 	}
 	return out
@@ -240,6 +268,8 @@ func (m *SEC) Reset() {
 		s.reclaimSkips.Store(0)
 		s.putStealHits.Store(0)
 		s.putStealMiss.Store(0)
+		s.getStealHits.Store(0)
+		s.getStealMiss.Store(0)
 		s.spinInherits.Store(0)
 	}
 }
@@ -315,6 +345,19 @@ func (s Snapshot) PutStealPct() float64 {
 		return 0
 	}
 	return 100 * float64(s.PutStealHits) / float64(total)
+}
+
+// GetStealPct is the percentage of Get steal sweeps that landed on a
+// foreign shard: hits / (hits + misses) - the get-side mirror of
+// PutStealPct. Zero when no sweep ever stole or escalated (home shards
+// kept answering, or every sweep observed an uncontendedly empty
+// pool).
+func (s Snapshot) GetStealPct() float64 {
+	total := s.GetStealHits + s.GetStealMisses
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(s.GetStealHits) / float64(total)
 }
 
 // FastPathPct is the percentage of completed operations that the solo

@@ -1,0 +1,159 @@
+package metrics
+
+import (
+	"sync/atomic"
+	"time"
+
+	"secstack/internal/pad"
+)
+
+// Server collects secd's serving-side instrumentation: a live-session
+// gauge (connections that completed the handshake and hold engine
+// handles), an in-flight operation gauge, a handshake-rejection
+// counter, and a per-opcode count + latency histogram. Like *SEC, a
+// nil *Server is valid and turns every method into a no-op.
+type Server struct {
+	sessions atomic.Int64 // live sessions (gauge)
+	peak     atomic.Int64 // high-water mark of the sessions gauge
+	rejected atomic.Int64 // handshakes refused with backpressure
+	inflight atomic.Int64 // operations between OpStart and OpDone (gauge)
+	_        [pad.CacheLine - 4*8]byte
+	ops      []opStat
+}
+
+// opStat is one opcode's counter block.
+type opStat struct {
+	count atomic.Int64
+	lat   LatencyHist
+}
+
+// NewServer returns a collector with one latency histogram per opcode
+// in [0, numOps).
+func NewServer(numOps int) *Server {
+	if numOps < 1 {
+		numOps = 1
+	}
+	return &Server{ops: make([]opStat, numOps)}
+}
+
+// SessionStart moves the live-session gauge up, tracking the peak.
+func (m *Server) SessionStart() {
+	if m == nil {
+		return
+	}
+	n := m.sessions.Add(1)
+	for {
+		p := m.peak.Load()
+		if n <= p || m.peak.CompareAndSwap(p, n) {
+			return
+		}
+	}
+}
+
+// SessionEnd moves the live-session gauge down.
+func (m *Server) SessionEnd() {
+	if m == nil {
+		return
+	}
+	m.sessions.Add(-1)
+}
+
+// Sessions returns the live-session gauge.
+func (m *Server) Sessions() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.sessions.Load()
+}
+
+// PeakSessions returns the gauge's high-water mark.
+func (m *Server) PeakSessions() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.peak.Load()
+}
+
+// RecordReject tallies one handshake refused with backpressure (the
+// engines' TryRegister said MaxThreads sessions are live).
+func (m *Server) RecordReject() {
+	if m == nil {
+		return
+	}
+	m.rejected.Add(1)
+}
+
+// Rejected returns the backpressure-rejection count.
+func (m *Server) Rejected() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.rejected.Load()
+}
+
+// OpStart moves the in-flight gauge up as an operation begins
+// executing against the engines.
+func (m *Server) OpStart() {
+	if m == nil {
+		return
+	}
+	m.inflight.Add(1)
+}
+
+// OpDone moves the in-flight gauge down and records the operation's
+// service latency against its opcode. Out-of-range opcodes are
+// dropped rather than panicking - the wire decoder rejects them
+// before execution, so they can only appear through a caller bug.
+func (m *Server) OpDone(op int, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.inflight.Add(-1)
+	if op < 0 || op >= len(m.ops) {
+		return
+	}
+	s := &m.ops[op]
+	s.count.Add(1)
+	s.lat.Record(d)
+}
+
+// InFlight returns the in-flight operation gauge.
+func (m *Server) InFlight() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.inflight.Load()
+}
+
+// OpStats is one opcode's served summary.
+type OpStats struct {
+	Count int64
+	P50   time.Duration
+	P99   time.Duration
+}
+
+// Op returns the summary for one opcode (zero value when out of range
+// or nothing recorded).
+func (m *Server) Op(op int) OpStats {
+	if m == nil || op < 0 || op >= len(m.ops) {
+		return OpStats{}
+	}
+	s := &m.ops[op]
+	return OpStats{
+		Count: s.count.Load(),
+		P50:   s.lat.Quantile(0.50),
+		P99:   s.lat.Quantile(0.99),
+	}
+}
+
+// TotalOps sums the per-opcode counts.
+func (m *Server) TotalOps() int64 {
+	if m == nil {
+		return 0
+	}
+	var total int64
+	for i := range m.ops {
+		total += m.ops[i].count.Load()
+	}
+	return total
+}

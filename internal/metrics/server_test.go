@@ -1,0 +1,169 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLatencyHistBucketsMonotone(t *testing.T) {
+	// Bucket indices must be monotone in the value and within range for
+	// the full int64 domain.
+	prev := -1
+	for _, ns := range []int64{0, 1, 7, 8, 9, 15, 16, 31, 100, 1000, 1e6, 1e9, 1e12, math.MaxInt64} {
+		idx := latBucket(ns)
+		if idx < 0 || idx >= latBuckets {
+			t.Fatalf("latBucket(%d) = %d out of range [0, %d)", ns, idx, latBuckets)
+		}
+		if idx < prev {
+			t.Fatalf("latBucket(%d) = %d < previous %d: not monotone", ns, idx, prev)
+		}
+		prev = idx
+	}
+	// Small values are exact.
+	for ns := int64(0); ns < 2*latSub; ns++ {
+		if got := bucketValue(latBucket(ns)); got != time.Duration(ns) {
+			t.Fatalf("small bucket not exact: %d -> %v", ns, got)
+		}
+	}
+}
+
+func TestLatencyHistQuantiles(t *testing.T) {
+	var h LatencyHist
+	if h.Quantile(0.5) != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram should report zero")
+	}
+	// 1000 observations at 1us, 10 at 1ms: p50 ~ 1us, p99.9+ ~ 1ms.
+	for i := 0; i < 1000; i++ {
+		h.Record(time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Record(time.Millisecond)
+	}
+	if c := h.Count(); c != 1010 {
+		t.Fatalf("Count = %d, want 1010", c)
+	}
+	p50 := h.Quantile(0.50)
+	if p50 < 800*time.Nanosecond || p50 > 1200*time.Nanosecond {
+		t.Fatalf("p50 = %v, want ~1us", p50)
+	}
+	p999 := h.Quantile(0.9999)
+	if p999 < 800*time.Microsecond || p999 > 1200*time.Microsecond {
+		t.Fatalf("p99.99 = %v, want ~1ms", p999)
+	}
+	// Quantiles are clamped, not panicking, outside [0,1].
+	if h.Quantile(-1) > h.Quantile(2) {
+		t.Fatal("clamped quantiles out of order")
+	}
+	// Negative durations clamp to zero instead of indexing negatively.
+	h.Record(-time.Second)
+	if h.Count() != 1011 {
+		t.Fatal("negative duration not recorded")
+	}
+}
+
+func TestLatencyHistMerge(t *testing.T) {
+	var a, b LatencyHist
+	a.Record(time.Microsecond)
+	b.Record(time.Millisecond)
+	b.Record(time.Millisecond)
+	a.Merge(&b)
+	if c := a.Count(); c != 3 {
+		t.Fatalf("merged Count = %d, want 3", c)
+	}
+	if p99 := a.Quantile(0.99); p99 < 800*time.Microsecond {
+		t.Fatalf("merged p99 = %v, want ~1ms", p99)
+	}
+	// nil receivers and arguments are no-ops.
+	var nh *LatencyHist
+	nh.Record(time.Second)
+	nh.Merge(&a)
+	a.Merge(nil)
+	if nh.Count() != 0 || nh.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram should stay empty")
+	}
+}
+
+func TestServerCollector(t *testing.T) {
+	m := NewServer(4)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m.SessionStart()
+			for i := 0; i < 100; i++ {
+				m.OpStart()
+				m.OpDone(i%4, time.Duration(i)*time.Microsecond)
+			}
+			m.SessionEnd()
+		}()
+	}
+	wg.Wait()
+	if got := m.Sessions(); got != 0 {
+		t.Fatalf("Sessions = %d after all ended, want 0", got)
+	}
+	if m.PeakSessions() < 1 || m.PeakSessions() > 8 {
+		t.Fatalf("PeakSessions = %d, want in [1,8]", m.PeakSessions())
+	}
+	if got := m.InFlight(); got != 0 {
+		t.Fatalf("InFlight = %d after all done, want 0", got)
+	}
+	if got := m.TotalOps(); got != 800 {
+		t.Fatalf("TotalOps = %d, want 800", got)
+	}
+	op := m.Op(1)
+	if op.Count != 200 || op.P50 <= 0 || op.P99 < op.P50 {
+		t.Fatalf("Op(1) = %+v, want 200 ops with ordered quantiles", op)
+	}
+	m.RecordReject()
+	if m.Rejected() != 1 {
+		t.Fatal("Rejected not counted")
+	}
+	// Out-of-range opcodes are dropped, not panics.
+	m.OpStart()
+	m.OpDone(99, time.Second)
+	m.OpDone(-1, time.Second)
+
+	// A nil collector is a valid no-op, as with *SEC.
+	var nm *Server
+	nm.SessionStart()
+	nm.SessionEnd()
+	nm.OpStart()
+	nm.OpDone(0, time.Second)
+	nm.RecordReject()
+	if nm.Sessions() != 0 || nm.PeakSessions() != 0 || nm.InFlight() != 0 ||
+		nm.TotalOps() != 0 || nm.Rejected() != 0 || nm.Op(0) != (OpStats{}) {
+		t.Fatal("nil Server should report zeros")
+	}
+}
+
+func TestGetStealCounters(t *testing.T) {
+	m := NewSEC(2)
+	m.RecordGetSteal(1, true)
+	m.RecordGetSteal(1, true)
+	m.RecordGetSteal(0, false)
+	s := m.Snapshot()
+	if s.GetStealHits != 2 || s.GetStealMisses != 1 {
+		t.Fatalf("get-steal counters = %d/%d, want 2/1", s.GetStealHits, s.GetStealMisses)
+	}
+	if pct := s.GetStealPct(); math.Abs(pct-100*2.0/3.0) > 1e-9 {
+		t.Fatalf("GetStealPct = %v", pct)
+	}
+	var acc Snapshot
+	acc.Accumulate(s)
+	acc.Accumulate(s)
+	if acc.GetStealHits != 4 || acc.GetStealMisses != 2 {
+		t.Fatalf("accumulated get-steal = %d/%d", acc.GetStealHits, acc.GetStealMisses)
+	}
+	m.Reset()
+	if s := m.Snapshot(); s.GetStealHits != 0 || s.GetStealMisses != 0 {
+		t.Fatal("Reset did not clear get-steal counters")
+	}
+	if (Snapshot{}).GetStealPct() != 0 {
+		t.Fatal("empty GetStealPct should be 0")
+	}
+	var nilSEC *SEC
+	nilSEC.RecordGetSteal(0, true) // no-op, no panic
+}

@@ -1,0 +1,425 @@
+// Package secd implements the network front-end that exposes the
+// repository's engines - a stack, a pool and a funnel - as a TCP
+// service speaking the internal/wire framing (DESIGN.md §11).
+//
+// The server exists to turn connection fan-in into engine batches:
+// thousands of concurrent RPCs dispatching into the sharded-batching
+// engine become exactly the aggregation the freeze/combine protocol is
+// built to absorb, so a few frozen batches serve whole swarms of
+// clients. The mapping is one session per connection:
+//
+//   - The handshake TryRegisters one handle on each engine. MaxSessions
+//     (the engines' MaxThreads) therefore bounds live connections, and
+//     exhaustion is answered with a StatusBusy reply - protocol-level
+//     backpressure instead of a crash.
+//   - Each connection is served by one goroutine that reads, executes
+//     and replies in order, so engine handles keep their single-
+//     goroutine contract without locking.
+//   - Replies are coalesced: they accumulate in a buffered writer that
+//     is flushed only when no complete request is left in the read
+//     buffer, so a pipelining client pays one syscall per burst, not
+//     per op.
+//   - Disconnects - clean or abrupt - close the session's handles,
+//     recycling their thread-id slots; connection churn can never leak
+//     MaxSessions capacity.
+//   - Shutdown drains gracefully: the listener closes, every
+//     connection's pending operation completes and flushes, each
+//     client gets a StatusShutdown goodbye, and Shutdown returns once
+//     the live-session gauge is back to zero.
+package secd
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"secstack/funnel"
+	"secstack/internal/metrics"
+	"secstack/internal/wire"
+	"secstack/pool"
+	"secstack/stack"
+)
+
+// Config sizes the served engines. The zero value is usable: SEC with
+// the paper's defaults, 256 sessions, 4 pool shards.
+type Config struct {
+	// Algorithm is the served stack algorithm (default SEC). The pool
+	// and funnel always run on the SEC engine.
+	Algorithm stack.Algorithm
+	// MaxSessions bounds concurrently live connections; it is the
+	// MaxThreads of every engine (default 256). Handshakes beyond it
+	// receive StatusBusy.
+	MaxSessions int
+	// Aggregators is the stack's and funnel's shard count (default 2,
+	// the paper's default).
+	Aggregators int
+	// Shards is the pool's shard count (default 4).
+	Shards int
+	// Adaptive enables the engines' contention adaptivity and batch
+	// recycling (DESIGN.md §8): idle connections cost one CAS per op,
+	// fan-in freezes batches. On by default in cmd/secd.
+	Adaptive bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Algorithm == "" {
+		c.Algorithm = stack.SEC
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 256
+	}
+	if c.Aggregators <= 0 {
+		c.Aggregators = 2
+	}
+	if c.Shards <= 0 {
+		c.Shards = 4
+	}
+	return c
+}
+
+// Server fronts one stack, one pool and one funnel instance. Construct
+// with New, start with Serve or ListenAndServe, stop with Shutdown.
+type Server struct {
+	cfg    Config
+	banner string
+	st     stack.Stack[int64]
+	pl     *pool.Pool[int64]
+	fn     *funnel.Funnel
+	m      *metrics.Server
+
+	mu       sync.Mutex
+	lis      net.Listener
+	conns    map[net.Conn]struct{}
+	draining bool
+	wg       sync.WaitGroup // one count per accepted connection
+}
+
+// New builds the engines and returns an unstarted server.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	common := []stack.Option{
+		stack.WithMaxThreads(cfg.MaxSessions),
+		stack.WithAggregators(cfg.Aggregators),
+	}
+	if cfg.Adaptive {
+		common = append(common,
+			stack.WithAdaptive(true),
+			stack.WithBatchRecycling(true),
+			stack.WithRecycling(),
+		)
+	}
+	st, err := stack.New[int64](cfg.Algorithm, common...)
+	if err != nil {
+		return nil, fmt.Errorf("secd: %w", err)
+	}
+	poolOpts := append([]pool.Option{pool.WithShards(cfg.Shards)}, common...)
+	fnOpts := append([]funnel.Option{}, common...)
+	s := &Server{
+		cfg:   cfg,
+		st:    st,
+		pl:    pool.New[int64](poolOpts...),
+		fn:    funnel.New(fnOpts...),
+		m:     metrics.NewServer(wire.NumOps),
+		conns: make(map[net.Conn]struct{}),
+	}
+	s.banner = Banner(cfg)
+	return s, nil
+}
+
+// Banner renders the handshake banner for cfg. The registry= field
+// lists stack.Algorithms() verbatim - the registry package is the
+// single source of truth, shared with secbench/seccheck's -list pass -
+// so a client can discover what a rebuilt server could serve.
+func Banner(cfg Config) string {
+	cfg = cfg.withDefaults()
+	names := make([]string, 0, len(stack.Algorithms()))
+	for _, a := range stack.Algorithms() {
+		names = append(names, string(a))
+	}
+	return fmt.Sprintf("secd/%d alg=%s registry=%s maxsessions=%d shards=%d",
+		wire.Version, cfg.Algorithm, strings.Join(names, ","), cfg.MaxSessions, cfg.Shards)
+}
+
+// Metrics returns the serving-side collector: live-session and
+// in-flight gauges, rejection counter, per-op latency.
+func (s *Server) Metrics() *metrics.Server { return s.m }
+
+// Funnel returns the served funnel, whose counter doubles as the
+// service's rate-limiter state; tests and embedders read it directly.
+func (s *Server) Funnel() *funnel.Funnel { return s.fn }
+
+// Addr returns the listening address, or nil before Serve.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.lis == nil {
+		return nil
+	}
+	return s.lis.Addr()
+}
+
+// ListenAndServe listens on addr (":7425"-style) and serves until
+// Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(lis)
+}
+
+// Serve accepts connections on lis until Shutdown closes it; it
+// returns nil after a graceful drain, or the first accept error
+// otherwise.
+func (s *Server) Serve(lis net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		lis.Close()
+		return fmt.Errorf("secd: server already shut down")
+	}
+	s.lis = lis
+	s.mu.Unlock()
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			s.mu.Lock()
+			draining := s.draining
+			s.mu.Unlock()
+			if draining {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handle(conn)
+	}
+}
+
+// Shutdown drains the server: no new connections, every live
+// connection finishes its in-flight operation, flushes its replies,
+// receives a StatusShutdown goodbye and closes - recycling its
+// engine handles. It returns nil once every session is gone, or an
+// error if timeout passed first (connections are then force-closed).
+func (s *Server) Shutdown(timeout time.Duration) error {
+	s.mu.Lock()
+	s.draining = true
+	lis := s.lis
+	for c := range s.conns {
+		// Interrupt blocked reads; the handler sees a deadline error,
+		// not a mid-frame state, because requests are read whole.
+		c.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+	if lis != nil {
+		lis.Close()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-time.After(timeout):
+		s.mu.Lock()
+		n := len(s.conns)
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return fmt.Errorf("secd: drain timed out, force-closed %d connections", n)
+	}
+}
+
+// session is one connection's engine handles, registered at handshake
+// and closed on disconnect so the thread-id slots recycle.
+type session struct {
+	st stack.Handle[int64]
+	pl *pool.Handle[int64]
+	fn *funnel.Handle
+}
+
+// register maps a connection onto the engines, unwinding cleanly on
+// exhaustion so a refused handshake leaks nothing.
+func (s *Server) register() (*session, error) {
+	st, err := s.st.TryRegister()
+	if err != nil {
+		return nil, err
+	}
+	pl, err := s.pl.TryRegister()
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
+	fn, err := s.fn.TryRegister()
+	if err != nil {
+		pl.Close()
+		st.Close()
+		return nil, err
+	}
+	return &session{st: st, pl: pl, fn: fn}, nil
+}
+
+func (sess *session) close() {
+	sess.fn.Close()
+	sess.pl.Close()
+	sess.st.Close()
+}
+
+// removeConn drops conn from the drain set.
+func (s *Server) removeConn(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+}
+
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// handle serves one connection: handshake, then read/execute/reply in
+// order until disconnect or drain.
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer s.removeConn(conn)
+	defer conn.Close()
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true) // frames are tiny and flushed deliberately
+	}
+	br := bufio.NewReaderSize(conn, 4096)
+	bw := bufio.NewWriterSize(conn, 4096)
+
+	// Handshake: the first frame must be a versioned Hello.
+	q, err := wire.ReadRequest(br)
+	if err != nil || q.Op != wire.OpHello || wire.CheckHello(q.Arg) != nil {
+		s.sayAndClose(bw, wire.Reply{Status: wire.StatusBadRequest})
+		return
+	}
+	sess, err := s.register()
+	if err != nil {
+		// MaxSessions live: protocol-level backpressure, not a crash.
+		s.m.RecordReject()
+		s.sayAndClose(bw, wire.Reply{Status: wire.StatusBusy})
+		return
+	}
+	defer sess.close()
+	s.m.SessionStart()
+	defer s.m.SessionEnd()
+	bw.Write(wire.AppendReply(nil, wire.Reply{
+		Status: wire.StatusOK,
+		Value:  int64(s.cfg.MaxSessions),
+		Banner: s.banner,
+	}))
+	if bw.Flush() != nil {
+		return
+	}
+
+	var scratch []byte
+	for {
+		q, err := wire.ReadRequest(br)
+		if err != nil {
+			// Drain deadline, clean EOF or abrupt disconnect: either way
+			// the deferred close recycles this session's handle slots.
+			if s.isDraining() {
+				s.sayAndClose(bw, wire.Reply{Status: wire.StatusShutdown})
+			}
+			return
+		}
+		rep, ok := s.exec(sess, q)
+		if !ok {
+			s.sayAndClose(bw, wire.Reply{Status: wire.StatusBadRequest})
+			return
+		}
+		scratch = wire.AppendReply(scratch[:0], rep)
+		if _, err := bw.Write(scratch); err != nil {
+			return
+		}
+		// Write coalescing: only flush when the read buffer holds no
+		// complete request, i.e. the pipelined burst is exhausted and
+		// the client is (or will be) waiting on us.
+		if br.Buffered() < wire.RequestSize {
+			if bw.Flush() != nil {
+				return
+			}
+		}
+	}
+}
+
+// sayAndClose best-effort-writes a final reply; the caller closes the
+// connection right after.
+func (s *Server) sayAndClose(bw *bufio.Writer, rep wire.Reply) {
+	bw.Write(wire.AppendReply(nil, rep))
+	bw.Flush()
+}
+
+// exec runs one decoded request against the session's handles,
+// recording in-flight and latency metrics. ok=false means the opcode
+// cannot be executed on an established session.
+func (s *Server) exec(sess *session, q wire.Request) (rep wire.Reply, ok bool) {
+	s.m.OpStart()
+	start := time.Now()
+	rep, ok = s.apply(sess, q)
+	s.m.OpDone(int(q.Op), time.Since(start))
+	return rep, ok
+}
+
+func (s *Server) apply(sess *session, q wire.Request) (wire.Reply, bool) {
+	switch q.Op {
+	case wire.OpHello:
+		// A repeated Hello is harmless: re-send the banner.
+		return wire.Reply{Status: wire.StatusOK, Value: int64(s.cfg.MaxSessions), Banner: s.banner}, true
+	case wire.OpStackPush:
+		sess.st.Push(q.Arg)
+		return wire.Reply{Status: wire.StatusOK}, true
+	case wire.OpStackPop:
+		v, ok := sess.st.Pop()
+		return valueReply(v, ok), true
+	case wire.OpStackPeek:
+		v, ok := sess.st.Peek()
+		return valueReply(v, ok), true
+	case wire.OpPoolPut:
+		sess.pl.Put(q.Arg)
+		return wire.Reply{Status: wire.StatusOK}, true
+	case wire.OpPoolGet:
+		v, ok := sess.pl.Get()
+		return valueReply(v, ok), true
+	case wire.OpFunnelAdd:
+		old := sess.fn.FetchAdd(q.Arg)
+		return wire.Reply{Status: wire.StatusOK, Value: old}, true
+	case wire.OpFunnelTryAdd:
+		old, applied := sess.fn.TryFetchAdd(q.Arg)
+		if !applied {
+			return wire.Reply{Status: wire.StatusContended}, true
+		}
+		return wire.Reply{Status: wire.StatusOK, Value: old}, true
+	case wire.OpFunnelLoad:
+		return wire.Reply{Status: wire.StatusOK, Value: s.fn.Load()}, true
+	case wire.OpStats:
+		return wire.Reply{Status: wire.StatusOK, Value: s.m.Sessions()}, true
+	}
+	return wire.Reply{}, false
+}
+
+// valueReply maps a (value, ok) engine answer onto OK/Empty.
+func valueReply(v int64, ok bool) wire.Reply {
+	if !ok {
+		return wire.Reply{Status: wire.StatusEmpty}
+	}
+	return wire.Reply{Status: wire.StatusOK, Value: v}
+}

@@ -47,7 +47,7 @@ type Pool[T any] struct {
 	shards   []*core.Stack[T]
 	tids     *tid.Allocator
 	overflow int          // Put-overflow threshold; 0 disables
-	m        *metrics.SEC // put-steal counters (nil without WithMetrics)
+	m        *metrics.SEC // put- and get-steal counters (nil without WithMetrics)
 }
 
 // Option configures New; it is the shared option type of the whole
@@ -105,9 +105,10 @@ func WithPutOverflow(threshold int) Option { return config.WithPutOverflow(thres
 // nothing.
 func WithRecycling() Option { return config.WithRecycling() }
 
-// WithMetrics enables the pool's put-steal counters (overflow hits and
-// misses, via Metrics or Snapshot) and the per-shard engine degree
-// counters Snapshot merges in.
+// WithMetrics enables the pool's steal counters in both balancing
+// directions - Put-overflow hits and misses, and the Get steal sweep's
+// hits and misses (via Metrics or Snapshot) - and the per-shard engine
+// degree counters Snapshot merges in.
 func WithMetrics() Option { return config.WithMetrics() }
 
 // New returns an empty pool.
@@ -145,13 +146,13 @@ func New[T any](opts ...Option) *Pool[T] {
 	return p
 }
 
-// Metrics returns the pool-level put-steal collector (overflow hits
-// and misses per victim shard), or nil if WithMetrics was not given.
-// For the merged view including the shards' engine degree counters,
-// use Snapshot.
+// Metrics returns the pool-level steal collector (Put-overflow and
+// Get-steal hits and misses per victim shard), or nil if WithMetrics
+// was not given. For the merged view including the shards' engine
+// degree counters, use Snapshot.
 func (p *Pool[T]) Metrics() *metrics.SEC { return p.m }
 
-// Snapshot merges the pool-level put-steal counters with every shard's
+// Snapshot merges the pool-level steal counters with every shard's
 // engine degree snapshot - batching degree, occupancy, fast-path and
 // reclaim counters summed across shards - so one snapshot carries the
 // whole pool's trajectory. Zero value when WithMetrics was not given.
@@ -326,6 +327,7 @@ func (h *Handle[T]) Get() (v T, ok bool) {
 		idx := h.foreignVictim(off, i)
 		if v, ok, applied := h.handles[idx].TryPop(); applied {
 			if ok {
+				h.p.m.RecordGetSteal(idx, true)
 				return v, true
 			}
 			continue // observed empty, uncontended: answered
@@ -333,11 +335,16 @@ func (h *Handle[T]) Get() (v T, ok bool) {
 		contended = true
 	}
 	if !contended {
+		// Every shard observed uncontendedly empty: an answer, not a
+		// balancing failure - no counter moves (the mirror of Put's
+		// never-overflowed fast path).
 		return v, false
 	}
 	// Contended steals mean concurrent operations on those shards; join
 	// their batches through the full protocol, home included (it may
-	// have refilled while the sweep ran).
+	// have refilled while the sweep ran). Recorded against the home
+	// shard as a get-steal miss, mirroring the Put-overflow fallback.
+	h.p.m.RecordGetSteal(h.home, false)
 	for i := 0; i < n; i++ {
 		idx := (h.home + i) % n
 		if v, ok = h.handles[idx].Pop(); ok {

@@ -401,3 +401,43 @@ func TestPutOverflowChurnWaves(t *testing.T) {
 		t.Fatalf("overflow churn: Size=%d after full drain", p.Size())
 	}
 }
+
+// TestGetStealMetrics mirrors the Put-overflow counter tests on the
+// Get side: a consumer whose home shard is empty must record its
+// cross-shard steals, so the degree tables show both balancing
+// directions (DESIGN.md §10).
+func TestGetStealMetrics(t *testing.T) {
+	p := New[int](WithShards(2), WithMetrics())
+	producer := p.Register() // home 0
+	thief := p.Register()    // home 1: its shard stays empty
+	defer producer.Close()
+	defer thief.Close()
+
+	const n = 5
+	for i := 0; i < n; i++ {
+		producer.Put(i)
+	}
+	for i := 0; i < n; i++ {
+		if _, ok := thief.Get(); !ok {
+			t.Fatalf("Get #%d failed with %d elements pooled", i, p.Size())
+		}
+	}
+	s := p.Snapshot()
+	if s.GetStealHits != n {
+		t.Fatalf("GetStealHits = %d, want %d (every Get crossed shards)", s.GetStealHits, n)
+	}
+	if s.GetStealMisses != 0 {
+		t.Fatalf("GetStealMisses = %d on an uncontended pool", s.GetStealMisses)
+	}
+	if pct := s.GetStealPct(); pct != 100 {
+		t.Fatalf("GetStealPct = %v, want 100", pct)
+	}
+	// A sweep that observes every shard uncontendedly empty is an
+	// answer, not a balancing failure: no counter moves.
+	if _, ok := thief.Get(); ok {
+		t.Fatal("Get on drained pool succeeded")
+	}
+	if s := p.Snapshot(); s.GetStealHits != n || s.GetStealMisses != 0 {
+		t.Fatalf("empty sweep moved steal counters: %d/%d", s.GetStealHits, s.GetStealMisses)
+	}
+}

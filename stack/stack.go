@@ -41,6 +41,7 @@
 package stack
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"strings"
@@ -76,6 +77,12 @@ type Handle[T any] interface {
 	Close()
 }
 
+// ErrExhausted is returned by TryRegister when MaxThreads handles are
+// live at the same time - the backpressure signal for callers (like
+// the secd server mapping connections onto handles) that prefer
+// refusing a session over crashing.
+var ErrExhausted = errors.New("stack: more than MaxThreads handles live")
+
 // Stack is a linearizable concurrent LIFO stack. Register hands out
 // per-goroutine handles (the fast path); the direct Push/Pop/Peek
 // methods transparently borrow a pooled handle per call, trading a
@@ -83,6 +90,10 @@ type Handle[T any] interface {
 type Stack[T any] interface {
 	// Register returns a fresh Handle for the calling goroutine.
 	Register() Handle[T]
+	// TryRegister is Register with ErrExhausted in place of the
+	// exhaustion panic, for callers that prefer backpressure over
+	// crashing - the same contract the pool and funnel packages offer.
+	TryRegister() (Handle[T], error)
 	// Push adds v to the top of the stack through a cached handle.
 	Push(v T)
 	// Pop removes and returns the top element through a cached handle.
@@ -204,6 +215,25 @@ func makeSessions[T any](register func() Handle[T]) sessions[T] {
 
 // Register returns a fresh Handle for the calling goroutine.
 func (s *sessions[T]) Register() Handle[T] { return s.register() }
+
+// TryRegister is Register with ErrExhausted in place of the exhaustion
+// panic. Every algorithm's registration panics with a "handles live"
+// message when MaxThreads handles are concurrently live (algorithms
+// without per-thread state never exhaust); TryRegister absorbs exactly
+// that panic, so it works uniformly across the registry without each
+// algorithm growing a second registration path.
+func (s *sessions[T]) TryRegister() (h Handle[T], err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if msg, ok := r.(string); ok && strings.Contains(msg, "handles live") {
+				h, err = nil, ErrExhausted
+				return
+			}
+			panic(r)
+		}
+	}()
+	return s.register(), nil
+}
 
 // borrow returns a cached handle for one implicit operation,
 // registering a fresh one on pool miss. Registration can transiently
