@@ -169,3 +169,66 @@ func TestAllocCeilingFunnelSolo(t *testing.T) {
 		t.Fatalf("funnel solo FetchAdd allocates %.3f allocs/op, ceiling %.2f", avg, allocCeiling)
 	}
 }
+
+// TestAllocCeilingImplicitStack: the handle-free path over the solo
+// fast path. Once the per-P session cache is warm, an implicit
+// Push/Pop is a slot swap (two uncontended atomics) around the same
+// zero-alloc solo path the explicit guard above measures - no pool
+// lookups, no interface boxing, nothing on the heap. The rare
+// registration a mid-measurement P migration triggers is what the
+// ceiling's headroom absorbs.
+func TestAllocCeilingImplicitStack(t *testing.T) {
+	s := stack.NewSEC[int64](
+		stack.WithAggregators(2),
+		stack.WithAdaptive(true),
+		stack.WithBatchRecycling(true),
+		stack.WithRecycling(),
+	)
+	for i := int64(0); i < 4096; i++ { // warm the per-P cache, settle EBR and free lists
+		s.Push(i)
+		s.Pop()
+	}
+	avg := testing.AllocsPerRun(2000, func() {
+		s.Push(7)
+		s.Pop()
+	})
+	if avg > allocCeiling {
+		t.Fatalf("implicit Push/Pop allocates %.3f allocs/op, ceiling %.2f", avg, allocCeiling)
+	}
+}
+
+// TestAllocCeilingImplicitPool: handle-free Put/Get over a warm per-P
+// session cache - the uncontended cycle is the same home-shard solo
+// CAS pair as the explicit guard, plus the slot swap.
+func TestAllocCeilingImplicitPool(t *testing.T) {
+	p := pool.New[int64](
+		pool.WithShards(4),
+		pool.WithAdaptive(true),
+		pool.WithBatchRecycling(true),
+		pool.WithRecycling(),
+	)
+	for i := int64(0); i < 4096; i++ {
+		p.Put(i)
+		p.Get()
+	}
+	avg := testing.AllocsPerRun(2000, func() {
+		p.Put(7)
+		p.Get()
+	})
+	if avg > allocCeiling {
+		t.Fatalf("implicit Put/Get allocates %.3f allocs/op, ceiling %.2f", avg, allocCeiling)
+	}
+}
+
+// TestAllocCeilingImplicitFunnel: handle-free Add over a warm per-P
+// session cache.
+func TestAllocCeilingImplicitFunnel(t *testing.T) {
+	f := funnel.New(funnel.WithAdaptive(true))
+	for i := 0; i < 512; i++ {
+		f.Add(1)
+	}
+	avg := testing.AllocsPerRun(2000, func() { f.Add(1) })
+	if avg > allocCeiling {
+		t.Fatalf("implicit funnel Add allocates %.3f allocs/op, ceiling %.2f", avg, allocCeiling)
+	}
+}

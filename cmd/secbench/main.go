@@ -8,6 +8,7 @@
 //	secbench -fig 4           # Figure 4: SEC aggregator sweep, Emerald
 //	secbench -fig adaptive    # adaptivity ablation: solo fast path + batch recycling vs stock SEC and TRB
 //	secbench -fig spin        # freezer-backoff ablation: fixed FreezerSpin ladder vs the adaptive controller
+//	secbench -fig implicit    # handle-free ablation: per-P implicit sessions vs explicit handles vs spill-only
 //	secbench -table 1         # Table 1: degree/occupancy tables, Emerald
 //	secbench -all             # everything
 //	secbench -all -paper      # paper-fidelity settings (5s x 5 runs)
@@ -24,7 +25,7 @@
 // counters of the bidirectional load-balancing work).
 //
 // With -json, each figure or table is also written as one
-// machine-readable BENCH_<fig>.json document (schema secbench/v5; see
+// machine-readable BENCH_<fig>.json document (schema secbench/v6; see
 // internal/harness/json.go for the version history).
 package main
 
@@ -112,7 +113,7 @@ func writeDoc(st settings, doc *harness.BenchDoc) {
 
 func main() {
 	var (
-		fig     = flag.String("fig", "", "figure to regenerate: 2a, 2b, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, adaptive, spin")
+		fig     = flag.String("fig", "", "figure to regenerate: 2a, 2b, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, adaptive, spin, implicit")
 		table   = flag.Int("table", 0, "table to regenerate: 1, 2, 3")
 		all     = flag.Bool("all", false, "regenerate every figure and table")
 		paper   = flag.Bool("paper", false, "paper-fidelity settings: 5s windows, 5 runs")
@@ -238,7 +239,14 @@ func aggColumns() ([]string, func(string) harness.Factory) {
 }
 
 func runFig(fig string, st settings) {
-	doc := newDoc(st, "fig"+fig)
+	name := "fig" + fig
+	switch fig {
+	case "adaptive", "spin", "implicit":
+		// The ablations are not paper figures; their JSON documents are
+		// named after the ablation itself (BENCH_implicit.json, ...).
+		name = fig
+	}
+	doc := newDoc(st, name)
 	switch fig {
 	case "2a":
 		figUpdates("Figure 2a", harness.Emerald, st, doc)
@@ -266,6 +274,8 @@ func runFig(fig string, st settings) {
 		figAdaptive("Adaptivity", harness.Emerald, st, doc)
 	case "spin":
 		figSpin("Spin", harness.Emerald, st, doc)
+	case "implicit":
+		figImplicit("Implicit", st, doc)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown figure %q\n", fig)
 		os.Exit(2)
@@ -410,6 +420,63 @@ func figSpin(title string, m harness.Machine, st settings, doc *harness.BenchDoc
 			Duration: st.duration,
 			Prefill:  st.prefill,
 			Runs:     st.runs,
+			Progress: progress(st),
+		})
+		emit(s, st, doc)
+	}
+}
+
+// figImplicit renders the handle-free ablation (not a paper figure;
+// see DESIGN.md §12): the same zero-alloc SEC configuration (adaptive
+// fast path, node + batch recycling) measured three ways over a short
+// contention ladder -
+//
+//	SEC_handle   - per-worker explicit handles, the baseline every
+//	               other figure uses
+//	SEC_implicit - the handle-free API over the per-P session cache
+//	SEC_spill    - the handle-free API with affinity off (spill-pool
+//	               borrows only, the pre-affinity implementation)
+//
+// Each arm is its own sweep/series so the secbench/v6 per-series
+// implicit flag stays honest in the JSON export. The ladder is the
+// contention ladder of BenchmarkImplicitVsHandle (solo, small group,
+// machine-wide, oversubscribed) rather than a paper machine ladder:
+// the claim under test is per-rung overhead of the session lookup,
+// not scaling shape.
+func figImplicit(title string, st settings, doc *harness.BenchDoc) {
+	ladder := []int{1, 2, 4}
+	if p := runtime.GOMAXPROCS(0); p > 4 {
+		ladder = append(ladder, p)
+	}
+	if over := 4 * runtime.GOMAXPROCS(0); over > ladder[len(ladder)-1] {
+		ladder = append(ladder, over)
+	}
+	zeroAlloc := []stack.Option{
+		stack.WithAggregators(2),
+		stack.WithAdaptive(true),
+		stack.WithBatchRecycling(true),
+		stack.WithRecycling(),
+	}
+	arms := []struct {
+		col      string
+		implicit bool
+		opts     []stack.Option
+	}{
+		{"SEC_handle", false, zeroAlloc},
+		{"SEC_implicit", true, zeroAlloc},
+		{"SEC_spill", true, append(append([]stack.Option{}, zeroAlloc...), stack.WithImplicitSessions(false))},
+	}
+	for _, arm := range arms {
+		factory := harness.FactoryFor(stack.SEC, arm.opts...)
+		s := harness.Sweep(fmt.Sprintf("%s %s, %s", title, arm.col, harness.Update100.Name), harness.SweepOptions{
+			Columns:  []string{arm.col},
+			Factory:  func(string) harness.Factory { return factory },
+			Ladder:   ladder,
+			Workload: harness.Update100,
+			Duration: st.duration,
+			Prefill:  st.prefill,
+			Runs:     st.runs,
+			Implicit: arm.implicit,
 			Progress: progress(st),
 		})
 		emit(s, st, doc)

@@ -27,13 +27,20 @@
 package deque
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
 	"secstack/internal/agg"
 	"secstack/internal/config"
+	"secstack/internal/isession"
 	"secstack/internal/metrics"
 )
+
+// ErrExhausted is returned by TryRegister when MaxThreads handles are
+// live at the same time - the backpressure signal for callers that
+// prefer refusing a session over crashing.
+var ErrExhausted = errors.New("deque: more than MaxThreads handles live")
 
 // Side selects a deque end.
 type Side int
@@ -58,13 +65,17 @@ type (
 	dqEngine[T any] = agg.Engine[T, []popResult[T]]
 )
 
-// Deque is a blocking linearizable double-ended queue. Use Register to
-// obtain per-goroutine handles.
+// Deque is a blocking linearizable double-ended queue. Register hands
+// out per-goroutine handles (the fast path for worker loops); the
+// direct PushLeft/PushRight/PopLeft/PopRight methods transparently
+// reuse the calling P's cached handle, so handle-free callers need no
+// session management at all.
 type Deque[T any] struct {
 	mu    sync.Mutex
 	items ring[T]
 
-	eng *dqEngine[T]
+	eng   *dqEngine[T]
+	cache *isession.Sessions[*Handle[T]]
 }
 
 // Option configures New; it is the shared option type of the whole
@@ -112,6 +123,16 @@ func WithAdaptive(on bool) Option { return config.WithAdaptive(on) }
 // the steady-state freeze path allocates nothing.
 func WithBatchRecycling(on bool) Option { return config.WithBatchRecycling(on) }
 
+// WithImplicitSessions toggles the per-P affinity tier behind the
+// handle-free PushLeft/PushRight/PopLeft/PopRight methods (default
+// on); see the stack package's option of the same name.
+func WithImplicitSessions(on bool) Option { return config.WithImplicitSessions(on) }
+
+// WithAnnounceEvery sets the cached implicit sessions' amortized
+// hazard-announcement cadence (default 8; 1 restores the eager per-op
+// clear); see the stack package's option of the same name.
+func WithAnnounceEvery(k int) Option { return config.WithAnnounceEvery(k) }
+
 // New returns an empty deque.
 func New[T any](opts ...Option) *Deque[T] {
 	c := config.Resolve(opts)
@@ -141,6 +162,17 @@ func New[T any](opts ...Option) *Deque[T] {
 		TrySoloPop:   d.trySoloPop,
 		Metrics:      m,
 	})
+	// Cached implicit handles publish their hazard slot once per
+	// AnnounceEvery ops (amortized announcement); explicit handles keep
+	// the engine's eager per-op clear.
+	d.cache = isession.New(c.ImplicitAffinity, func() (*Handle[T], error) {
+		h, err := d.TryRegister()
+		if err != nil {
+			return nil, err
+		}
+		d.eng.SetDoneCadence(h.id, c.AnnounceEvery)
+		return h, nil
+	}, func(h *Handle[T]) { h.Close() })
 	return d
 }
 
@@ -167,11 +199,53 @@ type Handle[T any] struct {
 // so registration panics only when MaxThreads handles are live at the
 // same time.
 func (d *Deque[T]) Register() *Handle[T] {
-	id, err := d.eng.Register()
+	h, err := d.TryRegister()
 	if err != nil {
 		panic(fmt.Sprintf("deque: more than MaxThreads=%d handles live", d.eng.MaxThreads()))
 	}
-	return &Handle[T]{d: d, id: id}
+	return h
+}
+
+// TryRegister is Register with ErrExhausted in place of the exhaustion
+// panic - the same contract the stack, pool and funnel packages offer.
+func (d *Deque[T]) TryRegister() (*Handle[T], error) {
+	id, err := d.eng.Register()
+	if err != nil {
+		return nil, ErrExhausted
+	}
+	return &Handle[T]{d: d, id: id}, nil
+}
+
+// PushLeft adds v at the left end through a cached per-P handle.
+func (d *Deque[T]) PushLeft(v T) {
+	e := d.cache.Acquire()
+	e.H.PushLeft(v)
+	d.cache.Release(e)
+}
+
+// PushRight adds v at the right end through a cached per-P handle.
+func (d *Deque[T]) PushRight(v T) {
+	e := d.cache.Acquire()
+	e.H.PushRight(v)
+	d.cache.Release(e)
+}
+
+// PopLeft removes and returns the leftmost element through a cached
+// per-P handle.
+func (d *Deque[T]) PopLeft() (T, bool) {
+	e := d.cache.Acquire()
+	v, ok := e.H.PopLeft()
+	d.cache.Release(e)
+	return v, ok
+}
+
+// PopRight removes and returns the rightmost element through a cached
+// per-P handle.
+func (d *Deque[T]) PopRight() (T, bool) {
+	e := d.cache.Acquire()
+	v, ok := e.H.PopRight()
+	d.cache.Release(e)
+	return v, ok
 }
 
 // Close releases the handle's slot for reuse by a future Register.

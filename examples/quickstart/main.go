@@ -5,11 +5,13 @@
 //	go run ./examples/quickstart
 //
 // It constructs a SEC stack through the registry, performs a few
-// operations with the handle-free convenience API (each call borrows a
-// cached per-goroutine handle behind the scenes - no Register needed),
-// and prints the LIFO drain order. Worker loops that care about the
-// last few percent of throughput register an explicit handle instead;
-// see examples/freelist.
+// operations with the handle-free API (each call reuses a session
+// cached for the calling goroutine's P behind the scenes - no
+// Register needed, and consecutive calls from the same P keep the
+// same session, so they ride the engine's solo fast path), and prints
+// the LIFO drain order. Register an explicit handle instead when a
+// goroutine needs pinned session identity across calls; see
+// examples/freelist.
 package main
 
 import (

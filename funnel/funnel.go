@@ -25,6 +25,7 @@ import (
 
 	"secstack/internal/agg"
 	"secstack/internal/config"
+	"secstack/internal/isession"
 	"secstack/internal/metrics"
 )
 
@@ -36,11 +37,15 @@ type (
 	fnEngine = agg.Engine[int64, []int64]
 )
 
-// Funnel is a sharded fetch&add counter. Use Register for per-goroutine
-// handles.
+// Funnel is a sharded fetch&add counter. Register hands out
+// per-goroutine handles (the fast path for worker loops); the direct
+// Add method transparently reuses the calling P's cached handle, so
+// handle-free callers need no session management at all.
 type Funnel struct {
 	counter atomic.Int64
 	eng     *fnEngine
+
+	cache *isession.Sessions[*Handle]
 }
 
 // Option configures New; it is the shared option type of the whole
@@ -98,6 +103,16 @@ func WithAdaptive(on bool) Option { return config.WithAdaptive(on) }
 // for reuse, so the steady-state delegation path allocates nothing.
 func WithBatchRecycling(on bool) Option { return config.WithBatchRecycling(on) }
 
+// WithImplicitSessions toggles the per-P affinity tier behind the
+// handle-free Add method (default on); see the stack package's option
+// of the same name.
+func WithImplicitSessions(on bool) Option { return config.WithImplicitSessions(on) }
+
+// WithAnnounceEvery sets the cached implicit sessions' amortized
+// hazard-announcement cadence (default 8; 1 restores the eager per-op
+// clear); see the stack package's option of the same name.
+func WithAnnounceEvery(k int) Option { return config.WithAnnounceEvery(k) }
+
 // New returns a funnel counter.
 func New(opts ...Option) *Funnel {
 	c := config.Resolve(opts)
@@ -127,7 +142,28 @@ func New(opts ...Option) *Funnel {
 		// side only.
 		Metrics: m,
 	})
+	// Cached implicit handles publish their hazard slot once per
+	// AnnounceEvery ops (amortized announcement); explicit handles keep
+	// the eager per-op clear.
+	f.cache = isession.New(c.ImplicitAffinity, func() (*Handle, error) {
+		h, err := f.TryRegister()
+		if err != nil {
+			return nil, err
+		}
+		f.eng.SetDoneCadence(h.id, c.AnnounceEvery)
+		return h, nil
+	}, func(h *Handle) { h.Close() })
 	return f
+}
+
+// Add atomically adds amount to the counter through a cached per-P
+// handle and returns the value the counter held immediately before
+// this operation's place in the batch order - handle-free FetchAdd.
+func (f *Funnel) Add(amount int64) int64 {
+	e := f.cache.Acquire()
+	v := e.H.FetchAdd(amount)
+	f.cache.Release(e)
+	return v
 }
 
 // trySoloAdd is the solo fast path: one CAS attempt on the central

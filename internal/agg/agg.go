@@ -235,11 +235,12 @@ type aggregator[S, P any] struct {
 // fast-path hit/miss counters feeding internal/metrics. Padded so the
 // solo regime's per-op updates stay on a line owned by one aggregator.
 type aggCtl struct {
-	mode     atomic.Int64 // modeBatched or modeSolo
-	ewma     atomic.Int64 // batch-degree EWMA in degreeUnit fixed point
-	freezes  atomic.Int64 // frozen batches; drives resize checks
-	fastHits atomic.Int64 // solo attempts that applied directly
-	fastMiss atomic.Int64 // solo attempts that hit contention
+	// First line: the control words every operation reads (and, in
+	// steady state, only reads - observe skips identity stores). Kept
+	// apart from the counters below so the per-op counter RMWs do not
+	// bounce the line the mode gate lives on.
+	mode atomic.Int64 // modeBatched or modeSolo
+	ewma atomic.Int64 // batch-degree EWMA in degreeUnit fixed point
 
 	// spin is the current effective pre-freeze backoff in spin
 	// iterations (adaptive spin only; fixed engines read freezerSpin
@@ -250,6 +251,13 @@ type aggCtl struct {
 	// than pay a CAS loop. Atomic so concurrent readers and writers
 	// stay defined.
 	spin atomic.Int64
+
+	_ [pad.CacheLine - 3*8]byte
+
+	// Second line: per-event counters.
+	freezes  atomic.Int64 // frozen batches; drives resize checks
+	fastHits atomic.Int64 // solo attempts that applied directly
+	fastMiss atomic.Int64 // solo attempts that hit contention
 
 	// reclaimScans and reclaimSkips count, per aggregator, the freezes
 	// whose reclaim ran a full hazard scan versus those that deferred
@@ -263,7 +271,7 @@ type aggCtl struct {
 	// surviving aggregators' mean.
 	inherits atomic.Int64
 
-	_ [2*pad.CacheLine - 9*8]byte
+	_ [pad.CacheLine - 6*8]byte
 }
 
 const (
@@ -320,11 +328,56 @@ const (
 	spinDecayDeg = 3 * degreeUnit / 2
 )
 
-// hazardSlot is one session's published batch reference (recycling
-// only), padded so sessions do not share hazard lines.
-type hazardSlot[S, P any] struct {
-	p atomic.Pointer[Batch[S, P]]
-	_ [pad.CacheLine - 8]byte
+// HazardSlot is one session's published batch reference (recycling
+// only), padded so sessions do not share hazard lines. It is exported
+// (with unexported fields) so structure handles can cache their slot
+// pointer via Engine.Hazard and run the op-end Done bookkeeping
+// inline: the indexed engine-side Engine.Done sits just over the
+// inlining budget, and the op-end clear is on every operation's path.
+//
+// every and count drive amortized announcement (SetDoneCadence): Done
+// clears the hazard only on every every-th call, so a session that
+// performs bursts of operations pays one hazard clear (and one
+// republish in announce) per cadence window instead of per op. The
+// fields are plain, not atomic: they are read and written only by the
+// session holding this id, and the tid free list's CAS handoff is the
+// happens-before edge when the id moves to a new owner. A stale
+// hazard left up between ops pins at most one retired batch per
+// session, the same bound the scan already tolerates for a session
+// parked mid-operation.
+type HazardSlot[S, P any] struct {
+	p     atomic.Pointer[Batch[S, P]]
+	every int32
+	count int32
+	_     [pad.CacheLine - 16]byte
+}
+
+// Done ends one operation for the session owning this slot: count the
+// cadence window and clear the published hazard when it closes. Split
+// into Tick and Clear because the combined body lands just over the
+// generic-shape inlining budget: separately each half inlines, so
+// every structure op ends in straight-line code.
+func (hz *HazardSlot[S, P]) Done() {
+	if hz.Tick() {
+		hz.Clear()
+	}
+}
+
+// Tick advances the cadence window and reports whether the hazard is
+// due for a clear. With no cadence set (every <= 1) the comparison
+// fails immediately and every call is due - the eager default.
+func (hz *HazardSlot[S, P]) Tick() bool {
+	if n := hz.count + 1; n < hz.every {
+		hz.count = n
+		return false
+	}
+	hz.count = 0
+	return true
+}
+
+// Clear drops the published hazard.
+func (hz *HazardSlot[S, P]) Clear() {
+	hz.p.Store(nil)
 }
 
 // Spec parameterises an Engine. Aggregators and MaxThreads are clamped
@@ -446,6 +499,12 @@ type Engine[S, P any] struct {
 	tids         *tid.Allocator
 	maxThreads   int
 
+	// soloPushOn/soloPopOn precompute "adaptive && applier present" so
+	// the per-op solo gate in Push/Pop is one flag test plus the mode
+	// load instead of three loads and branches.
+	soloPushOn bool
+	soloPopOn  bool
+
 	// effK is the effective aggregator count in [1, len(aggs)];
 	// scaleEpoch increments on every resize so observers (and tests)
 	// can detect remappings. Non-adaptive engines pin effK = len(aggs).
@@ -461,7 +520,7 @@ type Engine[S, P any] struct {
 	// its scratch batch. Both indexed by session id, each entry owned
 	// by the session holding that id (the tid free list's CAS handoff
 	// is the happens-before edge across owners).
-	hazards []hazardSlot[S, P]
+	hazards []HazardSlot[S, P]
 	solo    []*Batch[S, P]
 }
 
@@ -501,9 +560,11 @@ func New[S, P any](spec Spec[S, P]) *Engine[S, P] {
 		tids:         tid.New(spec.MaxThreads),
 		maxThreads:   spec.MaxThreads,
 	}
+	e.soloPushOn = e.adaptive && e.trySoloPush != nil
+	e.soloPopOn = e.adaptive && e.trySoloPop != nil
 	e.effK.Store(int32(spec.Aggregators))
 	if e.recycle {
-		e.hazards = make([]hazardSlot[S, P], spec.MaxThreads)
+		e.hazards = make([]HazardSlot[S, P], spec.MaxThreads)
 	}
 	if e.adaptive || e.trySoloPush != nil || e.trySoloPop != nil {
 		// Scratch batches back both the solo fast path and the TryPop
@@ -701,10 +762,13 @@ func (e *Engine[S, P]) Register() (id int, err error) {
 
 // Release returns a session's id to the free list for reuse. Any
 // hazard the session still published is cleared so an idle slot can
-// never pin a retired batch.
+// never pin a retired batch, and the amortized-announcement cadence
+// resets so a recycled id never inherits the previous owner's.
 func (e *Engine[S, P]) Release(id int) {
 	if e.recycle {
-		e.hazards[id].p.Store(nil)
+		hz := &e.hazards[id]
+		hz.every, hz.count = 0, 0
+		hz.p.Store(nil)
 	}
 	e.tids.Release(id)
 }
@@ -714,10 +778,50 @@ func (e *Engine[S, P]) Release(id int) {
 // so its hazard no longer pins the batch. Structures call it once per
 // operation, after consuming the ticket; it is a no-op without batch
 // recycling.
+//
+// Under a Done cadence (SetDoneCadence) the clear is amortized: the
+// hazard stays published for every-1 of every calls, so the next
+// announce on the same batch skips its publish-and-revalidate. Kept
+// under the inlining budget on purpose - every structure op ends here.
 func (e *Engine[S, P]) Done(id int) {
 	if e.recycle {
-		e.hazards[id].p.Store(nil)
+		e.hazards[id].Done()
 	}
+}
+
+// Hazard returns session id's hazard slot, or nil when batch recycling
+// is off. Structure handles cache the pointer at registration so their
+// op-end Done (and its cadence bookkeeping) inlines instead of paying
+// an engine call per operation; the slice is sized at MaxThreads in
+// New and never reallocates, so the pointer stays valid for the
+// engine's lifetime.
+func (e *Engine[S, P]) Hazard(id int) *HazardSlot[S, P] {
+	if !e.recycle {
+		return nil
+	}
+	return &e.hazards[id]
+}
+
+// SetDoneCadence makes session id clear its hazard on every k-th Done
+// instead of every one - amortized announcement for callers (the
+// implicit-session layer) whose handles perform long runs of
+// operations on one aggregator. Between clears the session's hazard
+// keeps the current batch published, so consecutive announces skip
+// their publish-and-revalidate; the cost is that an idle session may
+// pin one retired batch until its cadence window closes, which the
+// reclaim scan already tolerates (same bound as a session parked
+// mid-operation). k < 1 is treated as 1, the eager default. No-op
+// without batch recycling (there is no hazard to amortize).
+func (e *Engine[S, P]) SetDoneCadence(id, k int) {
+	if !e.recycle {
+		return
+	}
+	if k < 1 {
+		k = 1
+	}
+	hz := &e.hazards[id]
+	hz.every = int32(k)
+	hz.count = 0
 }
 
 // AggOf maps a session id to its fixed aggregator (partitioned engines
@@ -784,17 +888,25 @@ func (e *Engine[S, P]) ActiveBatch(agg int) *Batch[S, P] {
 func (e *Engine[S, P]) observe(c *aggCtl, obs int64) {
 	o := c.ewma.Load()
 	v := o - o/4 + obs/4
-	c.ewma.Store(v)
+	if v != o {
+		// At the EWMA's fixed points (every op a solo hit, or a steady
+		// batched degree) the fold is the identity; skipping the store
+		// then keeps the control line in shared state across the Ps
+		// hammering this aggregator instead of invalidating it per op.
+		c.ewma.Store(v)
+	}
 	if !e.adaptive {
 		return // spin-only engines track the EWMA but never switch modes
 	}
 	switch {
 	case v <= soloEnterMax:
-		if e.trySoloPush != nil {
+		if e.trySoloPush != nil && c.mode.Load() != modeSolo {
 			c.mode.Store(modeSolo)
 		}
 	case v >= soloExitMin:
-		c.mode.Store(modeBatched)
+		if c.mode.Load() != modeBatched {
+			c.mode.Store(modeBatched)
+		}
 	}
 }
 
@@ -974,33 +1086,47 @@ func (e *Engine[S, P]) freezeOrWait(agg int, b *Batch[S, P], seq int64) {
 	}
 }
 
-// announce loads aggregator agg's active batch on behalf of session
-// id, publishing it through the session's hazard slot first when
-// recycling is on. The re-validation closes the window between the
-// load and the publish: a batch that was uninstalled in that window is
-// simply retried, so the hazard scan in reclaim sees every session
-// that can still touch a retired batch.
-func (e *Engine[S, P]) announce(id, agg int) *Batch[S, P] {
+// announceSlow publishes batch b through hazard slot hz and
+// re-validates aggregator agg's batch pointer, following it until the
+// publish sticks. The re-validation closes the window between the
+// caller's load and the publish: a batch that was uninstalled in that
+// window is simply retried, so the hazard scan in reclaim sees every
+// session that can still touch a retired batch.
+//
+// Push and Pop inline the fast path around this call themselves: load
+// the active batch and skip the publish entirely when the session's
+// hazard already names it (amortized announcement - a Done cadence
+// left the hazard up, or a pop retried within one batch). The skip is
+// sound because only the owner writes the slot: hazard == b means the
+// slot has continuously named b since a validated publish, so every
+// reclaim scan in between has seen it and b cannot have been recycled
+// out from under us - and b is installed right now (the caller just
+// loaded it).
+func (e *Engine[S, P]) announceSlow(hz *HazardSlot[S, P], agg int, b *Batch[S, P]) *Batch[S, P] {
 	for {
-		b := e.aggs[agg].batch.Load()
-		if e.recycle {
-			e.hazards[id].p.Store(b)
-			if e.aggs[agg].batch.Load() != b {
-				continue
-			}
+		hz.p.Store(b)
+		nb := e.aggs[agg].batch.Load()
+		if nb == b {
+			return b
 		}
-		return b
+		b = nb
 	}
 }
 
 // soloBatch returns session id's one-slot scratch batch, allocating it
 // on first use. Scratch batches never enter the recycling pool; the
 // session is their only writer and their payload is fully overwritten
-// by the solo applier before the ticket is read.
+// by the solo applier before the ticket is read. The allocation lives
+// in newSoloBatch so this lookup inlines into the per-op paths.
 func (e *Engine[S, P]) soloBatch(id int) *Batch[S, P] {
 	if b := e.solo[id]; b != nil {
 		return b
 	}
+	return e.newSoloBatch(id)
+}
+
+// newSoloBatch is soloBatch's first-use slow path.
+func (e *Engine[S, P]) newSoloBatch(id int) *Batch[S, P] {
 	b := &Batch[S, P]{slots: make([]atomic.Pointer[S], 1)}
 	if e.makeData != nil {
 		b.Data = e.makeData(1)
@@ -1050,8 +1176,11 @@ type PushTicket[S, P any] struct {
 // combiner. The caller must invoke Done(id) once it has finished
 // reading the ticket.
 func (e *Engine[S, P]) Push(id, agg int, val *S) PushTicket[S, P] {
-	if e.adaptive && e.trySoloPush != nil && e.soloMode(agg) {
-		sb := e.soloBatch(id)
+	if e.soloPushOn && e.ctl[agg].mode.Load() == modeSolo {
+		sb := e.solo[id]
+		if sb == nil {
+			sb = e.newSoloBatch(id)
+		}
 		sb.slots[0].Store(val)
 		if e.trySoloPush(agg, sb) {
 			e.soloHit(agg)
@@ -1060,7 +1189,15 @@ func (e *Engine[S, P]) Push(id, agg int, val *S) PushTicket[S, P] {
 		e.soloMiss(agg)
 	}
 	for {
-		b := e.announce(id, agg)
+		// Inlined announce: skip the publish-and-revalidate when the
+		// session's hazard already names the active batch (see
+		// announceSlow for the soundness argument).
+		b := e.aggs[agg].batch.Load()
+		if e.recycle {
+			if hz := &e.hazards[id]; hz.p.Load() != b {
+				b = e.announceSlow(hz, agg, b)
+			}
+		}
 		seq := b.PushCount.Add(1) - 1
 		if int(seq) < len(b.slots) {
 			b.slots[seq].Store(val) // announce the record immediately (line 7)
@@ -1113,8 +1250,11 @@ type PopTicket[S, P any] struct {
 // combiner-published results. The caller must invoke Done(id) once it
 // has finished reading the ticket.
 func (e *Engine[S, P]) Pop(id, agg int) PopTicket[S, P] {
-	if e.adaptive && e.trySoloPop != nil && e.soloMode(agg) {
-		sb := e.soloBatch(id)
+	if e.soloPopOn && e.ctl[agg].mode.Load() == modeSolo {
+		sb := e.solo[id]
+		if sb == nil {
+			sb = e.newSoloBatch(id)
+		}
 		if e.trySoloPop(agg, sb) {
 			e.soloHit(agg)
 			return PopTicket[S, P]{B: sb, Off: 0, K: 1}
@@ -1122,7 +1262,13 @@ func (e *Engine[S, P]) Pop(id, agg int) PopTicket[S, P] {
 		e.soloMiss(agg)
 	}
 	for {
-		b := e.announce(id, agg)
+		// Inlined announce: see Push.
+		b := e.aggs[agg].batch.Load()
+		if e.recycle {
+			if hz := &e.hazards[id]; hz.p.Load() != b {
+				b = e.announceSlow(hz, agg, b)
+			}
+		}
 		seq := b.PopCount.Add(1) - 1
 
 		e.freezeOrWait(agg, b, seq)

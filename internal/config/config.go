@@ -99,6 +99,25 @@ type Config struct {
 	// TimestampDelay is the TS-interval stack's interval-widening spin
 	// between a push's two clock reads.
 	TimestampDelay int
+
+	// ImplicitAffinity enables the per-P tier of the implicit-session
+	// layer behind the handle-free APIs: an implicit op on P k reuses
+	// P k's cached handle (procpin identity, as sync.Pool does
+	// internally), so it keeps hitting the same aggregator's solo
+	// scratch batch. Off, every implicit op borrows through the spill
+	// pool alone - the pre-affinity behavior. Default on.
+	ImplicitAffinity bool
+
+	// AnnounceEvery is the Done cadence the implicit-session layer
+	// sets on its cached handles: the session's hazard slot is
+	// published once per AnnounceEvery implicit ops instead of per op
+	// (amortized announcement). 1 restores the eager per-op clear;
+	// values < 1 are treated as 1. The cost of a larger cadence is
+	// that an idle cached session may pin one retired batch per
+	// structure until its window closes - the same bound the hazard
+	// scan tolerates for a session parked mid-operation. Default 8
+	// (one hazard clear per reclaim-epoch's worth of ops).
+	AnnounceEvery int
 }
 
 // Option mutates a Config. The public packages alias this type, so
@@ -121,6 +140,9 @@ func Default() Config {
 		CombinerRounds: 2,
 		ServeLimit:     64,
 		TimestampDelay: 32,
+
+		ImplicitAffinity: true,
+		AnnounceEvery:    8,
 	}
 }
 
@@ -263,4 +285,18 @@ func WithServeLimit(h int) Option {
 // delay; 0 (or less) disables it.
 func WithTimestampDelay(d int) Option {
 	return func(c *Config) { c.TimestampDelay = max(d, 0) }
+}
+
+// WithImplicitSessions toggles the per-P affinity tier of the
+// implicit-session layer behind the handle-free APIs (default on).
+// Off, implicit ops fall back to the spill-pool-only borrow path.
+func WithImplicitSessions(on bool) Option {
+	return func(c *Config) { c.ImplicitAffinity = on }
+}
+
+// WithAnnounceEvery sets the implicit sessions' amortized-announcement
+// cadence: the hazard slot is published once per k implicit ops. 1
+// restores the eager per-op announce; values below 1 are clamped to 1.
+func WithAnnounceEvery(k int) Option {
+	return func(c *Config) { c.AnnounceEvery = max(k, 1) }
 }

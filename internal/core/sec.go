@@ -204,6 +204,11 @@ type Handle[T any] struct {
 	rec    *ebr.Handle[node[T]] // nil when recycling is off
 	closed bool
 
+	// hz is the session's cached hazard slot (nil without batch
+	// recycling): the op-end Done bookkeeping runs through it inline
+	// instead of an engine call per operation.
+	hz *agg.HazardSlot[node[T], popChain[T]]
+
 	// spare is a scrubbed node recovered from a failed TryPush when no
 	// reclamation substrate exists to take it (rec == nil); the next
 	// alloc reuses it, so a contended steal sweep costs CASes, not
@@ -232,11 +237,22 @@ func (s *Stack[T]) TryRegister() (*Handle[T], error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: more than MaxThreads=%d handles live", s.eng.MaxThreads())
 	}
-	h := &Handle[T]{s: s, tid: tid}
+	h := &Handle[T]{s: s, tid: tid, hz: s.eng.Hazard(tid)}
 	if s.rec != nil {
 		h.rec = s.rec.Register()
 	}
 	return h, nil
+}
+
+// SetDoneCadence amortizes this handle's announcement: the session's
+// hazard is cleared on every k-th operation instead of every one, so
+// long runs on one aggregator skip the per-op publish-and-revalidate
+// (see agg.Engine.SetDoneCadence for the safety bound). The implicit
+// session layer sets it on its cached handles; explicit callers may
+// too when a handle lives for many operations. No-op without batch
+// recycling.
+func (h *Handle[T]) SetDoneCadence(k int) {
+	h.s.eng.SetDoneCadence(h.tid, k)
 }
 
 // Close releases the handle's thread id (and its reclamation slot) for
@@ -300,10 +316,12 @@ func (h *Handle[T]) exit() {
 // push returns once its batch's combiner spliced the substack.
 func (h *Handle[T]) Push(v T) {
 	h.enter()
-	defer h.exit()
 	eng := h.s.eng
 	eng.Push(h.tid, eng.AggOf(h.tid), h.alloc(v))
-	eng.Done(h.tid)
+	if hz := h.hz; hz != nil && hz.Tick() {
+		hz.Clear()
+	}
+	h.exit()
 }
 
 // applyPush is the paper's PushToStack, executed only by a batch's
@@ -332,8 +350,6 @@ func (s *Stack[T]) applyPush(_ int, b *secBatch[T], seq, pushAtF int64) {
 // operation's slice of its batch.
 func (h *Handle[T]) Pop() (v T, ok bool) {
 	h.enter()
-	defer h.exit()
-
 	eng := h.s.eng
 	t := eng.Pop(h.tid, eng.AggOf(h.tid))
 	if t.Elim != nil {
@@ -341,12 +357,18 @@ func (h *Handle[T]) Pop() (v T, ok bool) {
 		// elimination array.
 		val := t.Elim.value
 		h.retire(t.Elim)
-		eng.Done(h.tid)
+		if hz := h.hz; hz != nil && hz.Tick() {
+			hz.Clear()
+		}
+		h.exit()
 		return val, true
 	}
 	v, ok = getValue(t.B, t.Off)
 	h.releaseSubstack(t.B, t.K)
-	eng.Done(h.tid) // finished with the batch's published chain
+	if hz := h.hz; hz != nil && hz.Tick() {
+		hz.Clear() // finished with the batch's published chain
+	}
+	h.exit()
 	return v, ok
 }
 
@@ -363,16 +385,17 @@ func (h *Handle[T]) Pop() (v T, ok bool) {
 // foreign thief's probe says nothing about the home threads' degree.
 func (h *Handle[T]) TryPop() (v T, ok, applied bool) {
 	h.enter()
-	defer h.exit()
 	eng := h.s.eng
 	t, applied := eng.TryPop(h.tid, eng.AggOf(h.tid))
 	if !applied {
+		h.exit()
 		return v, false, false
 	}
 	v, ok = getValue(t.B, t.Off)
 	h.releaseSubstack(t.B, t.K)
 	// No Done: TryPop announces on no shared batch, so the session's
 	// hazard was never published.
+	h.exit()
 	return v, ok, true
 }
 
@@ -388,7 +411,6 @@ func (h *Handle[T]) TryPop() (v T, ok, applied bool) {
 // eliminates, and feeds no adaptivity signal.
 func (h *Handle[T]) TryPush(v T) (applied bool) {
 	h.enter()
-	defer h.exit()
 	eng := h.s.eng
 	n := h.alloc(v)
 	if _, applied = eng.TryPush(h.tid, eng.AggOf(h.tid), n); !applied {
@@ -405,6 +427,7 @@ func (h *Handle[T]) TryPush(v T) (applied bool) {
 	}
 	// No Done: TryPush announces on no shared batch, so the session's
 	// hazard was never published.
+	h.exit()
 	return applied
 }
 
@@ -495,12 +518,13 @@ func (h *Handle[T]) releaseSubstack(b *secBatch[T], k int64) {
 // read of the top pointer, as in the paper.
 func (h *Handle[T]) Peek() (v T, ok bool) {
 	h.enter()
-	defer h.exit()
-	n := h.s.top.Load()
-	if n == nil {
-		return v, false
+	if n := h.s.top.Load(); n != nil {
+		// Read inside the critical section: under recycling the node
+		// may be scrubbed and reused the moment we exit.
+		v, ok = n.value, true
 	}
-	return n.value, true
+	h.exit()
+	return v, ok
 }
 
 // Len counts the elements currently on the shared stack; a racy

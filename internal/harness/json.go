@@ -21,8 +21,10 @@ import (
 // steal sweep's mirror of the Put-overflow counters, so the tables
 // show both balancing directions) and the p50_us/p99_us point fields
 // that served-throughput sweeps (cmd/secload driving a live secd)
-// emit.
-const Schema = "secbench/v5"
+// emit. v6 added the per-series implicit flag: true when every point
+// of the series was measured through the handle-free API (the per-P
+// implicit-session layer) rather than per-worker explicit handles.
+const Schema = "secbench/v6"
 
 // BenchDoc is the top-level JSON document for one figure or table: its
 // sweeps' throughput series and/or its degree tables.
@@ -38,6 +40,7 @@ type SeriesJSON struct {
 	Title    string      `json:"title"`
 	Workload string      `json:"workload,omitempty"`
 	Columns  []string    `json:"columns"`
+	Implicit bool        `json:"implicit"` // handle-free measurement (schema v6)
 	Points   []PointJSON `json:"points"`
 }
 
@@ -74,7 +77,7 @@ func NewBenchDoc(fig string) *BenchDoc {
 
 // AddSeries appends a sweep's series to the document.
 func (d *BenchDoc) AddSeries(s *Series) {
-	out := SeriesJSON{Title: s.Title, Columns: s.Columns}
+	out := SeriesJSON{Title: s.Title, Columns: s.Columns, Implicit: s.Implicit}
 	for _, t := range s.Threads() {
 		for _, c := range s.Columns {
 			r, ok := s.Cells[t][c]

@@ -18,6 +18,12 @@ type Series struct {
 	Columns []string
 	// Cells[threads][column] = result
 	Cells map[int]map[string]Result
+
+	// Implicit records that every point in the series was measured
+	// through the handle-free API (Config.Implicit); the secbench/v6
+	// JSON schema carries it so implicit and explicit series of the
+	// same figure stay distinguishable after export.
+	Implicit bool
 }
 
 // NewSeries returns an empty series with the given column order.
@@ -212,12 +218,14 @@ type SweepOptions struct {
 	Prefill  int
 	Runs     int
 	Drain    bool             // drain mode (see Config.Drain)
+	Implicit bool             // handle-free measurement (see Config.Implicit)
 	Progress func(msg string) // optional progress callback
 }
 
 // Sweep measures every (column, thread) point and returns the series.
 func Sweep(title string, o SweepOptions) *Series {
 	s := NewSeries(title, o.Columns)
+	s.Implicit = o.Implicit
 	for _, threads := range o.Ladder {
 		for _, col := range o.Columns {
 			cfg := Config{
@@ -228,6 +236,7 @@ func Sweep(title string, o SweepOptions) *Series {
 				Workload: o.Workload,
 				Runs:     o.Runs,
 				Drain:    o.Drain,
+				Implicit: o.Implicit,
 			}
 			r := Run(cfg, o.Factory(col))
 			s.Add(col, r)

@@ -52,6 +52,13 @@ type Config struct {
 	// empty-stack pops once the prefill is gone. Duration is ignored;
 	// Prefill sets the amount of work.
 	Drain bool
+
+	// Implicit drives the run through the handle-free API (s.Push /
+	// s.Pop / s.Peek on the structure itself) instead of a per-worker
+	// Register-ed handle, measuring the implicit-session layer's per-P
+	// cache end to end - session lookup included - against the explicit
+	// columns of the same sweep. Ignored in drain mode.
+	Implicit bool
 }
 
 func (c Config) withDefaults() Config {
@@ -176,8 +183,11 @@ func runOnce(cfg Config, s stack.Stack[int64], seed uint64) (int64, metrics.Snap
 		done.Add(1)
 		go func(t int) {
 			defer done.Done()
-			h := s.Register()
-			defer h.Close()
+			var h stack.Handle[int64]
+			if !cfg.Implicit {
+				h = s.Register()
+				defer h.Close()
+			}
 			rng := newWorkerRNG(seed, t)
 			base := int64(t+1) << 32
 			started.Done()
@@ -187,13 +197,28 @@ func runOnce(cfg Config, s stack.Stack[int64], seed uint64) (int64, metrics.Snap
 				// A small batch between stop checks keeps the check off
 				// the hot path without distorting the mix.
 				for i := 0; i < 64; i++ {
-					switch cfg.Workload.Pick(rng.Intn(100)) {
-					case OpPush:
-						h.Push(base | ops)
-					case OpPop:
-						h.Pop()
-					case OpPeek:
-						h.Peek()
+					op := cfg.Workload.Pick(rng.Intn(100))
+					if cfg.Implicit {
+						// Handle-free arm: every op resolves its session
+						// through the per-P cache, which is the cost under
+						// measurement.
+						switch op {
+						case OpPush:
+							s.Push(base | ops)
+						case OpPop:
+							s.Pop()
+						case OpPeek:
+							s.Peek()
+						}
+					} else {
+						switch op {
+						case OpPush:
+							h.Push(base | ops)
+						case OpPop:
+							h.Pop()
+						case OpPeek:
+							h.Peek()
+						}
 					}
 					ops++
 				}

@@ -1,0 +1,31 @@
+// Package procpin exposes the runtime's processor-pinning pair, the
+// same primitive sync.Pool uses to give each P a private poolLocal.
+//
+// Pin returns the id of the P the calling goroutine occupies and
+// disables preemption until Unpin, so the id cannot go stale while the
+// caller indexes a per-P slot array. The window between Pin and Unpin
+// must stay tiny and allocation-free: while it is open the scheduler
+// cannot run anything else on this P, and a GC can be held up waiting
+// for it. Callers index, swap one pointer, and unpin - the structure
+// operation itself runs unpinned.
+//
+// The identity is advisory the moment Unpin returns: the goroutine may
+// migrate immediately after. Correctness must never depend on staying
+// on the same P - only locality (cache-warm handles, same-aggregator
+// affinity) does.
+package procpin
+
+import (
+	_ "unsafe" // for go:linkname
+)
+
+// Pin disables preemption and returns the current P's id, in
+// [0, GOMAXPROCS). Must be paired with Unpin.
+//
+//go:linkname Pin runtime.procPin
+func Pin() int
+
+// Unpin re-enables preemption.
+//
+//go:linkname Unpin runtime.procUnpin
+func Unpin()

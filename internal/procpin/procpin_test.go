@@ -1,0 +1,43 @@
+package procpin
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestPinReturnsValidP(t *testing.T) {
+	p := Pin()
+	n := runtime.GOMAXPROCS(0)
+	Unpin()
+	if p < 0 || p >= n {
+		t.Fatalf("Pin() = %d, want in [0, %d)", p, n)
+	}
+}
+
+// TestPinHammer drives Pin/Unpin from more goroutines than Ps so the
+// scheduler migrates them across pins; every observed id must stay in
+// range and the race detector must stay quiet.
+func TestPinHammer(t *testing.T) {
+	n := runtime.GOMAXPROCS(0)
+	var wg sync.WaitGroup
+	for g := 0; g < 4*n; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10000; i++ {
+				p := Pin()
+				ok := p >= 0 && p < n
+				Unpin()
+				if !ok {
+					t.Errorf("Pin() = %d out of range [0, %d)", p, n)
+					return
+				}
+				if i%1024 == 0 {
+					runtime.Gosched()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

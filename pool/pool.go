@@ -36,18 +36,23 @@ import (
 
 	"secstack/internal/config"
 	"secstack/internal/core"
+	"secstack/internal/isession"
 	"secstack/internal/metrics"
 	"secstack/internal/tid"
 	"secstack/internal/xrand"
 )
 
-// Pool is a sharded concurrent object pool. Use Register to obtain
-// per-goroutine handles.
+// Pool is a sharded concurrent object pool. Register hands out
+// per-goroutine handles (the fast path for worker loops); the direct
+// Get/Put methods transparently reuse the calling P's cached handle,
+// so handle-free callers need no session management at all.
 type Pool[T any] struct {
 	shards   []*core.Stack[T]
 	tids     *tid.Allocator
 	overflow int          // Put-overflow threshold; 0 disables
 	m        *metrics.SEC // put- and get-steal counters (nil without WithMetrics)
+
+	cache *isession.Sessions[*Handle[T]]
 }
 
 // Option configures New; it is the shared option type of the whole
@@ -111,6 +116,16 @@ func WithRecycling() Option { return config.WithRecycling() }
 // degree counters Snapshot merges in.
 func WithMetrics() Option { return config.WithMetrics() }
 
+// WithImplicitSessions toggles the per-P affinity tier behind the
+// handle-free Get/Put methods (default on); see the stack package's
+// option of the same name.
+func WithImplicitSessions(on bool) Option { return config.WithImplicitSessions(on) }
+
+// WithAnnounceEvery sets the cached implicit sessions' amortized
+// hazard-announcement cadence (default 8; 1 restores the eager per-op
+// clear); see the stack package's option of the same name.
+func WithAnnounceEvery(k int) Option { return config.WithAnnounceEvery(k) }
+
 // New returns an empty pool.
 func New[T any](opts ...Option) *Pool[T] {
 	c := config.Resolve(opts)
@@ -143,7 +158,38 @@ func New[T any](opts ...Option) *Pool[T] {
 			CollectMetrics: c.CollectMetrics,
 		})
 	}
+	// Cached implicit handles publish their per-shard hazard slots once
+	// per AnnounceEvery ops (amortized announcement); explicit handles
+	// keep the eager per-op clear.
+	p.cache = isession.New(c.ImplicitAffinity, func() (*Handle[T], error) {
+		h, err := p.TryRegister()
+		if err != nil {
+			return nil, err
+		}
+		for _, sh := range h.handles {
+			sh.SetDoneCadence(c.AnnounceEvery)
+		}
+		return h, nil
+	}, func(h *Handle[T]) { h.Close() })
 	return p
+}
+
+// Put adds v to the pool through a cached per-P handle. Worker loops
+// should prefer an explicit Register-ed handle, which also carries the
+// overflow state that makes repeated Puts adaptive.
+func (p *Pool[T]) Put(v T) {
+	e := p.cache.Acquire()
+	e.H.Put(v)
+	p.cache.Release(e)
+}
+
+// Get removes and returns some element through a cached per-P handle;
+// ok is false only if every shard was observed empty.
+func (p *Pool[T]) Get() (v T, ok bool) {
+	e := p.cache.Acquire()
+	v, ok = e.H.Get()
+	p.cache.Release(e)
+	return v, ok
 }
 
 // Metrics returns the pool-level steal collector (Put-overflow and

@@ -183,6 +183,80 @@ func TestLinearizabilitySECVariants(t *testing.T) {
 	}
 }
 
+// runHistoryImplicit drives `threads` goroutines through the
+// handle-free API only - no Register anywhere - so every operation
+// borrows a cached per-P session from the implicit layer. Operations
+// of one goroutine may run on sessions cached by another (slot
+// scavenging, spill-pool handoff); the histories must linearize all
+// the same.
+func runHistoryImplicit(s stack.Stack[int64], threads, opsPer int, seed uint64) []lincheck.Op {
+	rec := lincheck.NewRecorder(threads)
+	var wg sync.WaitGroup
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			rng := xrand.New(seed + uint64(t)*7919)
+			base := int64(t+1) << 32
+			for i := 0; i < opsPer; i++ {
+				switch rng.Intn(4) {
+				case 0, 1:
+					v := base + int64(i)
+					inv := rec.Begin()
+					s.Push(v)
+					rec.RecordPush(t, v, inv)
+				case 2:
+					inv := rec.Begin()
+					v, ok := s.Pop()
+					rec.RecordPop(t, v, ok, inv)
+				default:
+					inv := rec.Begin()
+					v, ok := s.Peek()
+					rec.RecordPeek(t, v, ok, inv)
+				}
+			}
+		}(t)
+	}
+	wg.Wait()
+	return rec.History()
+}
+
+// TestLinearizabilityImplicitOnly checks histories driven exclusively
+// through the implicit API, across the SEC knobs the per-P session
+// cache interacts with (solo fast path, batch + node recycling, the
+// amortized announcement cadence) and with affinity off (spill-pool
+// borrows only). A tight MaxThreads forces slot scavenging into the
+// histories too.
+func TestLinearizabilityImplicitOnly(t *testing.T) {
+	variants := map[string][]stack.Option{
+		"Default":  nil,
+		"Adaptive": {stack.WithAdaptive(true), stack.WithBatchRecycling(true), stack.WithRecycling()},
+		"EagerAnnounce": {stack.WithAdaptive(true), stack.WithBatchRecycling(true),
+			stack.WithRecycling(), stack.WithAnnounceEvery(1)},
+		"NoAffinity": {stack.WithImplicitSessions(false)},
+		// MaxThreads == goroutine count: once every session is minted,
+		// an op landing on a P with an empty slot must scavenge one
+		// parked under another P instead of registering.
+		"TightCap": {stack.WithMaxThreads(4)},
+	}
+	for name, opt := range variants {
+		name, opt := name, opt
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			for r := 0; r < 20; r++ {
+				s := stack.NewSEC[int64](opt...)
+				h := runHistoryImplicit(s, 4, 4, uint64(r)*92821+7)
+				if !lincheck.CheckStack(h) {
+					for _, op := range h {
+						t.Logf("%s", op)
+					}
+					t.Fatalf("round %d: implicit-only history not linearizable", r)
+				}
+			}
+		})
+	}
+}
+
 // stealHandle is the steal-capable surface SEC handles
 // (internal/core.Handle) expose beyond the public Handle interface:
 // the single-CAS TryPush/TryPop primitives the pool's bidirectional

@@ -86,3 +86,22 @@ func WithServeLimit(h int) Option { return config.WithServeLimit(h) }
 // WithTimestampDelay sets the TS-interval stack's interval-widening
 // delay between a push's two clock reads (default 32; 0 disables).
 func WithTimestampDelay(d int) Option { return config.WithTimestampDelay(d) }
+
+// WithImplicitSessions toggles the per-P affinity tier behind the
+// handle-free Push/Pop/Peek methods (default on): an implicit op on
+// P k reuses P k's cached handle, so consecutive handle-free calls
+// keep the same session - same aggregator, same solo scratch batch -
+// instead of drawing a fresh one from a pool. Off, implicit ops fall
+// back to the spill-pool-only borrow path. The deque, pool and funnel
+// packages honour the same option for their handle-free APIs.
+func WithImplicitSessions(on bool) Option { return config.WithImplicitSessions(on) }
+
+// WithAnnounceEvery sets the amortized-announcement cadence of cached
+// implicit sessions: a cached handle publishes its reclamation hazard
+// slot once per k handle-free ops instead of once per op (default 8;
+// 1 restores the eager per-op clear). Larger cadences shave an atomic
+// store off the implicit hot path at the cost of an idle cached
+// session pinning at most one retired batch until its window closes -
+// the same bound the hazard scan already tolerates for a session
+// parked mid-operation.
+func WithAnnounceEvery(k int) Option { return config.WithAnnounceEvery(k) }

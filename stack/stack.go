@@ -43,15 +43,14 @@ package stack
 import (
 	"errors"
 	"fmt"
-	"runtime"
 	"strings"
-	"sync"
 
 	"secstack/internal/ccstack"
 	"secstack/internal/config"
 	"secstack/internal/core"
 	"secstack/internal/ebstack"
 	"secstack/internal/fcstack"
+	"secstack/internal/isession"
 	"secstack/internal/metrics"
 	"secstack/internal/treiber"
 	"secstack/internal/tsstack"
@@ -193,36 +192,14 @@ func NewByName[T any](a Algorithm, aggregators int) (Stack[T], bool) {
 	return s, err == nil
 }
 
-// sessions implements the implicit-handle convenience layer every
-// public stack type embeds: a sync.Pool of ready-to-use handles that
-// the direct Push/Pop/Peek methods borrow per call. Handles the pool
-// drops under GC pressure are closed by a runtime cleanup, so their
-// thread-id slots always flow back to the free list and the implicit
-// path can never leak MaxThreads capacity.
-type sessions[T any] struct {
-	register func() Handle[T]
-	pool     *sync.Pool
-}
-
-// pooled wraps a cached handle so a cleanup can be attached to the
-// wrapper's lifetime (the handle itself stays reachable from the
-// cleanup's argument).
-type pooled[T any] struct{ h Handle[T] }
-
-func makeSessions[T any](register func() Handle[T]) sessions[T] {
-	return sessions[T]{register: register, pool: &sync.Pool{}}
-}
-
-// Register returns a fresh Handle for the calling goroutine.
-func (s *sessions[T]) Register() Handle[T] { return s.register() }
-
-// TryRegister is Register with ErrExhausted in place of the exhaustion
-// panic. Every algorithm's registration panics with a "handles live"
-// message when MaxThreads handles are concurrently live (algorithms
-// without per-thread state never exhaust); TryRegister absorbs exactly
-// that panic, so it works uniformly across the registry without each
-// algorithm growing a second registration path.
-func (s *sessions[T]) TryRegister() (h Handle[T], err error) {
+// tryRegister adapts a panicking register closure into the
+// error-surfacing form isession and TryRegister need. Every
+// algorithm's registration panics with a "handles live" message when
+// MaxThreads handles are concurrently live (algorithms without
+// per-thread state never exhaust); this absorbs exactly that panic,
+// so it works uniformly across the registry without each algorithm
+// growing a second registration path.
+func tryRegister[T any](register func() Handle[T]) (h Handle[T], err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			if msg, ok := r.(string); ok && strings.Contains(msg, "handles live") {
@@ -232,82 +209,66 @@ func (s *sessions[T]) TryRegister() (h Handle[T], err error) {
 			panic(r)
 		}
 	}()
-	return s.register(), nil
+	return register(), nil
 }
 
-// borrow returns a cached handle for one implicit operation,
-// registering a fresh one on pool miss. Registration can transiently
-// fail with every MaxThreads slot held even though fewer operations are
-// in flight: sync.Pool is free to drop cached handles (it does so on
-// every GC, and aggressively under the race detector), and a dropped
-// handle's slot only returns once its cleanup has run. On exhaustion,
-// borrow forces a collection to flush those cleanups and retries; only
-// when that makes no progress - a genuine overload of MaxThreads
-// concurrent implicit operations - does it surface the algorithm's own
-// exhaustion panic.
-func (s *sessions[T]) borrow() *pooled[T] {
-	if v := s.pool.Get(); v != nil {
-		return v.(*pooled[T])
+// sessions implements the implicit-handle convenience layer every
+// public stack type embeds, on the shared per-P cache
+// (internal/isession): the direct Push/Pop/Peek methods reuse the
+// calling P's cached handle, so consecutive implicit ops keep the same
+// session id - same aggregator, same solo scratch batch - and the
+// engine's solo fast path stays hot. Handles the cache's spill tier
+// drops under GC pressure are closed by a runtime cleanup, so their
+// thread-id slots always flow back to the free list; the per-P tier
+// itself keeps up to GOMAXPROCS handles registered for the stack's
+// lifetime (see isession.Sessions).
+type sessions[T any] struct {
+	register func() Handle[T]
+	cache    *isession.Sessions[Handle[T]]
+}
+
+// makeSessions builds the implicit layer. implicitRegister mints the
+// handles the cache keeps (SEC uses it to set the amortized Done
+// cadence on cached handles without touching explicit ones); the
+// plain register stays the Register/TryRegister path.
+func makeSessions[T any](affinity bool, register, implicitRegister func() Handle[T]) sessions[T] {
+	return sessions[T]{
+		register: register,
+		cache: isession.New(affinity,
+			func() (Handle[T], error) { return tryRegister(implicitRegister) },
+			func(h Handle[T]) { h.Close() }),
 	}
-	for attempt := 0; attempt < 64; attempt++ {
-		if c := s.tryNew(); c != nil {
-			return c
-		}
-		runtime.GC() // queue cleanups of dropped pool entries
-		runtime.Gosched()
-		if v := s.pool.Get(); v != nil {
-			return v.(*pooled[T])
-		}
-	}
-	// Last attempt, unguarded: lets the algorithm's own exhaustion
-	// panic surface. Wrapped like every other pooled handle so that a
-	// success here cannot leak its slot either.
-	return newPooled(s.register())
 }
 
-// newPooled wraps a registered handle for pooling, attaching the
-// cleanup that closes it should the pool drop it.
-func newPooled[T any](h Handle[T]) *pooled[T] {
-	c := &pooled[T]{h: h}
-	runtime.AddCleanup(c, func(h Handle[T]) { h.Close() }, h)
-	return c
-}
+// Register returns a fresh Handle for the calling goroutine.
+func (s *sessions[T]) Register() Handle[T] { return s.register() }
 
-// tryNew registers a handle, absorbing the slot-exhaustion panic into
-// a nil return for borrow's retry loop. Every exhaustion panic in the
-// repository says "handles live"; anything else is a genuine bug and
-// is re-raised.
-func (s *sessions[T]) tryNew() (c *pooled[T]) {
-	defer func() {
-		if r := recover(); r != nil {
-			if msg, ok := r.(string); !ok || !strings.Contains(msg, "handles live") {
-				panic(r)
-			}
-		}
-	}()
-	return newPooled(s.register())
+// TryRegister is Register with ErrExhausted in place of the exhaustion
+// panic.
+func (s *sessions[T]) TryRegister() (Handle[T], error) {
+	return tryRegister(s.register)
 }
 
 // Push adds v to the top of the stack through a cached handle.
 func (s *sessions[T]) Push(v T) {
-	c := s.borrow()
-	c.h.Push(v)
-	s.pool.Put(c)
+	e := s.cache.Acquire()
+	e.H.Push(v)
+	s.cache.Release(e)
 }
 
 // Pop removes and returns the top element through a cached handle.
 func (s *sessions[T]) Pop() (v T, ok bool) {
-	c := s.borrow()
-	v, ok = c.h.Pop()
-	s.pool.Put(c)
+	e := s.cache.Acquire()
+	v, ok = e.H.Pop()
+	s.cache.Release(e)
 	return v, ok
 }
 
 // Peek returns the top element through a cached handle.
 func (s *sessions[T]) Peek() (v T, ok bool) {
-	c := s.borrow()
-	v, ok = c.h.Peek()
-	s.pool.Put(c)
+	e := s.cache.Acquire()
+	v, ok = e.H.Peek()
+	s.cache.Release(e)
 	return v, ok
 }
 
@@ -334,7 +295,16 @@ func NewSEC[T any](opts ...Option) *SECStack[T] {
 		Adaptive:       c.Adaptive,
 		BatchRecycle:   c.BatchRecycle,
 	})}
-	st.sessions = makeSessions[T](func() Handle[T] { return st.s.Register() })
+	register := func() Handle[T] { return st.s.Register() }
+	// Cached implicit handles publish their hazard slot once per
+	// AnnounceEvery ops (amortized announcement); explicit handles keep
+	// the eager per-op clear unless the caller opts in.
+	implicit := func() Handle[T] {
+		h := st.s.Register()
+		h.SetDoneCadence(c.AnnounceEvery)
+		return h
+	}
+	st.sessions = makeSessions[T](c.ImplicitAffinity, register, implicit)
 	return st
 }
 
@@ -348,41 +318,41 @@ func (s *SECStack[T]) Len() int { return s.s.Len() }
 // wrapped adapts any registerable implementation to Stack.
 type wrapped[T any] struct{ sessions[T] }
 
-func wrap[T any](register func() Handle[T]) Stack[T] {
-	return &wrapped[T]{makeSessions(register)}
+func wrap[T any](c config.Config, register func() Handle[T]) Stack[T] {
+	return &wrapped[T]{makeSessions(c.ImplicitAffinity, register, register)}
 }
 
 // NewTreiber returns Treiber's lock-free CAS stack (TRB).
 func NewTreiber[T any](opts ...Option) Stack[T] {
 	c := config.Resolve(opts)
 	s := treiber.New[T](treiber.WithBackoff(c.BackoffMin, c.BackoffMax))
-	return wrap(func() Handle[T] { return s.Register() })
+	return wrap(c, func() Handle[T] { return s.Register() })
 }
 
 // NewEB returns the elimination-backoff stack (EB).
 func NewEB[T any](opts ...Option) Stack[T] {
 	c := config.Resolve(opts)
 	s := ebstack.New[T](ebstack.WithArraySize(c.ElimArraySize), ebstack.WithPatience(c.ElimPatience))
-	return wrap(func() Handle[T] { return s.Register() })
+	return wrap(c, func() Handle[T] { return s.Register() })
 }
 
 // NewFC returns the flat-combining stack (FC).
 func NewFC[T any](opts ...Option) Stack[T] {
 	c := config.Resolve(opts)
 	s := fcstack.New[T](fcstack.WithCombinerRounds(c.CombinerRounds))
-	return wrap(func() Handle[T] { return s.Register() })
+	return wrap(c, func() Handle[T] { return s.Register() })
 }
 
 // NewCC returns the CC-Synch combining stack (CC).
 func NewCC[T any](opts ...Option) Stack[T] {
 	c := config.Resolve(opts)
 	s := ccstack.New[T](ccstack.WithServeLimit(c.ServeLimit))
-	return wrap(func() Handle[T] { return s.Register() })
+	return wrap(c, func() Handle[T] { return s.Register() })
 }
 
 // NewTSI returns the interval timestamped stack (TSI).
 func NewTSI[T any](opts ...Option) Stack[T] {
 	c := config.Resolve(opts)
 	s := tsstack.New[T](tsstack.WithMaxThreads(c.MaxThreads), tsstack.WithDelay(c.TimestampDelay))
-	return wrap(func() Handle[T] { return s.Register() })
+	return wrap(c, func() Handle[T] { return s.Register() })
 }
