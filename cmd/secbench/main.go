@@ -9,6 +9,7 @@
 //	secbench -fig adaptive    # adaptivity ablation: solo fast path + batch recycling vs stock SEC and TRB
 //	secbench -fig spin        # freezer-backoff ablation: fixed FreezerSpin ladder vs the adaptive controller
 //	secbench -fig implicit    # handle-free ablation: per-P implicit sessions vs explicit handles vs spill-only
+//	secbench -fig elastic     # elastic-pool ablation: static shard count vs the elastic controller, with live_shards per rung
 //	secbench -table 1         # Table 1: degree/occupancy tables, Emerald
 //	secbench -all             # everything
 //	secbench -all -paper      # paper-fidelity settings (5s x 5 runs)
@@ -25,7 +26,7 @@
 // counters of the bidirectional load-balancing work).
 //
 // With -json, each figure or table is also written as one
-// machine-readable BENCH_<fig>.json document (schema secbench/v6; see
+// machine-readable BENCH_<fig>.json document (schema secbench/v7; see
 // internal/harness/json.go for the version history).
 package main
 
@@ -39,6 +40,7 @@ import (
 	"time"
 
 	"secstack/internal/harness"
+	"secstack/pool"
 	"secstack/stack"
 )
 
@@ -113,7 +115,7 @@ func writeDoc(st settings, doc *harness.BenchDoc) {
 
 func main() {
 	var (
-		fig     = flag.String("fig", "", "figure to regenerate: 2a, 2b, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, adaptive, spin, implicit")
+		fig     = flag.String("fig", "", "figure to regenerate: 2a, 2b, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, adaptive, spin, implicit, elastic")
 		table   = flag.Int("table", 0, "table to regenerate: 1, 2, 3")
 		all     = flag.Bool("all", false, "regenerate every figure and table")
 		paper   = flag.Bool("paper", false, "paper-fidelity settings: 5s windows, 5 runs")
@@ -241,7 +243,7 @@ func aggColumns() ([]string, func(string) harness.Factory) {
 func runFig(fig string, st settings) {
 	name := "fig" + fig
 	switch fig {
-	case "adaptive", "spin", "implicit":
+	case "adaptive", "spin", "implicit", "elastic":
 		// The ablations are not paper figures; their JSON documents are
 		// named after the ablation itself (BENCH_implicit.json, ...).
 		name = fig
@@ -276,6 +278,8 @@ func runFig(fig string, st settings) {
 		figSpin("Spin", harness.Emerald, st, doc)
 	case "implicit":
 		figImplicit("Implicit", st, doc)
+	case "elastic":
+		figElastic("Elastic", st, doc)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown figure %q\n", fig)
 		os.Exit(2)
@@ -437,7 +441,7 @@ func figSpin(title string, m harness.Machine, st settings, doc *harness.BenchDoc
 //	SEC_spill    - the handle-free API with affinity off (spill-pool
 //	               borrows only, the pre-affinity implementation)
 //
-// Each arm is its own sweep/series so the secbench/v6 per-series
+// Each arm is its own sweep/series so the secbench/v7 per-series
 // implicit flag stays honest in the JSON export. The ladder is the
 // contention ladder of BenchmarkImplicitVsHandle (solo, small group,
 // machine-wide, oversubscribed) rather than a paper machine ladder:
@@ -480,6 +484,70 @@ func figImplicit(title string, st settings, doc *harness.BenchDoc) {
 			Progress: progress(st),
 		})
 		emit(s, st, doc)
+	}
+}
+
+// figElastic renders the elastic-pool ablation: the static default
+// shard count against the same pool with the elastic controller
+// enabled, over the implicit ablation's contention ladder (solo, small
+// group, machine-wide, oversubscribed) under 100% updates. The elastic
+// arm additionally emits one degree row per rung whose live_shards
+// gauge (the widest window the rung reached) and grow/shrink/migration
+// counters show the controller moving in both directions: shrunk to
+// one shard at degree 1, widened under the saturating rungs.
+func figElastic(title string, st settings, doc *harness.BenchDoc) {
+	ladder := []int{1, 2, 4}
+	if p := runtime.GOMAXPROCS(0); p > 4 {
+		ladder = append(ladder, p)
+	}
+	if over := 4 * runtime.GOMAXPROCS(0); over > ladder[len(ladder)-1] {
+		ladder = append(ladder, over)
+	}
+	// Rungs past the live window's session budget (16 sessions per
+	// live shard), so the load-gauge grow signal fires organically
+	// even on hosts too small for steal-miss pressure: 24 sessions
+	// carry one live shard to two, 40 carry two to three.
+	for _, over := range []int{24, 40} {
+		if over > ladder[len(ladder)-1] {
+			ladder = append(ladder, over)
+		}
+	}
+	arms := []struct {
+		col  string
+		opts []pool.Option
+	}{
+		{"pool_static", nil},
+		// A short controller period relative to the measurement window,
+		// so the trajectory is visible even under -quick runs.
+		{"pool_elastic", []pool.Option{pool.WithElasticShards(true), pool.WithElasticPeriod(512)}},
+	}
+	var rows []harness.DegreeRow
+	for _, arm := range arms {
+		s := harness.NewSeries(fmt.Sprintf("%s %s, %s", title, arm.col, harness.Update100.Name), []string{arm.col})
+		for _, threads := range ladder {
+			cfg := harness.Config{
+				Label:    arm.col,
+				Threads:  threads,
+				Duration: st.duration,
+				Prefill:  st.prefill,
+				Workload: harness.Update100,
+				Runs:     st.runs,
+			}
+			r := harness.RunPoolOpts(cfg, arm.opts...)
+			s.Add(arm.col, r)
+			if pr := progress(st); pr != nil {
+				pr(fmt.Sprintf("%s %s threads=%d: %.2f Mops/s live=%d", title, arm.col, threads, r.Mops, r.Degrees.LiveShards))
+			}
+			if len(arm.opts) > 0 {
+				rows = append(rows, harness.DegreeRowFrom(fmt.Sprintf("t=%d", threads), r.Degrees))
+			}
+		}
+		emit(s, st, doc)
+	}
+	tbl := "Elastic pool trajectory (elastic arm, per rung)"
+	fmt.Println(harness.DegreeTable(tbl, rows))
+	if doc != nil {
+		doc.AddTable(tbl, "pool", rows)
 	}
 }
 

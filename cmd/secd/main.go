@@ -36,8 +36,9 @@ func main() {
 		alg      = flag.String("alg", string(stack.SEC), "served stack algorithm (see -list)")
 		maxconns = flag.Int("maxconns", 256, "live-connection bound (the engines' MaxThreads)")
 		aggs     = flag.Int("aggregators", 2, "stack/funnel aggregator count")
-		shards   = flag.Int("shards", 4, "pool shard count")
+		shards   = flag.Int("shards", 4, "pool shard count (the ceiling under -elastic)")
 		adaptive = flag.Bool("adaptive", true, "enable engine contention adaptivity and batch recycling")
+		elastic  = flag.Bool("elastic", false, "enable the pool's elastic shard controller, fed by the live-session gauge")
 		drain    = flag.Duration("drain", 5*time.Second, "graceful-drain budget on SIGTERM")
 		list     = flag.Bool("list", false, "list the servable algorithm registry and exit")
 	)
@@ -56,6 +57,7 @@ func main() {
 		Aggregators: *aggs,
 		Shards:      *shards,
 		Adaptive:    *adaptive,
+		Elastic:     *elastic,
 	}
 	srv, err := secd.New(cfg)
 	if err != nil {

@@ -8,7 +8,7 @@
 //	secload -conns 64 -duration 2s                 # one rung, mixed ops
 //	secload -conns 8,64,256 -duration 2s -mix pool # a connection ladder
 //	secload -json out/                             # also write BENCH_served.json
-//	                                               # (schema secbench/v6, same
+//	                                               # (schema secbench/v7, same
 //	                                               # point layout as secbench)
 //
 // Every connection performs the wire handshake (so over-capacity rungs
@@ -314,7 +314,7 @@ func expectIdle(addr string) error {
 }
 
 // writeJSON emits the ladder as BENCH_served.json with the same point
-// schema secbench writes (secbench/v6).
+// schema secbench writes (secbench/v7).
 func writeJSON(dir, title, label, workload string, pts []harness.ServedPoint) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err

@@ -1141,6 +1141,20 @@ func (e *Engine[S, P]) soloMode(agg int) bool {
 	return e.ctl[agg].mode.Load() == modeSolo
 }
 
+// SoloMode is the exported readout of aggregator agg's adaptive mode
+// bit, for cross-layer controllers (the pool's elastic shard scaler
+// reads it to detect shards with no recent contention). Always false
+// when the solo fast path is disabled.
+func (e *Engine[S, P]) SoloMode(agg int) bool { return e.soloMode(agg) }
+
+// DegreeEWMA reports aggregator agg's batch-degree EWMA in operations
+// per batch - the same contention estimate the engine's own mode
+// hysteresis and shard scaling read, converted out of its internal
+// fixed point.
+func (e *Engine[S, P]) DegreeEWMA(agg int) float64 {
+	return float64(e.ctl[agg].ewma.Load()) / degreeUnit
+}
+
 func (e *Engine[S, P]) soloHit(agg int) {
 	c := &e.ctl[agg]
 	c.fastHits.Add(1)

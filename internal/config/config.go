@@ -78,6 +78,22 @@ type Config struct {
 	// and pins every Put to its home shard. Default 2.
 	PutOverflow int
 
+	// ElasticShards enables the pool's elastic shard controller: the
+	// live shard window [0, liveK) moves within the constructed Shards
+	// maximum, grown under sustained bidirectional steal-miss pressure
+	// (or a high external load signal) and shrunk - through a
+	// drain/fence protocol - while every live shard sits in solo mode
+	// with idle steal counters. Implies Adaptive for the pool's shards
+	// (the shrink signal reads their solo-mode bits). Default off.
+	ElasticShards bool
+
+	// ElasticPeriod is the elastic controller's op cadence: each pool
+	// handle counts its own Put/Get calls and runs one controller pass
+	// per ElasticPeriod ops (amortized, try-locked - no background
+	// goroutine). Smaller periods converge faster but evaluate signals
+	// over noisier windows. Values < 1 clamp to 1. Default 2048.
+	ElasticPeriod int
+
 	// Initial is the funnel counter's starting value.
 	Initial int64
 
@@ -133,6 +149,7 @@ func Default() Config {
 		FreezerSpin:    128,
 		Shards:         4,
 		PutOverflow:    2,
+		ElasticPeriod:  2048,
 		BackoffMin:     4,
 		BackoffMax:     1024,
 		ElimArraySize:  16,
@@ -234,6 +251,22 @@ func WithShards(n int) Option {
 // values clamp to 0.
 func WithPutOverflow(threshold int) Option {
 	return func(c *Config) { c.PutOverflow = max(threshold, 0) }
+}
+
+// WithElasticShards toggles the pool's elastic shard controller:
+// WithShards becomes a ceiling and the live shard window grows under
+// sustained steal-miss pressure and shrinks (drain, then fence) when
+// every live shard runs solo with idle steal counters. Implies
+// WithAdaptive(true) for the pool's shards.
+func WithElasticShards(on bool) Option {
+	return func(c *Config) { c.ElasticShards = on }
+}
+
+// WithElasticPeriod sets the elastic controller's op cadence: one
+// controller pass per k Put/Get calls of each handle. Values below 1
+// clamp to 1.
+func WithElasticPeriod(k int) Option {
+	return func(c *Config) { c.ElasticPeriod = max(k, 1) }
 }
 
 // WithInitial sets the funnel counter's starting value.

@@ -547,3 +547,28 @@ func (s *Stack[T]) EffectiveAggregators() int { return s.eng.EffectiveAggregator
 // RegisteredThreads reports how many handles are currently live
 // (registered and not yet closed).
 func (s *Stack[T]) RegisteredThreads() int { return s.eng.InUse() }
+
+// DegreeEWMA reports the mean batch-degree EWMA across the stack's
+// effective aggregators, in operations per batch - the per-shard
+// contention estimate the pool's elastic controller reads.
+func (s *Stack[T]) DegreeEWMA() float64 {
+	k := s.eng.EffectiveAggregators()
+	sum := 0.0
+	for i := 0; i < k; i++ {
+		sum += s.eng.DegreeEWMA(i)
+	}
+	return sum / float64(k)
+}
+
+// Solo reports whether every effective aggregator currently runs the
+// solo fast path - the stack has seen no recent contention. Always
+// false when Adaptive is off.
+func (s *Stack[T]) Solo() bool {
+	k := s.eng.EffectiveAggregators()
+	for i := 0; i < k; i++ {
+		if !s.eng.SoloMode(i) {
+			return false
+		}
+	}
+	return true
+}

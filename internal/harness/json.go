@@ -24,7 +24,10 @@ import (
 // emit. v6 added the per-series implicit flag: true when every point
 // of the series was measured through the handle-free API (the per-P
 // implicit-session layer) rather than per-worker explicit handles.
-const Schema = "secbench/v6"
+// v7 added live_shards/shard_grows/shard_shrinks/migrated to degree
+// rows: the elastic pool controller's live-window gauge (the widest
+// window the rung reached) and its resize/drain-migration counters.
+const Schema = "secbench/v7"
 
 // BenchDoc is the top-level JSON document for one figure or table: its
 // sweeps' throughput series and/or its degree tables.

@@ -123,6 +123,10 @@ type DegreeRow struct {
 	GetStealHits   int64   `json:"get_steal_hits"`
 	GetStealMisses int64   `json:"get_steal_misses"`
 	SpinInherits   int64   `json:"spin_inherits"`
+	LiveShards     int     `json:"live_shards"`
+	ShardGrows     int64   `json:"shard_grows"`
+	ShardShrinks   int64   `json:"shard_shrinks"`
+	Migrated       int64   `json:"migrated"`
 }
 
 // DegreeRowFrom fills a row from a degree snapshot.
@@ -142,6 +146,10 @@ func DegreeRowFrom(workload string, s metrics.Snapshot) DegreeRow {
 		GetStealHits:   s.GetStealHits,
 		GetStealMisses: s.GetStealMisses,
 		SpinInherits:   s.SpinInherits,
+		LiveShards:     s.LiveShards,
+		ShardGrows:     s.ShardGrows,
+		ShardShrinks:   s.ShardShrinks,
+		Migrated:       s.Migrated,
 	}
 }
 
@@ -203,6 +211,21 @@ func DegreeTable(title string, rows []DegreeRow) string {
 	fmt.Fprintf(&b, "%-18s", "SpinInherits")
 	for _, r := range rows {
 		fmt.Fprintf(&b, " %10d", r.SpinInherits)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%-18s", "LiveShards")
+	for _, r := range rows {
+		fmt.Fprintf(&b, " %10d", r.LiveShards)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%-18s", "Grow/Shrink")
+	for _, r := range rows {
+		fmt.Fprintf(&b, " %10s", fmt.Sprintf("%d/%d", r.ShardGrows, r.ShardShrinks))
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%-18s", "Migrated")
+	for _, r := range rows {
+		fmt.Fprintf(&b, " %10d", r.Migrated)
 	}
 	b.WriteByte('\n')
 	return b.String()

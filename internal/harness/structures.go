@@ -155,14 +155,22 @@ func RunDeque(cfg Config) Result {
 // put-steal columns are live exactly when overflow engages; the
 // snapshot merges the pool-level steal counters with the shards'
 // engine degrees.
-func RunPool(cfg Config) Result {
+func RunPool(cfg Config) Result { return RunPoolOpts(cfg) }
+
+// RunPoolOpts is RunPool with extra pool options appended after the
+// harness baseline, so figure drivers can measure configuration arms -
+// the elastic ladder passes WithElasticShards(true) here. MaxThreads
+// is sized for the workers plus the prefill handle plus the elastic
+// controller's internal drain handle.
+func RunPoolOpts(cfg Config, opts ...pool.Option) Result {
 	return runStructure(cfg, func(cfg Config) (func(t int) structureOps, func() metrics.Snapshot) {
-		p := pool.New[int64](
+		base := []pool.Option{
 			pool.WithMetrics(),
-			pool.WithMaxThreads(cfg.Threads+1),
+			pool.WithMaxThreads(cfg.Threads + 2),
 			pool.WithAdaptive(true),
 			pool.WithBatchRecycling(true),
-		)
+		}
+		p := pool.New[int64](append(base, opts...)...)
 		if cfg.Prefill > 0 {
 			h := p.Register()
 			for i := 0; i < cfg.Prefill; i++ {

@@ -31,7 +31,10 @@ type shard struct {
 	getStealHits atomic.Int64 // Gets that stole an element from a foreign shard via TryPop
 	getStealMiss atomic.Int64 // steal sweeps that hit only contention and escalated
 	spinInherits atomic.Int64 // shard-scaling grows that seeded this shard's controller
-	_            [2*pad.CacheLine - 15*8]byte
+	shardGrows   atomic.Int64 // elastic grows that turned this shard live
+	shardShrinks atomic.Int64 // elastic shrinks that began draining this shard
+	migrated     atomic.Int64 // elements drained off this shard during shrink
+	_            [3*pad.CacheLine - 18*8]byte
 }
 
 // SEC aggregates per-aggregator statistics for a SEC stack instance.
@@ -164,6 +167,31 @@ func (m *SEC) RecordSpinInherit(agg int) {
 	m.shards[agg].spinInherits.Add(1)
 }
 
+// RecordResize tallies one elastic pool resize against shard agg:
+// grow=true is a grow that turned shard agg live (it rejoins the
+// homing window), grow=false a shrink that began draining it. The pool
+// is the only caller.
+func (m *SEC) RecordResize(agg int, grow bool) {
+	if m == nil {
+		return
+	}
+	if grow {
+		m.shards[agg].shardGrows.Add(1)
+	} else {
+		m.shards[agg].shardShrinks.Add(1)
+	}
+}
+
+// RecordMigrate tallies n elements drained off retiring shard agg by
+// the elastic controller's TryPop migration sweep. The pool is the
+// only caller.
+func (m *SEC) RecordMigrate(agg, n int) {
+	if m == nil || n == 0 {
+		return
+	}
+	m.shards[agg].migrated.Add(int64(n))
+}
+
 // RecordFastPath tallies one solo fast-path attempt of aggregator agg:
 // a hit applied the operation directly (bypassing the batch protocol
 // entirely - such operations never appear in Ops), a miss detected
@@ -198,6 +226,15 @@ type Snapshot struct {
 	GetStealHits   int64
 	GetStealMisses int64
 	SpinInherits   int64
+	ShardGrows     int64
+	ShardShrinks   int64
+	Migrated       int64
+
+	// LiveShards is the pool's live shard window size at snapshot time
+	// (0 for non-pool snapshots). Unlike the counters it is a gauge:
+	// Accumulate keeps the maximum rather than the sum, so a ladder
+	// rung's merged snapshot reports the widest window the run reached.
+	LiveShards int
 }
 
 // Accumulate adds other's counters into s, for callers aggregating
@@ -218,6 +255,10 @@ func (s *Snapshot) Accumulate(other Snapshot) {
 	s.GetStealHits += other.GetStealHits
 	s.GetStealMisses += other.GetStealMisses
 	s.SpinInherits += other.SpinInherits
+	s.ShardGrows += other.ShardGrows
+	s.ShardShrinks += other.ShardShrinks
+	s.Migrated += other.Migrated
+	s.LiveShards = max(s.LiveShards, other.LiveShards)
 }
 
 // Snapshot sums all shards. It is safe to call concurrently with
@@ -245,6 +286,9 @@ func (m *SEC) Snapshot() Snapshot {
 		out.GetStealHits += s.getStealHits.Load()
 		out.GetStealMisses += s.getStealMiss.Load()
 		out.SpinInherits += s.spinInherits.Load()
+		out.ShardGrows += s.shardGrows.Load()
+		out.ShardShrinks += s.shardShrinks.Load()
+		out.Migrated += s.migrated.Load()
 	}
 	return out
 }
@@ -271,6 +315,9 @@ func (m *SEC) Reset() {
 		s.getStealHits.Store(0)
 		s.getStealMiss.Store(0)
 		s.spinInherits.Store(0)
+		s.shardGrows.Store(0)
+		s.shardShrinks.Store(0)
+		s.migrated.Store(0)
 	}
 }
 

@@ -62,6 +62,11 @@ type Config struct {
 	// recycling (DESIGN.md §8): idle connections cost one CAS per op,
 	// fan-in freezes batches. On by default in cmd/secd.
 	Adaptive bool
+	// Elastic enables the pool's elastic shard controller (Shards
+	// becomes the ceiling) and wires the server's live-session gauge in
+	// as its external grow signal, so a connection wave widens the pool
+	// before steal convoys form (DESIGN.md §13).
+	Elastic bool
 }
 
 func (c Config) withDefaults() Config {
@@ -116,6 +121,9 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("secd: %w", err)
 	}
 	poolOpts := append([]pool.Option{pool.WithShards(cfg.Shards)}, common...)
+	if cfg.Elastic {
+		poolOpts = append(poolOpts, pool.WithElasticShards(true))
+	}
 	fnOpts := append([]funnel.Option{}, common...)
 	s := &Server{
 		cfg:   cfg,
@@ -124,6 +132,12 @@ func New(cfg Config) (*Server, error) {
 		fn:    funnel.New(fnOpts...),
 		m:     metrics.NewServer(wire.NumOps),
 		conns: make(map[net.Conn]struct{}),
+	}
+	if cfg.Elastic {
+		// One session per connection, so the live-session gauge is the
+		// offered parallelism: the controller grows the pool toward the
+		// connection count without waiting for steal misses.
+		s.pl.SetLoadSignal(func() int { return int(s.m.Sessions()) })
 	}
 	s.banner = Banner(cfg)
 	return s, nil

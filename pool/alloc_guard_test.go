@@ -47,6 +47,42 @@ func TestAllocCeilingPutOverflowHit(t *testing.T) {
 	}
 }
 
+// TestAllocCeilingElasticSteadyState: with the elastic controller
+// armed and firing every few ops (period 64, far below the default so
+// the measured window spans dozens of controller passes), a settled
+// degree-1 pool must still cycle Put/Get allocation-free: the sync
+// tick is two atomic loads and a counter, and an idle controller pass
+// is a TryLock plus delta arithmetic - no window movement, no drain
+// handle churn, no allocation.
+func TestAllocCeilingElasticSteadyState(t *testing.T) {
+	p := New[int64](
+		WithShards(4),
+		WithElasticShards(true),
+		WithElasticPeriod(64),
+		WithBatchRecycling(true),
+		WithRecycling(),
+	)
+	h := p.Register()
+	defer h.Close()
+	for i := int64(0); i < 4096; i++ { // settle EBR epochs, free lists, controller streaks
+		h.Put(i)
+		h.Get()
+	}
+	if got := p.LiveShards(); got != 1 {
+		t.Fatalf("LiveShards = %d after degree-1 warmup, want settled at 1", got)
+	}
+	avg := testing.AllocsPerRun(2000, func() {
+		h.Put(7)
+		if _, ok := h.Get(); !ok {
+			t.Fatal("elastic steady-state cycle lost its element")
+		}
+	})
+	if avg > putOverflowCeiling {
+		t.Fatalf("elastic steady-state Put/Get cycle allocates %.3f allocs/op, ceiling %.2f",
+			avg, putOverflowCeiling)
+	}
+}
+
 // TestAllocCeilingPutSoloHome: the common case - an uncontended Put is
 // one TryPush CAS on the home shard, likewise allocation-free with
 // node recycling on.

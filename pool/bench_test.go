@@ -77,3 +77,36 @@ func BenchmarkPutOverflow(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkElasticOverhead is the elastic controller's degree-1 tax
+// (DESIGN.md §13, gated at <=5% ns/op over static): identical settled
+// solo Put/Get cycles, the only difference being the armed controller
+// - the per-op sync() check plus one try-locked idle pass per period.
+// The elastic arm runs the default period (2048) and a deliberately
+// hot one (64) so the pass cost itself is visible; all arms claim
+// 0 allocs/op.
+func BenchmarkElasticOverhead(b *testing.B) {
+	run := func(b *testing.B, opts ...Option) {
+		p := New[int64](append([]Option{
+			WithShards(4),
+			WithAdaptive(true),
+			WithBatchRecycling(true),
+			WithRecycling(),
+		}, opts...)...)
+		h := p.Register()
+		defer h.Close()
+		for i := int64(0); i < 4096; i++ { // settle recycling and controller streaks
+			h.Put(i)
+			h.Get()
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h.Put(int64(i))
+			h.Get()
+		}
+	}
+	b.Run("static", func(b *testing.B) { run(b) })
+	b.Run("elastic", func(b *testing.B) { run(b, WithElasticShards(true)) })
+	b.Run("elastic_hot", func(b *testing.B) { run(b, WithElasticShards(true), WithElasticPeriod(64)) })
+}
