@@ -40,6 +40,8 @@ func main() {
 		adaptive = flag.Bool("adaptive", true, "enable engine contention adaptivity and batch recycling")
 		elastic  = flag.Bool("elastic", false, "enable the pool's elastic shard controller, fed by the live-session gauge")
 		drain    = flag.Duration("drain", 5*time.Second, "graceful-drain budget on SIGTERM")
+		readIdle = flag.Duration("read-idle", 2*time.Minute, "evict a session idle past this budget (0 disables)")
+		wstall   = flag.Duration("write-stall", 10*time.Second, "evict a session whose reply flush stalls past this budget (0 disables)")
 		list     = flag.Bool("list", false, "list the servable algorithm registry and exit")
 	)
 	flag.Parse()
@@ -58,6 +60,16 @@ func main() {
 		Shards:      *shards,
 		Adaptive:    *adaptive,
 		Elastic:     *elastic,
+		ReadIdle:    *readIdle,
+		WriteStall:  *wstall,
+	}
+	// On the Config, zero means "default" and negative disables; the
+	// flags' documented contract is that 0 disables.
+	if *readIdle == 0 {
+		cfg.ReadIdle = -1
+	}
+	if *wstall == 0 {
+		cfg.WriteStall = -1
 	}
 	srv, err := secd.New(cfg)
 	if err != nil {
@@ -99,8 +111,9 @@ func main() {
 	}
 
 	m := srv.Metrics()
-	fmt.Printf("secd: drained; peak sessions %d, rejected %d, ops served %d\n",
-		m.PeakSessions(), m.Rejected(), m.TotalOps())
+	snap := m.Snapshot()
+	fmt.Printf("secd: drained; peak sessions %d, rejected %d, ops served %d, evicted %d, panics recovered %d, retries observed %d\n",
+		snap.PeakSessions, snap.Rejected, snap.TotalOps, snap.Evictions, snap.PanicsRecovered, snap.RetriesObserved)
 	for op := wire.Op(1); op < wire.NumOps; op++ {
 		st := m.Op(int(op))
 		if st.Count == 0 {

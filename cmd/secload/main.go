@@ -8,24 +8,38 @@
 //	secload -conns 64 -duration 2s                 # one rung, mixed ops
 //	secload -conns 8,64,256 -duration 2s -mix pool # a connection ladder
 //	secload -json out/                             # also write BENCH_served.json
-//	                                               # (schema secbench/v7, same
+//	                                               # (schema secbench/v8, same
 //	                                               # point layout as secbench)
+//	secload -chaos -retries 8 -expect-idle         # route the load through an
+//	                                               # in-process fault-injection
+//	                                               # proxy (internal/chaosproxy)
 //
-// Every connection performs the wire handshake (so over-capacity rungs
-// surface as busy counts, not errors), then issues one operation at a
-// time until the window closes. Throughput counts completed replies;
-// protocol errors - unexpected statuses, broken frames - make secload
-// exit nonzero, which is what the CI loopback smoke asserts. With
-// -expect-idle, secload verifies after the rungs that the server's
-// live-session gauge has drained back to just the checking connection,
-// i.e. connection churn leaked no handle slots.
+// Every connection is an internal/secclient client: it performs the
+// wire handshake (so over-capacity rungs surface as busy counts, not
+// errors), then issues one operation at a time until the window
+// closes, reconnecting and retrying per the -retries budget when the
+// transport fails under it. Throughput counts acknowledged replies;
+// protocol errors - unexpected statuses, broken frames - and
+// operations lost with the retry budget exhausted make secload exit
+// nonzero, which is what the CI smokes assert. With -expect-idle,
+// secload verifies after the rungs that the server's live-session
+// gauge has drained back to just the checking connection, i.e.
+// connection churn (chaotic or not) leaked no handle slots.
+//
+// -chaos interposes a chaosproxy between the load and -addr: per
+// relayed chunk it can drop the connection, truncate a frame
+// mid-stream, or delay delivery (-chaos-drop/-chaos-trunc/
+// -chaos-delay tune the per-chunk probabilities). The retry machinery
+// must absorb all of it: the run fails unless every operation is
+// eventually acknowledged (lost == 0) with zero protocol errors. The
+// idle check always dials the server directly, after the proxy is
+// closed, so severed relays cannot mask a leak.
 package main
 
 import (
-	"bufio"
+	"errors"
 	"flag"
 	"fmt"
-	"net"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -34,8 +48,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"secstack/internal/chaosproxy"
 	"secstack/internal/harness"
 	"secstack/internal/metrics"
+	"secstack/internal/secclient"
 	"secstack/internal/wire"
 	"secstack/internal/xrand"
 )
@@ -109,6 +125,13 @@ func main() {
 		jsonDir  = flag.String("json", "", "directory to write BENCH_served.json into")
 		idle     = flag.Bool("expect-idle", false, "after the rungs, verify the server's session gauge drained to this client alone")
 		seed     = flag.Uint64("seed", 0x5ecd, "base RNG seed for the op streams")
+		retries  = flag.Int("retries", 3, "per-op retry budget after the first attempt")
+		reqTO    = flag.Duration("request-timeout", 5*time.Second, "per-attempt request deadline")
+
+		chaos      = flag.Bool("chaos", false, "route the load through an in-process fault-injection proxy")
+		chaosDrop  = flag.Float64("chaos-drop", 0.01, "with -chaos: per-chunk connection-drop probability")
+		chaosTrunc = flag.Float64("chaos-trunc", 0.005, "with -chaos: per-chunk mid-frame truncation probability")
+		chaosDelay = flag.Float64("chaos-delay", 0.05, "with -chaos: per-chunk delivery-delay probability")
 	)
 	flag.Parse()
 
@@ -126,16 +149,57 @@ func main() {
 		os.Exit(2)
 	}
 
+	// In chaos mode every rung dials the proxy; the idle check at the
+	// end still dials the server directly.
+	dialAddr := *addr
+	var proxy *chaosproxy.Proxy
+	if *chaos {
+		proxy, err = chaosproxy.Listen("127.0.0.1:0", chaosproxy.Config{
+			Target:    *addr,
+			DropProb:  *chaosDrop,
+			TruncProb: *chaosTrunc,
+			DelayProb: *chaosDelay,
+			Seed:      *seed,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "secload: chaos proxy: %v\n", err)
+			os.Exit(1)
+		}
+		dialAddr = proxy.Addr()
+		fmt.Printf("# chaos proxy on %s -> %s (drop %.3f, trunc %.3f, delay %.3f)\n",
+			dialAddr, *addr, *chaosDrop, *chaosTrunc, *chaosDelay)
+	}
+
+	rcfg := rungConfig{
+		addr:    dialAddr,
+		window:  *duration,
+		mix:     mix,
+		seed:    *seed,
+		retries: *retries,
+		reqTO:   *reqTO,
+	}
 	points := make([]harness.ServedPoint, 0, len(ladder))
 	for _, conns := range ladder {
-		p := runRung(*addr, conns, *duration, mix, *seed)
+		p := runRung(rcfg, conns)
 		points = append(points, p)
-		fmt.Printf("# %d conns: %.0f ops/s, p50 %v, p99 %v, %d errors, %d busy\n",
-			conns, p.OpsPerSec(), p.P50, p.P99, p.Errors, p.Busy)
+		fmt.Printf("# %d conns: %.0f ops/s, p50 %v, p99 %v, %d errors, %d busy, %d retried, %d lost\n",
+			conns, p.OpsPerSec(), p.P50, p.P99, p.Errors, p.Busy, p.Retried, p.Lost)
+	}
+
+	if proxy != nil {
+		st := proxy.Stats()
+		fmt.Printf("# chaos injected: %d conns relayed, %d drops, %d truncations, %d delays\n",
+			st.Conns, st.Drops, st.Truncates, st.Delays)
+		// Sever every surviving relay before the idle check so the only
+		// session left can be the checker's direct connection.
+		proxy.Close()
 	}
 
 	fmt.Println()
 	title := fmt.Sprintf("Served throughput (%s mix, %v windows) against %s", *mixName, *duration, *addr)
+	if *chaos {
+		title += " under chaos"
+	}
 	harness.WriteServedTable(os.Stdout, title, points)
 
 	if *jsonDir != "" {
@@ -146,13 +210,18 @@ func main() {
 	}
 
 	exit := 0
-	var totalOps, totalErrs int64
+	var totalOps, totalErrs, totalLost int64
 	for _, p := range points {
 		totalOps += p.Ops
 		totalErrs += p.Errors
+		totalLost += p.Lost
 	}
 	if totalErrs > 0 {
 		fmt.Fprintf(os.Stderr, "secload: %d protocol errors\n", totalErrs)
+		exit = 1
+	}
+	if totalLost > 0 {
+		fmt.Fprintf(os.Stderr, "secload: %d operations lost with the retry budget exhausted\n", totalLost)
 		exit = 1
 	}
 	if totalOps == 0 {
@@ -160,7 +229,7 @@ func main() {
 		exit = 1
 	}
 	if *idle {
-		if err := expectIdle(*addr); err != nil {
+		if err := expectIdle(*addr, *reqTO); err != nil {
 			fmt.Fprintf(os.Stderr, "secload: %v\n", err)
 			exit = 1
 		} else {
@@ -184,57 +253,61 @@ func parseLadder(s string) ([]int, error) {
 	return out, nil
 }
 
-// conn is one load connection after a successful handshake.
-type conn struct {
-	c  net.Conn
-	br *bufio.Reader
+// rungConfig is what every rung shares.
+type rungConfig struct {
+	addr    string
+	window  time.Duration
+	mix     []mixEntry
+	seed    uint64
+	retries int
+	reqTO   time.Duration
 }
 
-// dial connects and performs the wire handshake. busy=true means the
-// server refused the session with backpressure.
-func dial(addr string) (cn *conn, busy bool, err error) {
-	c, err := net.DialTimeout("tcp", addr, 5*time.Second)
-	if err != nil {
-		return nil, false, err
+// clientConfig derives worker i's secclient config.
+func (rc rungConfig) clientConfig(i int) secclient.Config {
+	return secclient.Config{
+		Addr:           rc.addr,
+		RequestTimeout: rc.reqTO,
+		Retries:        rc.retries,
+		BackoffBase:    2 * time.Millisecond,
+		BackoffMax:     50 * time.Millisecond,
+		Seed:           rc.seed + uint64(i)*0x9e37 + 1,
 	}
-	if tc, ok := c.(*net.TCPConn); ok {
-		tc.SetNoDelay(true)
+}
+
+// dialWorker connects worker i, retrying transport failures (a chaos
+// proxy can sever the handshake itself) within the same budget ops
+// get. Busy is not retried: backpressure is the protocol working.
+func dialWorker(rc rungConfig, i int) (*secclient.Client, bool, error) {
+	var lastErr error
+	for attempt := 0; attempt <= rc.retries; attempt++ {
+		c, err := secclient.Dial(rc.clientConfig(i))
+		if err == nil {
+			return c, false, nil
+		}
+		if errors.Is(err, secclient.ErrBusy) {
+			return nil, true, nil
+		}
+		lastErr = err
+		time.Sleep(time.Duration(attempt+1) * 2 * time.Millisecond)
 	}
-	if _, err := c.Write(wire.AppendRequest(nil, wire.Request{Op: wire.OpHello, Arg: wire.HelloArg()})); err != nil {
-		c.Close()
-		return nil, false, err
-	}
-	br := bufio.NewReader(c)
-	rep, err := wire.ReadReply(br)
-	if err != nil {
-		c.Close()
-		return nil, false, err
-	}
-	if rep.Status == wire.StatusBusy {
-		c.Close()
-		return nil, true, nil
-	}
-	if rep.Status != wire.StatusOK {
-		c.Close()
-		return nil, false, fmt.Errorf("handshake status %v", rep.Status)
-	}
-	return &conn{c: c, br: br}, false, nil
+	return nil, false, lastErr
 }
 
 // runRung drives one connection-count rung for the window and returns
 // its served point.
-func runRung(addr string, conns int, window time.Duration, mix []mixEntry, seed uint64) harness.ServedPoint {
+func runRung(rc rungConfig, conns int) harness.ServedPoint {
 	var (
-		ops, errs, busy atomic.Int64
-		hist            metrics.LatencyHist
-		wg              sync.WaitGroup
-		gate            = make(chan struct{})
+		ops, errs, busy, retried, lost atomic.Int64
+		hist                           metrics.LatencyHist
+		wg                             sync.WaitGroup
+		gate                           = make(chan struct{})
 	)
 	for i := 0; i < conns; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			cn, isBusy, err := dial(addr)
+			c, isBusy, err := dialWorker(rc, i)
 			if isBusy {
 				// Backpressure is the protocol working as specified, not
 				// an error; the rung just runs with fewer live sessions.
@@ -245,21 +318,24 @@ func runRung(addr string, conns int, window time.Duration, mix []mixEntry, seed 
 				errs.Add(1)
 				return
 			}
-			defer cn.c.Close()
-			rng := xrand.New(seed + uint64(i)*7919)
+			defer func() {
+				st := c.Stats()
+				retried.Add(st.Retries)
+				lost.Add(st.Lost)
+				c.Close()
+			}()
+			rng := xrand.New(rc.seed + uint64(i)*7919)
 			var local metrics.LatencyHist
-			var buf []byte
 			<-gate
-			deadline := time.Now().Add(window)
+			deadline := time.Now().Add(rc.window)
 			for time.Now().Before(deadline) {
-				op := pick(mix, rng.Intn(100))
-				buf = wire.AppendRequest(buf[:0], wire.Request{Op: op, Arg: int64(rng.Intn(1000))})
+				op := pick(rc.mix, rng.Intn(100))
 				start := time.Now()
-				if _, err := cn.c.Write(buf); err != nil {
-					errs.Add(1)
-					return
+				rep, err := c.Do(op, int64(rng.Intn(1000)))
+				if errors.Is(err, secclient.ErrLost) {
+					// Abandoned unacknowledged; tallied via c.Stats().Lost.
+					continue
 				}
-				rep, err := wire.ReadReply(cn.br)
 				if err != nil {
 					errs.Add(1)
 					return
@@ -278,30 +354,29 @@ func runRung(addr string, conns int, window time.Duration, mix []mixEntry, seed 
 	start := time.Now()
 	wg.Wait()
 	elapsed := time.Since(start)
-	if elapsed < window {
-		elapsed = window
+	if elapsed < rc.window {
+		elapsed = rc.window
 	}
-	return harness.ServedPointFrom(conns, ops.Load(), errs.Load(), busy.Load(), elapsed, &hist)
+	p := harness.ServedPointFrom(conns, ops.Load(), errs.Load(), busy.Load(), elapsed, &hist)
+	p.Retried = retried.Load()
+	p.Lost = lost.Load()
+	return p
 }
 
-// expectIdle dials one checking connection and polls the server's
-// session gauge until it reads 1 (the checker itself), failing if the
-// load connections' handle slots did not all recycle.
-func expectIdle(addr string) error {
-	cn, isBusy, err := dial(addr)
-	if err != nil || isBusy {
-		return fmt.Errorf("idle check dial: busy=%v err=%v", isBusy, err)
+// expectIdle dials one checking connection - always directly to the
+// server, never through a chaos proxy - and polls the session gauge
+// until it reads 1 (the checker itself), failing if the load
+// connections' handle slots did not all recycle.
+func expectIdle(addr string, reqTO time.Duration) error {
+	c, err := secclient.Dial(secclient.Config{Addr: addr, RequestTimeout: reqTO, Retries: 2})
+	if err != nil {
+		return fmt.Errorf("idle check dial: %v", err)
 	}
-	defer cn.c.Close()
-	var buf []byte
+	defer c.Close()
 	deadline := time.Now().Add(5 * time.Second)
 	last := int64(-1)
 	for time.Now().Before(deadline) {
-		buf = wire.AppendRequest(buf[:0], wire.Request{Op: wire.OpStats})
-		if _, err := cn.c.Write(buf); err != nil {
-			return fmt.Errorf("idle check: %v", err)
-		}
-		rep, err := wire.ReadReply(cn.br)
+		rep, err := c.Do(wire.OpStats, 0)
 		if err != nil || rep.Status != wire.StatusOK {
 			return fmt.Errorf("idle check stats: %v %v", rep.Status, err)
 		}
@@ -314,7 +389,8 @@ func expectIdle(addr string) error {
 }
 
 // writeJSON emits the ladder as BENCH_served.json with the same point
-// schema secbench writes (secbench/v7).
+// schema secbench writes (secbench/v8: served points carry retried
+// and lost alongside the latency quantiles).
 func writeJSON(dir, title, label, workload string, pts []harness.ServedPoint) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err

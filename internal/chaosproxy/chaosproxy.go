@@ -1,0 +1,199 @@
+// Package chaosproxy is a TCP fault-injection proxy for the secd wire
+// protocol: it sits between a client and the server and, per relayed
+// chunk, can drop the connection, delay delivery, or truncate a chunk
+// mid-frame before killing the stream. secload -chaos routes its load
+// through one to prove the client retry machinery loses no
+// acknowledged operations and leaks no sessions.
+//
+// Drop and truncate always sever BOTH directions: TCP has no way to
+// "lose" bytes from a live stream, and forwarding a partial frame on
+// a surviving connection would silently desynchronise everything after
+// it. A truncated chunk is therefore delivered short and then the
+// stream dies, which is exactly what a mid-frame network failure looks
+// like to both ends.
+package chaosproxy
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"secstack/internal/xrand"
+)
+
+// Config parameterises the chaos. Probabilities are per relayed
+// chunk, in [0,1]; they are checked in drop, truncate, delay order.
+type Config struct {
+	Target    string        // address of the real server
+	DropProb  float64       // chance a chunk kills the connection outright
+	TruncProb float64       // chance a chunk is cut short, then the connection dies
+	DelayProb float64       // chance a chunk is held before delivery
+	Delay     time.Duration // how long a delayed chunk is held (default 2ms)
+	Seed      uint64        // RNG seed (default 0xc4a05)
+}
+
+// Stats counts the faults the proxy injected.
+type Stats struct {
+	Conns     int64 // client connections accepted
+	Drops     int64 // connections killed by DropProb
+	Truncates int64 // connections killed mid-frame by TruncProb
+	Delays    int64 // chunks held by DelayProb
+}
+
+// Proxy is a running chaos proxy. Start it with Serve; stop it with
+// Close.
+type Proxy struct {
+	cfg Config
+	lis net.Listener
+
+	conns     atomic.Int64
+	drops     atomic.Int64
+	truncates atomic.Int64
+	delays    atomic.Int64
+
+	mu     sync.Mutex
+	live   map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	seq atomic.Uint64 // per-connection RNG stream derivation
+}
+
+// Listen starts a proxy on addr (use "127.0.0.1:0" for an ephemeral
+// port) relaying to cfg.Target.
+func Listen(addr string, cfg Config) (*Proxy, error) {
+	if cfg.Target == "" {
+		return nil, fmt.Errorf("chaosproxy: empty target")
+	}
+	if cfg.Delay <= 0 {
+		cfg.Delay = 2 * time.Millisecond
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 0xc4a05
+	}
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{cfg: cfg, lis: lis, live: make(map[net.Conn]struct{})}
+	p.wg.Add(1)
+	go p.serve()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address for clients to dial.
+func (p *Proxy) Addr() string { return p.lis.Addr().String() }
+
+// Stats returns the fault counters so far.
+func (p *Proxy) Stats() Stats {
+	return Stats{
+		Conns:     p.conns.Load(),
+		Drops:     p.drops.Load(),
+		Truncates: p.truncates.Load(),
+		Delays:    p.delays.Load(),
+	}
+}
+
+// Close stops accepting, severs every live relay, and waits for the
+// pumps to exit.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	p.closed = true
+	for c := range p.live {
+		c.Close()
+	}
+	p.mu.Unlock()
+	err := p.lis.Close()
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) serve() {
+	defer p.wg.Done()
+	for {
+		cli, err := p.lis.Accept()
+		if err != nil {
+			return
+		}
+		srv, err := net.DialTimeout("tcp", p.cfg.Target, 5*time.Second)
+		if err != nil {
+			cli.Close()
+			continue
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			cli.Close()
+			srv.Close()
+			return
+		}
+		p.live[cli] = struct{}{}
+		p.live[srv] = struct{}{}
+		p.wg.Add(2)
+		p.mu.Unlock()
+		p.conns.Add(1)
+		n := p.seq.Add(1)
+		// Independent chaos streams per direction, deterministic in the
+		// seed and connection order.
+		go p.pump(cli, srv, n*2)   // client -> server
+		go p.pump(srv, cli, n*2+1) // server -> client
+	}
+}
+
+// pump relays src to dst chunk by chunk, rolling the chaos dice on
+// each. Any fault or error severs both conns so the two pumps always
+// die together.
+func (p *Proxy) pump(src, dst net.Conn, stream uint64) {
+	defer p.wg.Done()
+	defer p.forget(src, dst)
+	rng := xrand.New(p.cfg.Seed + stream*0x9e3779b97f4a7c15)
+	buf := make([]byte, 4096)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			chunk := buf[:n]
+			switch {
+			case roll(rng, p.cfg.DropProb):
+				p.drops.Add(1)
+				return
+			case n > 1 && roll(rng, p.cfg.TruncProb):
+				// Deliver a strict prefix, then die mid-frame.
+				p.truncates.Add(1)
+				dst.Write(chunk[:1+rng.Intn(n-1)])
+				return
+			case roll(rng, p.cfg.DelayProb):
+				p.delays.Add(1)
+				time.Sleep(p.cfg.Delay)
+			}
+			if _, werr := dst.Write(chunk); werr != nil {
+				return
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// forget closes both ends of a relay and drops them from the live set.
+func (p *Proxy) forget(a, b net.Conn) {
+	a.Close()
+	b.Close()
+	p.mu.Lock()
+	delete(p.live, a)
+	delete(p.live, b)
+	p.mu.Unlock()
+}
+
+// roll returns true with probability prob.
+func roll(rng *xrand.State, prob float64) bool {
+	if prob <= 0 {
+		return false
+	}
+	if prob >= 1 {
+		return true
+	}
+	return rng.Float64() < prob
+}

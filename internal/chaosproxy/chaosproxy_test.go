@@ -1,0 +1,197 @@
+package chaosproxy
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"secstack/internal/secclient"
+	"secstack/internal/secd"
+	"secstack/internal/wire"
+)
+
+func startServer(t *testing.T, cfg secd.Config) (*secd.Server, string) {
+	t.Helper()
+	s, err := secd.New(cfg)
+	if err != nil {
+		t.Fatalf("secd.New: %v", err)
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(lis) }()
+	t.Cleanup(func() {
+		if err := s.Shutdown(2 * time.Second); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+		if err := <-done; err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	})
+	return s, lis.Addr().String()
+}
+
+// TestTransparentWhenQuiet: with all probabilities zero the proxy is
+// an invisible relay - handshake, ops, and statuses pass through.
+func TestTransparentWhenQuiet(t *testing.T) {
+	_, addr := startServer(t, secd.Config{MaxSessions: 2})
+	p, err := Listen("127.0.0.1:0", Config{Target: addr})
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer p.Close()
+	c, err := secclient.Dial(secclient.Config{Addr: p.Addr()})
+	if err != nil {
+		t.Fatalf("dial through proxy: %v", err)
+	}
+	defer c.Close()
+	if rep, err := c.Do(wire.OpFunnelAdd, 11); err != nil || rep.Status != wire.StatusOK {
+		t.Fatalf("op through proxy: %+v %v", rep, err)
+	}
+	if rep, err := c.Do(wire.OpFunnelLoad, 0); err != nil || rep.Value != 11 {
+		t.Fatalf("load through proxy: %+v %v", rep, err)
+	}
+	st := p.Stats()
+	if st.Conns != 1 || st.Drops != 0 || st.Truncates != 0 {
+		t.Fatalf("proxy stats = %+v, want one quiet conn", st)
+	}
+}
+
+// TestDropSeversBothSides: a certain drop kills the relay on the
+// first chunk; the client sees a dead connection, the server sees a
+// disconnect and recycles the session.
+func TestDropSeversBothSides(t *testing.T) {
+	s, addr := startServer(t, secd.Config{MaxSessions: 2})
+	p, err := Listen("127.0.0.1:0", Config{Target: addr, DropProb: 1})
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer p.Close()
+	if _, err := secclient.Dial(secclient.Config{Addr: p.Addr(), RequestTimeout: time.Second}); err == nil {
+		t.Fatal("handshake survived a 100% drop proxy")
+	}
+	if p.Stats().Drops == 0 {
+		t.Fatal("no drops counted")
+	}
+	waitSessionsZero(t, s)
+}
+
+// TestTruncateDiesMidFrame: a certain truncation forwards a strict
+// prefix and then severs; the server must treat the cut frame as a
+// disconnect, never as a parsed request.
+func TestTruncateDiesMidFrame(t *testing.T) {
+	s, addr := startServer(t, secd.Config{MaxSessions: 2})
+	p, err := Listen("127.0.0.1:0", Config{Target: addr, TruncProb: 1})
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer p.Close()
+	if _, err := secclient.Dial(secclient.Config{Addr: p.Addr(), RequestTimeout: time.Second}); err == nil {
+		t.Fatal("handshake survived a 100% truncating proxy")
+	}
+	if p.Stats().Truncates == 0 {
+		t.Fatal("no truncations counted")
+	}
+	waitSessionsZero(t, s)
+}
+
+// TestDelayStillDelivers: delays slow chunks but lose nothing.
+func TestDelayStillDelivers(t *testing.T) {
+	_, addr := startServer(t, secd.Config{MaxSessions: 2})
+	p, err := Listen("127.0.0.1:0", Config{Target: addr, DelayProb: 1, Delay: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer p.Close()
+	c, err := secclient.Dial(secclient.Config{Addr: p.Addr()})
+	if err != nil {
+		t.Fatalf("dial through delaying proxy: %v", err)
+	}
+	defer c.Close()
+	for i := 0; i < 5; i++ {
+		if rep, err := c.Do(wire.OpStackPush, int64(i)); err != nil || rep.Status != wire.StatusOK {
+			t.Fatalf("push %d: %+v %v", i, rep, err)
+		}
+	}
+	if p.Stats().Delays == 0 {
+		t.Fatal("no delays counted")
+	}
+}
+
+// TestChaosLosesNoAckedOps is the package-level version of the CI
+// chaos smoke: funnel increments acknowledged through a lossy proxy
+// must all be present server-side, and no session may leak. Ops the
+// client reports lost (budget exhausted) are excluded - the invariant
+// is about acknowledged work only.
+func TestChaosLosesNoAckedOps(t *testing.T) {
+	s, addr := startServer(t, secd.Config{MaxSessions: 8})
+	p, err := Listen("127.0.0.1:0", Config{
+		Target:    addr,
+		DropProb:  0.02,
+		TruncProb: 0.01,
+		DelayProb: 0.05,
+		Delay:     time.Millisecond,
+		Seed:      7,
+	})
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer p.Close()
+	cfg := secclient.Config{
+		Addr:           p.Addr(),
+		RequestTimeout: time.Second,
+		Retries:        8,
+		BackoffBase:    time.Millisecond,
+		BackoffMax:     10 * time.Millisecond,
+		Seed:           11,
+	}
+	c, err := secclient.Dial(cfg)
+	if err != nil {
+		t.Fatalf("dial through chaos: %v", err)
+	}
+	defer c.Close()
+	var acked int64
+	for i := 0; i < 400; i++ {
+		rep, err := c.Do(wire.OpFunnelAdd, 1)
+		if errors.Is(err, secclient.ErrLost) {
+			continue // never acknowledged; makes no promise
+		}
+		if err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+		if rep.Status != wire.StatusOK {
+			t.Fatalf("op %d status %v", i, rep.Status)
+		}
+		acked++
+	}
+	st := c.Stats()
+	if st.Retries == 0 {
+		t.Skipf("chaos injected nothing (stats %+v); nothing to assert", st)
+	}
+	// Every acknowledged increment must be in the funnel. Retries of
+	// unacked sends may legally double-apply (at-most-once hole), so
+	// the server may hold MORE than acked, never less.
+	if got := s.Funnel().Load(); got < acked {
+		t.Fatalf("funnel = %d < %d acked increments: acknowledged ops were lost (proxy %+v, client %+v)",
+			got, acked, p.Stats(), st)
+	}
+	c.Close()
+	waitSessionsZero(t, s)
+}
+
+// waitSessionsZero polls the session gauge to zero - chaos-severed
+// conns take a server-side read/write error to notice.
+func waitSessionsZero(t *testing.T, s *secd.Server) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if s.Metrics().Sessions() == 0 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("session gauge stuck at %d, want 0", s.Metrics().Sessions())
+}

@@ -1,0 +1,213 @@
+// Package faultpoint is the repository's fault-injection framework: a
+// registry of named sites threaded through the serving and recovery
+// paths (internal/secd, internal/wire, pool) that tests and chaos
+// drivers arm to make hard failure paths reachable deterministically -
+// a connection that panics between handle registrations, a shrink
+// drain whose every steal is contended, a write that silently
+// disappears - instead of hoping goroutine timing lines them up.
+//
+// The design constraint is that production code pays nothing for the
+// instrumentation: while no site is armed, Hit compiles to a single
+// atomic load of a package-level counter and an immediate return - no
+// map lookup, no mutex, no allocation (the allocation guard in
+// faultpoint_test.go pins this at 0 allocs/op). Only once Arm moves
+// the armed-site count above zero does a hit take the slow path that
+// consults the site table.
+//
+// A site is armed with a Spec: an Action (return an error, sleep,
+// report a drop, or panic), an optional Skip prefix of hits to pass
+// through untouched, and an optional Count bounding how many hits
+// fire. Skip and Count make multi-step protocols addressable: "fail
+// the third flush", "stall the first two drain bursts, then recover".
+// Hits and fires are counted per site while armed, so a test can
+// assert not just the outcome but that the injected path actually ran.
+//
+// Sites are plain strings owned by the package that calls Hit; the
+// convention is "package.site" ("secd.read", "pool.migrate.contended",
+// "wire.decode"). See DESIGN.md §14 for the site inventory.
+package faultpoint
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Action is what an armed site does when a hit fires.
+type Action uint8
+
+const (
+	// ActError makes Hit return the Spec's Err (ErrInjected when nil).
+	ActError Action = iota
+	// ActDrop makes Hit return ErrDropped: the site should pretend the
+	// I/O or operation silently disappeared (skip a reply write, treat
+	// a steal as contended) rather than surface an error.
+	ActDrop
+	// ActDelay makes Hit sleep the Spec's Delay and then report no
+	// fault - latency injection without a failure.
+	ActDelay
+	// ActPanic makes Hit panic with a Panic value naming the site,
+	// exercising recover-and-unwind paths.
+	ActPanic
+)
+
+// ErrInjected is ActError's default return; armed errors that should
+// be recognizable wrap it.
+var ErrInjected = errors.New("faultpoint: injected fault")
+
+// ErrDropped is ActDrop's return. It wraps ErrInjected so generic
+// "was this injected?" checks keep working.
+var ErrDropped = fmt.Errorf("%w: dropped", ErrInjected)
+
+// Panic is the value an ActPanic site panics with; recovery code and
+// tests recognize injected panics by type-asserting against it.
+type Panic struct{ Site string }
+
+func (p Panic) Error() string { return "faultpoint: injected panic at " + p.Site }
+
+// Spec arms one site.
+type Spec struct {
+	// Action selects the fault (default ActError).
+	Action Action
+	// Err overrides ActError's returned error (default ErrInjected).
+	Err error
+	// Delay is ActDelay's sleep.
+	Delay time.Duration
+	// Skip is how many hits pass through untouched before the site
+	// starts firing.
+	Skip int64
+	// Count bounds how many hits fire; 0 fires on every hit past Skip.
+	// A site whose Count is exhausted stays armed but inert (its hit
+	// counter keeps moving) until Disarm or Reset.
+	Count int64
+}
+
+// site is one armed site's mu-guarded state.
+type site struct {
+	spec  Spec
+	hits  int64 // hits observed while armed
+	fires int64 // hits that actually fired
+}
+
+var (
+	// armed counts armed sites; the Hit fast path is one atomic load of
+	// it. Guarded by mu for writes.
+	armed atomic.Int32
+	mu    sync.Mutex
+	sites map[string]*site
+)
+
+// Arm arms (or re-arms, resetting counters) the named site.
+func Arm(name string, sp Spec) {
+	mu.Lock()
+	defer mu.Unlock()
+	if sites == nil {
+		sites = make(map[string]*site)
+	}
+	if _, ok := sites[name]; !ok {
+		armed.Add(1)
+	}
+	sites[name] = &site{spec: sp}
+}
+
+// Disarm disarms the named site; its counters are discarded. Disarming
+// an unarmed site is a no-op.
+func Disarm(name string) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := sites[name]; ok {
+		delete(sites, name)
+		armed.Add(-1)
+	}
+}
+
+// Reset disarms every site - test cleanup's one-liner.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	for name := range sites {
+		delete(sites, name)
+		armed.Add(-1)
+	}
+}
+
+// Armed reports whether the named site is currently armed.
+func Armed(name string) bool {
+	mu.Lock()
+	defer mu.Unlock()
+	_, ok := sites[name]
+	return ok
+}
+
+// Hits returns how many times the named site was hit while armed.
+func Hits(name string) int64 {
+	mu.Lock()
+	defer mu.Unlock()
+	if s := sites[name]; s != nil {
+		return s.hits
+	}
+	return 0
+}
+
+// Fires returns how many of the named site's hits actually fired -
+// the assertion that an injected path really ran.
+func Fires(name string) int64 {
+	mu.Lock()
+	defer mu.Unlock()
+	if s := sites[name]; s != nil {
+		return s.fires
+	}
+	return 0
+}
+
+// Hit is the hot-path probe a site compiles to: with no site armed it
+// is a single atomic load and a nil return. Armed, it returns the
+// site's error (ActError/ActDrop), sleeps and returns nil (ActDelay),
+// or panics with a Panic value (ActPanic).
+func Hit(name string) error {
+	if armed.Load() == 0 {
+		return nil
+	}
+	return hitSlow(name)
+}
+
+// Fired is Hit for sites whose fault is a behavior change rather than
+// an error to thread: true means "the injected path is on this hit".
+// ActDelay sites sleep and report false; ActPanic sites still panic.
+func Fired(name string) bool { return Hit(name) != nil }
+
+func hitSlow(name string) error {
+	mu.Lock()
+	s := sites[name]
+	if s == nil {
+		mu.Unlock()
+		return nil
+	}
+	n := s.hits
+	s.hits++
+	sp := s.spec
+	fire := n >= sp.Skip && (sp.Count == 0 || n < sp.Skip+sp.Count)
+	if fire {
+		s.fires++
+	}
+	mu.Unlock()
+	if !fire {
+		return nil
+	}
+	switch sp.Action {
+	case ActDelay:
+		time.Sleep(sp.Delay)
+		return nil
+	case ActDrop:
+		return ErrDropped
+	case ActPanic:
+		panic(Panic{Site: name})
+	default:
+		if sp.Err != nil {
+			return sp.Err
+		}
+		return ErrInjected
+	}
+}

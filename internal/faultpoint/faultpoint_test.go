@@ -1,0 +1,184 @@
+package faultpoint
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDisarmedHitIsNil(t *testing.T) {
+	Reset()
+	if err := Hit("never.armed"); err != nil {
+		t.Fatalf("disarmed Hit = %v, want nil", err)
+	}
+	if Fired("never.armed") {
+		t.Fatal("disarmed Fired = true")
+	}
+	if Hits("never.armed") != 0 {
+		t.Fatal("disarmed site counted hits")
+	}
+}
+
+func TestArmErrorAndCounters(t *testing.T) {
+	defer Reset()
+	Arm("t.err", Spec{Action: ActError})
+	if err := Hit("t.err"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Hit = %v, want ErrInjected", err)
+	}
+	// An armed site elsewhere must not fire other sites.
+	if err := Hit("t.other"); err != nil {
+		t.Fatalf("unarmed site under armed registry = %v", err)
+	}
+	if got := Hits("t.err"); got != 1 {
+		t.Fatalf("Hits = %d, want 1", got)
+	}
+	if got := Fires("t.err"); got != 1 {
+		t.Fatalf("Fires = %d, want 1", got)
+	}
+	custom := errors.New("custom")
+	Arm("t.err", Spec{Action: ActError, Err: custom})
+	if err := Hit("t.err"); !errors.Is(err, custom) {
+		t.Fatalf("Hit with custom err = %v", err)
+	}
+	if got := Hits("t.err"); got != 1 {
+		t.Fatalf("re-Arm did not reset counters: Hits = %d", got)
+	}
+	Disarm("t.err")
+	if Armed("t.err") {
+		t.Fatal("still armed after Disarm")
+	}
+	if err := Hit("t.err"); err != nil {
+		t.Fatalf("Hit after Disarm = %v", err)
+	}
+}
+
+func TestSkipAndCountWindow(t *testing.T) {
+	defer Reset()
+	// Pass 2 hits, fire 3, then inert.
+	Arm("t.win", Spec{Action: ActError, Skip: 2, Count: 3})
+	var fired int
+	for i := 0; i < 10; i++ {
+		if Hit("t.win") != nil {
+			fired++
+			if i < 2 || i > 4 {
+				t.Fatalf("hit %d fired outside the [2,4] window", i)
+			}
+		}
+	}
+	if fired != 3 {
+		t.Fatalf("fired %d times, want 3", fired)
+	}
+	if got := Hits("t.win"); got != 10 {
+		t.Fatalf("Hits = %d, want 10 (inert hits still count)", got)
+	}
+	if got := Fires("t.win"); got != 3 {
+		t.Fatalf("Fires = %d, want 3", got)
+	}
+}
+
+func TestDropIsRecognizable(t *testing.T) {
+	defer Reset()
+	Arm("t.drop", Spec{Action: ActDrop})
+	err := Hit("t.drop")
+	if !errors.Is(err, ErrDropped) {
+		t.Fatalf("Hit = %v, want ErrDropped", err)
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatal("ErrDropped does not wrap ErrInjected")
+	}
+	if !Fired("t.drop") {
+		t.Fatal("Fired = false for an armed drop")
+	}
+}
+
+func TestDelaySleepsWithoutFault(t *testing.T) {
+	defer Reset()
+	Arm("t.delay", Spec{Action: ActDelay, Delay: 20 * time.Millisecond})
+	start := time.Now()
+	if err := Hit("t.delay"); err != nil {
+		t.Fatalf("delay Hit = %v, want nil", err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("delay site slept %v, want >= 20ms", d)
+	}
+	if got := Fires("t.delay"); got != 1 {
+		t.Fatalf("Fires = %d, want 1", got)
+	}
+}
+
+func TestPanicCarriesSite(t *testing.T) {
+	defer Reset()
+	Arm("t.panic", Spec{Action: ActPanic})
+	defer func() {
+		r := recover()
+		p, ok := r.(Panic)
+		if !ok || p.Site != "t.panic" {
+			t.Fatalf("recovered %v, want Panic{t.panic}", r)
+		}
+	}()
+	Hit("t.panic")
+	t.Fatal("armed panic site did not panic")
+}
+
+func TestResetDisarmsAll(t *testing.T) {
+	Arm("t.a", Spec{})
+	Arm("t.b", Spec{})
+	Reset()
+	if Armed("t.a") || Armed("t.b") {
+		t.Fatal("sites survive Reset")
+	}
+	if err := Hit("t.a"); err != nil {
+		t.Fatalf("Hit after Reset = %v", err)
+	}
+}
+
+func TestConcurrentHitsUnderArm(t *testing.T) {
+	defer Reset()
+	Arm("t.conc", Spec{Action: ActError, Count: 100})
+	done := make(chan int64)
+	for g := 0; g < 4; g++ {
+		go func() {
+			var fired int64
+			for i := 0; i < 1000; i++ {
+				if Hit("t.conc") != nil {
+					fired++
+				}
+			}
+			done <- fired
+		}()
+	}
+	var total int64
+	for g := 0; g < 4; g++ {
+		total += <-done
+	}
+	if total != 100 {
+		t.Fatalf("fired %d across goroutines, want exactly Count=100", total)
+	}
+	if got := Hits("t.conc"); got != 4000 {
+		t.Fatalf("Hits = %d, want 4000", got)
+	}
+}
+
+// TestAllocCeilingDisarmed is the acceptance pin: a disarmed site adds
+// zero allocations to its host's hot path.
+func TestAllocCeilingDisarmed(t *testing.T) {
+	Reset()
+	if avg := testing.AllocsPerRun(1000, func() {
+		Hit("secd.read")
+		Fired("pool.migrate.contended")
+	}); avg != 0 {
+		t.Fatalf("disarmed Hit allocates %.2f allocs/op, want 0", avg)
+	}
+}
+
+// BenchmarkHitDisarmed measures the disarmed probe every serving-path
+// request pays: one atomic load.
+func BenchmarkHitDisarmed(b *testing.B) {
+	Reset()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if Hit("secd.read") != nil {
+			b.Fatal("disarmed site fired")
+		}
+	}
+}

@@ -27,7 +27,11 @@ import (
 // v7 added live_shards/shard_grows/shard_shrinks/migrated to degree
 // rows: the elastic pool controller's live-window gauge (the widest
 // window the rung reached) and its resize/drain-migration counters.
-const Schema = "secbench/v7"
+// v8 added retried/lost to served points: the client retry machinery's
+// replayed-attempt count and the operations abandoned with the retry
+// budget exhausted (the chaos smoke's zero-acked-loss invariant is
+// lost == 0 under fault injection).
+const Schema = "secbench/v8"
 
 // BenchDoc is the top-level JSON document for one figure or table: its
 // sweeps' throughput series and/or its degree tables.
@@ -63,6 +67,14 @@ type PointJSON struct {
 	// throughput rather than a measured distribution.
 	P50Micros float64 `json:"p50_us,omitempty"`
 	P99Micros float64 `json:"p99_us,omitempty"`
+
+	// Retried and Lost carry the client retry machinery's tallies for
+	// served points driven through secclient (schema v8): attempts
+	// replayed after a connection loss or timeout, and operations
+	// abandoned with the retry budget exhausted. Zero - and omitted -
+	// for in-process sweeps and fault-free runs.
+	Retried int64 `json:"retried,omitempty"`
+	Lost    int64 `json:"lost,omitempty"`
 }
 
 // TableJSON is one structure's degree table (occupancy, elimination

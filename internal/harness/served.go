@@ -25,6 +25,8 @@ type ServedPoint struct {
 	Ops      int64         // completed operations (all statuses that reached a reply)
 	Errors   int64         // protocol errors (unexpected status, broken frame)
 	Busy     int64         // handshakes refused with backpressure
+	Retried  int64         // attempts the client retry machinery replayed (schema v8)
+	Lost     int64         // operations abandoned with the retry budget exhausted (schema v8)
 	Elapsed  time.Duration // measurement window
 	P50, P99 time.Duration // client-observed round-trip latency quantiles
 }
@@ -57,10 +59,10 @@ func ServedPointFrom(conns int, ops, errors, busy int64, elapsed time.Duration, 
 func WriteServedTable(w io.Writer, title string, pts []ServedPoint) {
 	var b strings.Builder
 	fmt.Fprintf(&b, "# %s\n", title)
-	fmt.Fprintf(&b, "%8s %12s %10s %10s %8s %6s\n", "conns", "ops/s", "p50", "p99", "errors", "busy")
+	fmt.Fprintf(&b, "%8s %12s %10s %10s %8s %6s %8s %6s\n", "conns", "ops/s", "p50", "p99", "errors", "busy", "retried", "lost")
 	for _, p := range pts {
-		fmt.Fprintf(&b, "%8d %12.0f %10s %10s %8d %6d\n",
-			p.Conns, p.OpsPerSec(), p.P50, p.P99, p.Errors, p.Busy)
+		fmt.Fprintf(&b, "%8d %12.0f %10s %10s %8d %6d %8d %6d\n",
+			p.Conns, p.OpsPerSec(), p.P50, p.P99, p.Errors, p.Busy, p.Retried, p.Lost)
 	}
 	io.WriteString(w, b.String())
 }
@@ -78,6 +80,8 @@ func (d *BenchDoc) AddServedSeries(title, label, workload string, pts []ServedPo
 			Runs:      1,
 			P50Micros: float64(p.P50) / float64(time.Microsecond),
 			P99Micros: float64(p.P99) / float64(time.Microsecond),
+			Retried:   p.Retried,
+			Lost:      p.Lost,
 		})
 	}
 	d.Series = append(d.Series, out)

@@ -10,14 +10,19 @@ import (
 // Server collects secd's serving-side instrumentation: a live-session
 // gauge (connections that completed the handshake and hold engine
 // handles), an in-flight operation gauge, a handshake-rejection
-// counter, and a per-opcode count + latency histogram. Like *SEC, a
-// nil *Server is valid and turns every method into a no-op.
+// counter, the robustness counters (slow-client evictions, recovered
+// per-connection panics, client-reported retries), and a per-opcode
+// count + latency histogram. Like *SEC, a nil *Server is valid and
+// turns every method into a no-op.
 type Server struct {
 	sessions atomic.Int64 // live sessions (gauge)
 	peak     atomic.Int64 // high-water mark of the sessions gauge
 	rejected atomic.Int64 // handshakes refused with backpressure
 	inflight atomic.Int64 // operations between OpStart and OpDone (gauge)
-	_        [pad.CacheLine - 4*8]byte
+	evicted  atomic.Int64 // connections evicted on read-idle/write-stall deadlines
+	panics   atomic.Int64 // per-connection panics recovered (session unwound, conn closed)
+	retries  atomic.Int64 // retried ops clients reported via OpRetryMark
+	_        [pad.CacheLine - 7*8]byte
 	ops      []opStat
 }
 
@@ -89,6 +94,91 @@ func (m *Server) Rejected() int64 {
 		return 0
 	}
 	return m.rejected.Load()
+}
+
+// RecordEviction tallies one connection evicted by a serving deadline:
+// a session that sent nothing for the read-idle budget (half-open or
+// stalled peer) or whose reply flush blocked past the write-stall
+// budget (a client that stopped reading).
+func (m *Server) RecordEviction() {
+	if m == nil {
+		return
+	}
+	m.evicted.Add(1)
+}
+
+// Evictions returns the deadline-eviction count.
+func (m *Server) Evictions() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.evicted.Load()
+}
+
+// RecordPanic tallies one per-connection panic the server recovered:
+// the connection was closed and its engine handles released instead of
+// the process dying.
+func (m *Server) RecordPanic() {
+	if m == nil {
+		return
+	}
+	m.panics.Add(1)
+}
+
+// PanicsRecovered returns the recovered-panic count.
+func (m *Server) PanicsRecovered() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.panics.Load()
+}
+
+// RecordRetries adds n client-reported retried operations (the
+// OpRetryMark telemetry a reconnecting client sends before replaying).
+func (m *Server) RecordRetries(n int64) {
+	if m == nil || n <= 0 {
+		return
+	}
+	m.retries.Add(n)
+}
+
+// RetriesObserved returns the total retried ops clients have reported.
+func (m *Server) RetriesObserved() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.retries.Load()
+}
+
+// ServerSnapshot is one coherent-enough read of the serving gauges and
+// counters (each field is an atomic load; the set is not a single
+// linearizable cut, which drain-stats reporting does not need).
+type ServerSnapshot struct {
+	Sessions        int64 // live-session gauge
+	PeakSessions    int64 // gauge high-water mark
+	Rejected        int64 // handshakes refused with backpressure
+	InFlight        int64 // in-flight operation gauge
+	Evictions       int64 // connections evicted on serving deadlines
+	PanicsRecovered int64 // per-connection panics recovered
+	RetriesObserved int64 // client-reported retried ops
+	TotalOps        int64 // sum of per-opcode counts
+}
+
+// Snapshot reads the serving counters; zero value on a nil collector.
+func (m *Server) Snapshot() ServerSnapshot {
+	if m == nil {
+		return ServerSnapshot{}
+	}
+	return ServerSnapshot{
+		Sessions:        m.sessions.Load(),
+		PeakSessions:    m.peak.Load(),
+		Rejected:        m.rejected.Load(),
+		InFlight:        m.inflight.Load(),
+		Evictions:       m.evicted.Load(),
+		PanicsRecovered: m.panics.Load(),
+		RetriesObserved: m.retries.Load(),
+		TotalOps:        m.TotalOps(),
+	}
 }
 
 // OpStart moves the in-flight gauge up as an operation begins

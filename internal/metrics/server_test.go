@@ -133,9 +133,48 @@ func TestServerCollector(t *testing.T) {
 	nm.OpStart()
 	nm.OpDone(0, time.Second)
 	nm.RecordReject()
+	nm.RecordEviction()
+	nm.RecordPanic()
+	nm.RecordRetries(3)
 	if nm.Sessions() != 0 || nm.PeakSessions() != 0 || nm.InFlight() != 0 ||
-		nm.TotalOps() != 0 || nm.Rejected() != 0 || nm.Op(0) != (OpStats{}) {
+		nm.TotalOps() != 0 || nm.Rejected() != 0 || nm.Op(0) != (OpStats{}) ||
+		nm.Evictions() != 0 || nm.PanicsRecovered() != 0 || nm.RetriesObserved() != 0 ||
+		nm.Snapshot() != (ServerSnapshot{}) {
 		t.Fatal("nil Server should report zeros")
+	}
+}
+
+// TestServerRobustnessCounters covers the serving-path hardening
+// telemetry: deadline evictions, recovered per-connection panics and
+// client-reported retries, plus the merged Snapshot view secd's
+// drain-stats line prints.
+func TestServerRobustnessCounters(t *testing.T) {
+	m := NewServer(2)
+	m.RecordEviction()
+	m.RecordEviction()
+	m.RecordPanic()
+	m.RecordRetries(5)
+	m.RecordRetries(0)  // non-positive reports are dropped
+	m.RecordRetries(-7) // (a hostile RetryMark arg must not rewind the counter)
+	if got := m.Evictions(); got != 2 {
+		t.Fatalf("Evictions = %d, want 2", got)
+	}
+	if got := m.PanicsRecovered(); got != 1 {
+		t.Fatalf("PanicsRecovered = %d, want 1", got)
+	}
+	if got := m.RetriesObserved(); got != 5 {
+		t.Fatalf("RetriesObserved = %d, want 5", got)
+	}
+	m.SessionStart()
+	m.OpStart()
+	m.OpDone(1, time.Millisecond)
+	s := m.Snapshot()
+	want := ServerSnapshot{
+		Sessions: 1, PeakSessions: 1, Rejected: 0, InFlight: 0,
+		Evictions: 2, PanicsRecovered: 1, RetriesObserved: 5, TotalOps: 1,
+	}
+	if s != want {
+		t.Fatalf("Snapshot = %+v, want %+v", s, want)
 	}
 }
 

@@ -26,21 +26,67 @@
 //     connection's pending operation completes and flushes, each
 //     client gets a StatusShutdown goodbye, and Shutdown returns once
 //     the live-session gauge is back to zero.
+//
+// The serving path is hardened against misbehaving clients and
+// injected faults (DESIGN.md §14): every read carries an idle deadline
+// and every flush a write-stall budget, so half-open or stalled peers
+// are evicted instead of holding session slots forever; a panic
+// anywhere in a connection's handler - handshake included - is
+// recovered per connection, closing the conn and releasing all of the
+// session's engine handles so thread-id slots recycle; and the named
+// faultpoint sites below let tests and chaos drivers reach each of
+// those paths deterministically.
 package secd
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"net"
+	"os"
 	"strings"
 	"sync"
 	"time"
 
 	"secstack/funnel"
+	"secstack/internal/faultpoint"
 	"secstack/internal/metrics"
 	"secstack/internal/wire"
 	"secstack/pool"
 	"secstack/stack"
+)
+
+// The server's fault-injection sites (internal/faultpoint). Disarmed -
+// the production state - each is one atomic load.
+const (
+	// FPAccept fires right after Accept, before the connection joins
+	// the drain set: the server closes it immediately (an accept-time
+	// resource failure).
+	FPAccept = "secd.accept"
+	// FPRegisterPool and FPRegisterFunnel fire between the session's
+	// engine registrations - after the stack handle exists, and after
+	// the pool handle exists, respectively. ActError refuses the
+	// handshake with StatusBusy; ActPanic exercises the partial-session
+	// unwind (no handle may leak).
+	FPRegisterPool   = "secd.register.pool"
+	FPRegisterFunnel = "secd.register.funnel"
+	// FPRead fires after each successfully decoded request; any fault
+	// is treated as an abrupt disconnect (ActPanic instead exercises
+	// the per-connection recovery).
+	FPRead = "secd.read"
+	// FPExec fires just before a request executes against the engines.
+	// ActPanic is the canonical mid-operation crash; other faults close
+	// the connection before the op runs (so the client never gets an
+	// ack and must retry).
+	FPExec = "secd.exec"
+	// FPWrite fires before a reply is written. ActDrop executes the op
+	// but silently discards the ack - the at-most-once hole client
+	// retries must tolerate; other faults close the connection
+	// mid-stream.
+	FPWrite = "secd.write"
+	// FPDrain fires in the drain goodbye path (ActDelay stretches the
+	// drain so Shutdown's force-close budget is reachable in tests).
+	FPDrain = "secd.drain"
 )
 
 // Config sizes the served engines. The zero value is usable: SEC with
@@ -67,6 +113,15 @@ type Config struct {
 	// as its external grow signal, so a connection wave widens the pool
 	// before steal convoys form (DESIGN.md §13).
 	Elastic bool
+	// ReadIdle is the per-connection read-idle budget: a session that
+	// sends no request for this long - a half-open peer, a stalled
+	// client - is evicted, releasing its engine handles (counted in
+	// Metrics().Evictions()). Default 2m; negative disables.
+	ReadIdle time.Duration
+	// WriteStall is the per-flush write budget: a connection whose
+	// client stops reading long enough to backpressure a reply flush
+	// past this budget is evicted. Default 10s; negative disables.
+	WriteStall time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -81,6 +136,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Shards <= 0 {
 		c.Shards = 4
+	}
+	if c.ReadIdle == 0 {
+		c.ReadIdle = 2 * time.Minute
+	}
+	if c.ReadIdle < 0 {
+		c.ReadIdle = 0
+	}
+	if c.WriteStall == 0 {
+		c.WriteStall = 10 * time.Second
+	}
+	if c.WriteStall < 0 {
+		c.WriteStall = 0
 	}
 	return c
 }
@@ -208,6 +275,12 @@ func (s *Server) Serve(lis net.Listener) error {
 			}
 			return err
 		}
+		if faultpoint.Hit(FPAccept) != nil {
+			// Injected accept-time failure: the conn never joins the
+			// drain set; the client sees an immediate close and retries.
+			conn.Close()
+			continue
+		}
 		s.mu.Lock()
 		if s.draining {
 			s.mu.Unlock()
@@ -268,30 +341,53 @@ type session struct {
 }
 
 // register maps a connection onto the engines, unwinding cleanly on
-// exhaustion so a refused handshake leaks nothing.
-func (s *Server) register() (*session, error) {
-	st, err := s.st.TryRegister()
-	if err != nil {
+// exhaustion so a refused handshake leaks nothing. The unwind also
+// covers panics: a crash between the first TryRegister and the last -
+// reachable via the FPRegister* sites - closes every handle already
+// taken before the panic continues to the per-connection recovery, so
+// a failed handshake can never leak thread-id slots toward MaxThreads
+// exhaustion.
+func (s *Server) register() (_ *session, err error) {
+	sess := &session{}
+	defer func() {
+		if r := recover(); r != nil {
+			sess.close()
+			panic(r)
+		}
+	}()
+	if sess.st, err = s.st.TryRegister(); err != nil {
 		return nil, err
 	}
-	pl, err := s.pl.TryRegister()
+	if err = faultpoint.Hit(FPRegisterPool); err == nil {
+		sess.pl, err = s.pl.TryRegister()
+	}
 	if err != nil {
-		st.Close()
+		sess.close()
 		return nil, err
 	}
-	fn, err := s.fn.TryRegister()
+	if err = faultpoint.Hit(FPRegisterFunnel); err == nil {
+		sess.fn, err = s.fn.TryRegister()
+	}
 	if err != nil {
-		pl.Close()
-		st.Close()
+		sess.close()
 		return nil, err
 	}
-	return &session{st: st, pl: pl, fn: fn}, nil
+	return sess, nil
 }
 
+// close releases whichever engine handles the session holds; partial
+// sessions (a handshake that failed or panicked midway) are fine.
+// Idempotent: each handle's Close already is.
 func (sess *session) close() {
-	sess.fn.Close()
-	sess.pl.Close()
-	sess.st.Close()
+	if sess.fn != nil {
+		sess.fn.Close()
+	}
+	if sess.pl != nil {
+		sess.pl.Close()
+	}
+	if sess.st != nil {
+		sess.st.Close()
+	}
 }
 
 // removeConn drops conn from the drain set.
@@ -308,9 +404,19 @@ func (s *Server) isDraining() bool {
 }
 
 // handle serves one connection: handshake, then read/execute/reply in
-// order until disconnect or drain.
+// order until disconnect, eviction or drain.
 func (s *Server) handle(conn net.Conn) {
 	defer s.wg.Done()
+	defer func() {
+		// Per-connection panic isolation: by the time this recover runs,
+		// the deferred session close and conn close registered below it
+		// have already released every engine handle and the socket, so a
+		// panicking connection - injected or real - costs the process one
+		// counter tick, never a thread-id slot.
+		if r := recover(); r != nil {
+			s.m.RecordPanic()
+		}
+	}()
 	defer s.removeConn(conn)
 	defer conn.Close()
 	if tc, ok := conn.(*net.TCPConn); ok {
@@ -319,17 +425,24 @@ func (s *Server) handle(conn net.Conn) {
 	br := bufio.NewReaderSize(conn, 4096)
 	bw := bufio.NewWriterSize(conn, 4096)
 
-	// Handshake: the first frame must be a versioned Hello.
+	// Handshake: the first frame must be a versioned Hello, and it must
+	// arrive within the read-idle budget - a connect-then-silence peer
+	// is the simplest half-open client.
+	s.armReadDeadline(conn)
 	q, err := wire.ReadRequest(br)
-	if err != nil || q.Op != wire.OpHello || wire.CheckHello(q.Arg) != nil {
-		s.sayAndClose(bw, wire.Reply{Status: wire.StatusBadRequest})
+	if err != nil {
+		s.noteReadError(err)
+		return
+	}
+	if q.Op != wire.OpHello || wire.CheckHello(q.Arg) != nil {
+		s.sayAndClose(bw, conn, wire.Reply{Status: wire.StatusBadRequest})
 		return
 	}
 	sess, err := s.register()
 	if err != nil {
 		// MaxSessions live: protocol-level backpressure, not a crash.
 		s.m.RecordReject()
-		s.sayAndClose(bw, wire.Reply{Status: wire.StatusBusy})
+		s.sayAndClose(bw, conn, wire.Reply{Status: wire.StatusBusy})
 		return
 	}
 	defer sess.close()
@@ -340,24 +453,44 @@ func (s *Server) handle(conn net.Conn) {
 		Value:  int64(s.cfg.MaxSessions),
 		Banner: s.banner,
 	}))
-	if bw.Flush() != nil {
+	if !s.flush(bw, conn) {
 		return
 	}
 
 	var scratch []byte
 	for {
+		s.armReadDeadline(conn)
 		q, err := wire.ReadRequest(br)
 		if err != nil {
-			// Drain deadline, clean EOF or abrupt disconnect: either way
-			// the deferred close recycles this session's handle slots.
+			// Drain deadline, idle eviction, clean EOF or abrupt
+			// disconnect: either way the deferred close recycles this
+			// session's handle slots.
 			if s.isDraining() {
-				s.sayAndClose(bw, wire.Reply{Status: wire.StatusShutdown})
+				faultpoint.Hit(FPDrain)
+				s.sayAndClose(bw, conn, wire.Reply{Status: wire.StatusShutdown})
+				return
 			}
+			s.noteReadError(err)
 			return
+		}
+		if faultpoint.Hit(FPRead) != nil {
+			return // injected read fault: an abrupt disconnect
+		}
+		if faultpoint.Hit(FPExec) != nil {
+			return // injected pre-execution failure: op never ran, no ack
 		}
 		rep, ok := s.exec(sess, q)
 		if !ok {
-			s.sayAndClose(bw, wire.Reply{Status: wire.StatusBadRequest})
+			s.sayAndClose(bw, conn, wire.Reply{Status: wire.StatusBadRequest})
+			return
+		}
+		if werr := faultpoint.Hit(FPWrite); werr != nil {
+			if errors.Is(werr, faultpoint.ErrDropped) {
+				// The op ran but its ack evaporates: the client must
+				// retry, and a non-idempotent op may apply twice - the
+				// documented at-most-once hole (DESIGN.md §14).
+				continue
+			}
 			return
 		}
 		scratch = wire.AppendReply(scratch[:0], rep)
@@ -368,18 +501,51 @@ func (s *Server) handle(conn net.Conn) {
 		// complete request, i.e. the pipelined burst is exhausted and
 		// the client is (or will be) waiting on us.
 		if br.Buffered() < wire.RequestSize {
-			if bw.Flush() != nil {
+			if !s.flush(bw, conn) {
 				return
 			}
 		}
 	}
 }
 
-// sayAndClose best-effort-writes a final reply; the caller closes the
-// connection right after.
-func (s *Server) sayAndClose(bw *bufio.Writer, rep wire.Reply) {
+// armReadDeadline starts a read's idle budget.
+func (s *Server) armReadDeadline(conn net.Conn) {
+	if s.cfg.ReadIdle > 0 {
+		conn.SetReadDeadline(time.Now().Add(s.cfg.ReadIdle))
+	}
+}
+
+// noteReadError classifies a read-loop error outside drain: a deadline
+// expiry is an idle eviction (counted); EOF and peer resets are
+// ordinary disconnects.
+func (s *Server) noteReadError(err error) {
+	if errors.Is(err, os.ErrDeadlineExceeded) {
+		s.m.RecordEviction()
+	}
+}
+
+// flush writes the buffered replies within the write-stall budget;
+// false means the connection is gone. A flush that blocked past the
+// budget means the client stopped reading - a stalled or half-open
+// peer - and counts as an eviction.
+func (s *Server) flush(bw *bufio.Writer, conn net.Conn) bool {
+	if s.cfg.WriteStall > 0 {
+		conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteStall))
+	}
+	if err := bw.Flush(); err != nil {
+		if errors.Is(err, os.ErrDeadlineExceeded) {
+			s.m.RecordEviction()
+		}
+		return false
+	}
+	return true
+}
+
+// sayAndClose best-effort-writes a final reply under the write-stall
+// budget; the caller closes the connection right after.
+func (s *Server) sayAndClose(bw *bufio.Writer, conn net.Conn, rep wire.Reply) {
 	bw.Write(wire.AppendReply(nil, rep))
-	bw.Flush()
+	s.flush(bw, conn)
 }
 
 // exec runs one decoded request against the session's handles,
@@ -426,6 +592,12 @@ func (s *Server) apply(sess *session, q wire.Request) (wire.Reply, bool) {
 		return wire.Reply{Status: wire.StatusOK, Value: s.fn.Load()}, true
 	case wire.OpStats:
 		return wire.Reply{Status: wire.StatusOK, Value: s.m.Sessions()}, true
+	case wire.OpRetryMark:
+		// A reconnecting client reporting how many ops it is about to
+		// replay; negative or zero args are ignored (RecordRetries
+		// clamps) so a hostile mark cannot rewind the counter.
+		s.m.RecordRetries(q.Arg)
+		return wire.Reply{Status: wire.StatusOK, Value: s.m.RetriesObserved()}, true
 	}
 	return wire.Reply{}, false
 }

@@ -530,5 +530,5 @@ func TestServedBatching(t *testing.T) {
 
 func ExampleBanner() {
 	fmt.Println(Banner(Config{MaxSessions: 64}))
-	// Output: secd/1 alg=SEC registry=SEC,TRB,EB,FC,CC,TSI maxsessions=64 shards=4
+	// Output: secd/2 alg=SEC registry=SEC,TRB,EB,FC,CC,TSI maxsessions=64 shards=4
 }

@@ -30,13 +30,23 @@ import (
 	"errors"
 	"fmt"
 	"io"
+
+	"secstack/internal/faultpoint"
 )
 
+// FPDecode is the package's fault-injection site (internal/faultpoint):
+// armed, request decoding fails with ErrFrame before looking at the
+// bytes, which a server must treat exactly like a malformed frame -
+// reply StatusBadRequest or drop the connection. Disarmed it costs one
+// atomic load per decode.
+const FPDecode = "wire.decode"
+
 // Magic identifies a secd client's Hello ("SECD" in ASCII); Version is
-// the protocol revision, bumped on any frame-layout change.
+// the protocol revision, bumped on any frame-layout or opcode change.
+// v2 added OpRetryMark, the client's retry telemetry note.
 const (
 	Magic   uint32 = 0x53454344
-	Version uint32 = 1
+	Version uint32 = 2
 )
 
 // Op is a request opcode. Opcodes are dense from 1 so servers can
@@ -58,11 +68,12 @@ const (
 	OpFunnelTryAdd Op = 8  // arg = amount; StatusContended when the solo CAS lost
 	OpFunnelLoad   Op = 9  // reply value = counter
 	OpStats        Op = 10 // reply value = live sessions
+	OpRetryMark    Op = 11 // arg = ops the client is about to replay after a reconnect; reply value = server's total retries observed
 )
 
 // NumOps is one past the highest opcode - the size of a per-op metrics
 // table indexed by Op.
-const NumOps = 11
+const NumOps = 12
 
 // String names the opcode for logs and load-generator reports.
 func (o Op) String() string {
@@ -87,6 +98,8 @@ func (o Op) String() string {
 		return "funnel.load"
 	case OpStats:
 		return "stats"
+	case OpRetryMark:
+		return "retry.mark"
 	}
 	return fmt.Sprintf("op(%d)", uint8(o))
 }
@@ -196,6 +209,9 @@ func AppendRequest(dst []byte, q Request) []byte {
 // truncated buffer is ErrShort, anything structurally invalid is
 // ErrFrame.
 func DecodeRequest(b []byte) (q Request, n int, err error) {
+	if faultpoint.Hit(FPDecode) != nil {
+		return q, 0, fmt.Errorf("%w: injected decode fault", ErrFrame)
+	}
 	if len(b) < lenSize {
 		return q, 0, ErrShort
 	}

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"strings"
 	"testing"
+
+	"secstack/internal/faultpoint"
 )
 
 func TestRequestRoundTrip(t *testing.T) {
@@ -19,6 +21,7 @@ func TestRequestRoundTrip(t *testing.T) {
 		{Op: OpFunnelTryAdd, Arg: -(1 << 62)},
 		{Op: OpFunnelLoad},
 		{Op: OpStats},
+		{Op: OpRetryMark, Arg: 3},
 	}
 	for _, q := range cases {
 		t.Run(q.Op.String(), func(t *testing.T) {
@@ -138,6 +141,21 @@ func TestDecodeReplyErrors(t *testing.T) {
 				t.Fatalf("got n=%d err=%v, want %v", n, err, tc.want)
 			}
 		})
+	}
+}
+
+// TestDecodeFaultpoint pins the wire.decode injection site: armed, a
+// perfectly valid frame decodes as ErrFrame - the malformed-bytes path
+// without malformed bytes - and disarmed decoding is untouched.
+func TestDecodeFaultpoint(t *testing.T) {
+	defer faultpoint.Reset()
+	valid := AppendRequest(nil, Request{Op: OpStackPush, Arg: 7})
+	faultpoint.Arm(FPDecode, faultpoint.Spec{Action: faultpoint.ActError, Count: 1})
+	if _, n, err := DecodeRequest(valid); !errors.Is(err, ErrFrame) || n != 0 {
+		t.Fatalf("armed decode: n=%d err=%v, want ErrFrame", n, err)
+	}
+	if q, _, err := DecodeRequest(valid); err != nil || q.Arg != 7 {
+		t.Fatalf("decode after the Count window: %+v %v", q, err)
 	}
 }
 

@@ -46,6 +46,7 @@ import (
 
 	"secstack/internal/config"
 	"secstack/internal/core"
+	"secstack/internal/faultpoint"
 	"secstack/internal/isession"
 	"secstack/internal/metrics"
 	"secstack/internal/pad"
@@ -81,6 +82,33 @@ const (
 	// the pass never stalls unboundedly; the next pass resumes where
 	// this one stopped.
 	drainBurst = 1024
+)
+
+// Fault-injection sites (internal/faultpoint) on the elastic drain
+// protocol. All three sit off the Put/Get fast path: the first two
+// fire only inside controller-held migration passes, the third only
+// in sync's already-cold epoch-mismatch branch, so a disarmed site
+// costs the fast path nothing at all.
+const (
+	// FPMigrateContended makes a migration pass behave as if every
+	// TryPop steal off the retiring shard hit contention, forcing the
+	// full-protocol Pop escalation - the straggler-mid-op fallback that
+	// organic tests cannot schedule on demand.
+	FPMigrateContended = "pool.migrate.contended"
+
+	// FPMigrateStall makes a migration pass return without draining
+	// anything, as if the burst budget were exhausted immediately. The
+	// retiring shard then stays in the draining state across passes,
+	// holding open the window in which a grow vote must cancel the
+	// drain in flight.
+	FPMigrateStall = "pool.migrate.stall"
+
+	// FPSyncStale suppresses a handle's epoch re-home once, modelling
+	// the documented stale-stamp race: the handle keeps operating
+	// against its pre-resize home - possibly a fenced shard - until its
+	// next op, so elements can land beyond the live window and must be
+	// recovered by the controller's straggler sweep.
+	FPSyncStale = "pool.sync.stale"
 )
 
 // elasticStats are the controller's own steal and resize tallies, kept
@@ -466,7 +494,11 @@ func (h *Handle[T]) sync() {
 		return
 	}
 	if ep := p.epoch.Load(); ep != h.epoch {
-		h.rehome(ep)
+		// An injected stale stamp skips this re-home, as if a resize
+		// raced it; the handle stays on its old window for one op.
+		if !faultpoint.Fired(FPSyncStale) {
+			h.rehome(ep)
+		}
 	}
 	if h.ticks++; h.ticks >= p.period {
 		h.ticks = 0
@@ -824,6 +856,9 @@ func (p *Pool[T]) beginShrink(k int) {
 // elements move per call; reports whether the shard was observed
 // empty. Called only under ctl.mu.
 func (p *Pool[T]) migrate(i int) (empty bool) {
+	if faultpoint.Fired(FPMigrateStall) {
+		return false // injected no-progress pass; the drain stays open
+	}
 	h := p.drainHandle()
 	if h == nil {
 		return false
@@ -836,7 +871,11 @@ func (p *Pool[T]) migrate(i int) (empty bool) {
 		}
 	}()
 	for moved < drainBurst {
-		v, ok, applied := h.handles[i].TryPop()
+		var v T
+		ok, applied := false, false
+		if !faultpoint.Fired(FPMigrateContended) {
+			v, ok, applied = h.handles[i].TryPop()
+		}
 		if applied && !ok {
 			return true // observed empty, uncontended
 		}
