@@ -13,6 +13,7 @@ import (
 	"secstack/funnel"
 	"secstack/internal/core"
 	"secstack/pool"
+	"secstack/queue"
 	"secstack/stack"
 )
 
@@ -167,6 +168,103 @@ func TestAllocCeilingFunnelSolo(t *testing.T) {
 	avg := testing.AllocsPerRun(2000, func() { h.FetchAdd(1) })
 	if avg > allocCeiling {
 		t.Fatalf("funnel solo FetchAdd allocates %.3f allocs/op, ceiling %.2f", avg, allocCeiling)
+	}
+}
+
+// TestAllocCeilingQueue: an uncontended enqueue/dequeue cycle on the
+// adaptive queue with batch recycling is two solo TryLock applies to
+// the warmed segmented ring, announced through the handle's scratch
+// field (not a heap-escaping local) - nothing on the heap in steady
+// state. The ring's segments allocate on first touch during warmup
+// and are retained, so the measured regime reuses them.
+func TestAllocCeilingQueue(t *testing.T) {
+	q := queue.New[int64](
+		queue.WithCapacity(256),
+		queue.WithAdaptive(true),
+		queue.WithBatchRecycling(true),
+	)
+	h := q.Register()
+	defer h.Close()
+	for i := int64(0); i < 4096; i++ { // touch every segment, settle free lists
+		h.Enqueue(i)
+		h.Dequeue()
+	}
+	avg := testing.AllocsPerRun(2000, func() {
+		h.Enqueue(7)
+		h.Dequeue()
+	})
+	if avg > allocCeiling {
+		t.Fatalf("queue solo enqueue/dequeue allocates %.3f allocs/op, ceiling %.2f", avg, allocCeiling)
+	}
+}
+
+// TestAllocCeilingQueueTryMiss: the Try* forms' *miss* shapes - a
+// TryDequeue observing empty and a TryEnqueue observing full - are one
+// solo TryLock apply each and must also stay off the heap: the miss
+// result travels through the session's scratch batch's response
+// table, never through a fresh allocation.
+func TestAllocCeilingQueueTryMiss(t *testing.T) {
+	empty := queue.New[int64](
+		queue.WithCapacity(8),
+		queue.WithAdaptive(true),
+		queue.WithBatchRecycling(true),
+	)
+	he := empty.Register()
+	defer he.Close()
+	for i := 0; i < 512; i++ { // settle the scratch batch
+		he.TryDequeue()
+	}
+	avg := testing.AllocsPerRun(2000, func() {
+		if _, ok := he.TryDequeue(); ok {
+			t.Fatal("TryDequeue on an empty queue succeeded")
+		}
+	})
+	if avg > allocCeiling {
+		t.Fatalf("TryDequeue empty-miss allocates %.3f allocs/op, ceiling %.2f", avg, allocCeiling)
+	}
+
+	full := queue.New[int64](
+		queue.WithCapacity(8),
+		queue.WithAdaptive(true),
+		queue.WithBatchRecycling(true),
+	)
+	hf := full.Register()
+	defer hf.Close()
+	for i := int64(0); i < 8; i++ {
+		hf.Enqueue(i)
+	}
+	for i := 0; i < 512; i++ {
+		hf.TryEnqueue(9)
+	}
+	avg = testing.AllocsPerRun(2000, func() {
+		if hf.TryEnqueue(9) {
+			t.Fatal("TryEnqueue on a full queue succeeded")
+		}
+	})
+	if avg > allocCeiling {
+		t.Fatalf("TryEnqueue full-miss allocates %.3f allocs/op, ceiling %.2f", avg, allocCeiling)
+	}
+}
+
+// TestAllocCeilingImplicitQueue: handle-free Enqueue/Dequeue over a
+// warm per-P session cache - the same zero-alloc solo cycle as the
+// explicit guard, plus the slot swap.
+func TestAllocCeilingImplicitQueue(t *testing.T) {
+	q := queue.New[int64](
+		queue.WithCapacity(256),
+		queue.WithAdaptive(true),
+		queue.WithBatchRecycling(true),
+	)
+	for i := int64(0); i < 4096; i++ {
+		q.Enqueue(i)
+		q.Dequeue()
+	}
+	avg := testing.AllocsPerRun(2000, func() {
+		q.Enqueue(7)
+		q.Dequeue()
+	})
+	if avg > allocCeiling {
+		t.Fatalf("implicit Enqueue/Dequeue allocates %.3f allocs/op, ceiling %.2f", avg, allocCeiling)
 	}
 }
 

@@ -10,6 +10,7 @@
 //	secbench -fig spin        # freezer-backoff ablation: fixed FreezerSpin ladder vs the adaptive controller
 //	secbench -fig implicit    # handle-free ablation: per-P implicit sessions vs explicit handles vs spill-only
 //	secbench -fig elastic     # elastic-pool ablation: static shard count vs the elastic controller, with live_shards per rung
+//	secbench -fig queue       # queue head-to-head: the bounded SEC queue vs a buffered Go channel, with queue degree rows per rung
 //	secbench -table 1         # Table 1: degree/occupancy tables, Emerald
 //	secbench -all             # everything
 //	secbench -all -paper      # paper-fidelity settings (5s x 5 runs)
@@ -21,12 +22,12 @@
 // Table 3 the Sapphire repeats. Output is text tables with the same
 // rows/series the paper plots; -table additionally prints the batch
 // occupancy and elimination-rate counters the agg engine records for
-// the deque, funnel and pool next to the paper's SEC stack degrees
+// the deque, funnel, pool and queue next to the paper's SEC stack degrees
 // (the pool rows carry the put-steal and shard-scaling inheritance
 // counters of the bidirectional load-balancing work).
 //
 // With -json, each figure or table is also written as one
-// machine-readable BENCH_<fig>.json document (schema secbench/v7; see
+// machine-readable BENCH_<fig>.json document (schema secbench/v9; see
 // internal/harness/json.go for the version history).
 package main
 
@@ -115,7 +116,7 @@ func writeDoc(st settings, doc *harness.BenchDoc) {
 
 func main() {
 	var (
-		fig     = flag.String("fig", "", "figure to regenerate: 2a, 2b, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, adaptive, spin, implicit, elastic")
+		fig     = flag.String("fig", "", "figure to regenerate: 2a, 2b, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, adaptive, spin, implicit, elastic, queue")
 		table   = flag.Int("table", 0, "table to regenerate: 1, 2, 3")
 		all     = flag.Bool("all", false, "regenerate every figure and table")
 		paper   = flag.Bool("paper", false, "paper-fidelity settings: 5s windows, 5 runs")
@@ -243,7 +244,7 @@ func aggColumns() ([]string, func(string) harness.Factory) {
 func runFig(fig string, st settings) {
 	name := "fig" + fig
 	switch fig {
-	case "adaptive", "spin", "implicit", "elastic":
+	case "adaptive", "spin", "implicit", "elastic", "queue":
 		// The ablations are not paper figures; their JSON documents are
 		// named after the ablation itself (BENCH_implicit.json, ...).
 		name = fig
@@ -280,6 +281,8 @@ func runFig(fig string, st settings) {
 		figImplicit("Implicit", st, doc)
 	case "elastic":
 		figElastic("Elastic", st, doc)
+	case "queue":
+		figQueue("Queue", st, doc)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown figure %q\n", fig)
 		os.Exit(2)
@@ -551,13 +554,70 @@ func figElastic(title string, st settings, doc *harness.BenchDoc) {
 	}
 }
 
+// figQueue renders the queue head-to-head (not a paper figure; see
+// DESIGN.md §15): the bounded SEC queue - adaptive fast path and batch
+// recycling on, driven through the channel-shaped TryEnqueue /
+// TryDequeue forms - against a buffered Go channel of the same
+// capacity driven through select/default, over the implicit ablation's
+// contention ladder (solo, small group, machine-wide, oversubscribed)
+// under the update mixes. The queue arm additionally emits one degree
+// row per 100%-update rung, showing how much batching the combiners
+// see at each degree; the chan arm has no internals to report.
+func figQueue(title string, st settings, doc *harness.BenchDoc) {
+	ladder := []int{1, 2, 4}
+	if p := runtime.GOMAXPROCS(0); p > 4 {
+		ladder = append(ladder, p)
+	}
+	if over := 4 * runtime.GOMAXPROCS(0); over > ladder[len(ladder)-1] {
+		ladder = append(ladder, over)
+	}
+	arms := []struct {
+		col string
+		run func(cfg harness.Config) harness.Result
+	}{
+		{"sec_queue", harness.RunQueue},
+		{"chan", harness.RunChan},
+	}
+	var rows []harness.DegreeRow
+	for _, wl := range harness.UpdateWorkloads() {
+		for _, arm := range arms {
+			s := harness.NewSeries(fmt.Sprintf("%s %s, %s", title, arm.col, wl.Name), []string{arm.col})
+			for _, threads := range ladder {
+				cfg := harness.Config{
+					Label:    arm.col,
+					Threads:  threads,
+					Duration: st.duration,
+					Prefill:  st.prefill,
+					Workload: wl,
+					Runs:     st.runs,
+				}
+				r := arm.run(cfg)
+				s.Add(arm.col, r)
+				if pr := progress(st); pr != nil {
+					pr(fmt.Sprintf("%s %s %s threads=%d: %.2f Mops/s", title, arm.col, wl.Name, threads, r.Mops))
+				}
+				if arm.col == "sec_queue" && wl.Name == harness.Update100.Name {
+					rows = append(rows, harness.DegreeRowFrom(fmt.Sprintf("t=%d", threads), r.Degrees))
+				}
+			}
+			emit(s, st, doc)
+		}
+	}
+	tbl := "Queue degrees (sec_queue arm, 100% updates, per rung)"
+	fmt.Println(harness.DegreeTable(tbl, rows))
+	if doc != nil {
+		doc.AddTable(tbl, "queue", rows)
+	}
+}
+
 // runTable renders a Table 1/2/3-style degree table set - batching
 // degree, %elimination, %combining and %occupancy per update mix,
 // averaged across the machine's thread ladder as the paper does - for
 // each of the batch-protocol structures: the SEC stack (the paper's
-// Tables 1-3), the deque and the funnel (whose degree counters the
-// shared agg engine records identically), and the pool (whose rows add
-// the put-steal hit/miss and spin-inheritance counters).
+// Tables 1-3), the deque, the funnel and the queue (whose degree
+// counters the shared agg engine records identically), and the pool
+// (whose rows add the put-steal hit/miss and spin-inheritance
+// counters).
 func runTable(n int, st settings) {
 	var m harness.Machine
 	switch n {
@@ -583,6 +643,7 @@ func runTable(n int, st settings) {
 		{"deque", harness.RunDeque},
 		{"funnel", harness.RunFunnel},
 		{"pool", harness.RunPool},
+		{"queue", harness.RunQueue},
 	}
 	for _, sc := range structures {
 		rows := make([]harness.DegreeRow, 0, 3)

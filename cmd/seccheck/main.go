@@ -1,11 +1,13 @@
-// Command seccheck stress-checks the concurrent stacks: many rounds of
-// small concurrent histories verified with the exhaustive
-// linearizability checker, plus a large element-conservation run.
+// Command seccheck stress-checks the concurrent stacks and the bounded
+// queue: many rounds of small concurrent histories verified with the
+// exhaustive linearizability checkers, plus a large
+// element-conservation run per structure.
 //
 // Usage:
 //
-//	seccheck                  # check every algorithm briefly
+//	seccheck                  # check every stack algorithm and the queue briefly
 //	seccheck -alg SEC -rounds 500 -threads 6
+//	seccheck -alg queue       # the FIFO checks alone
 //	seccheck -list            # print the algorithm registry and exit
 package main
 
@@ -17,6 +19,7 @@ import (
 
 	"secstack/internal/lincheck"
 	"secstack/internal/xrand"
+	"secstack/queue"
 	"secstack/stack"
 )
 
@@ -41,9 +44,16 @@ func main() {
 		return
 	}
 
+	// "queue" is not a stack algorithm but shares the checker harness:
+	// -alg queue runs the FIFO checks alone; no -alg runs them after
+	// the stack registry.
 	algs := stack.Algorithms()
-	if *algFlag != "" {
+	checkQ := true
+	if *algFlag == "queue" {
+		algs = nil
+	} else if *algFlag != "" {
 		algs = []stack.Algorithm{stack.Algorithm(*algFlag)}
+		checkQ = false
 		if _, err := stack.New[int64](algs[0]); err != nil {
 			fmt.Fprintf(os.Stderr, "%v\n", err)
 			os.Exit(2)
@@ -69,9 +79,151 @@ func main() {
 			fmt.Println("ok")
 		}
 	}
+	if checkQ {
+		fmt.Printf("%-5s linearizability: %d rounds x %d threads x %d ops ... ",
+			"queue", *rounds, *threads, *opsPer)
+		if n := checkQueueLinearizability(*rounds, *threads, *opsPer); n > 0 {
+			fmt.Printf("FAILED (%d non-linearizable histories)\n", n)
+			failed = true
+		} else {
+			fmt.Println("ok")
+		}
+		fmt.Printf("%-5s conservation: %d threads x %d ops ... ", "queue", *threads, *consOps)
+		if err := checkQueueConservation(*threads, *consOps); err != nil {
+			fmt.Printf("FAILED (%v)\n", err)
+			failed = true
+		} else {
+			fmt.Println("ok")
+		}
+	}
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// qCheckCapacity keeps the FIFO rounds' queues small enough that both
+// full and empty observations appear in the histories.
+const qCheckCapacity = 3
+
+// checkQueueLinearizability runs `rounds` small concurrent histories
+// on the bounded queue - full protocol, Try* solo CASes and the
+// adaptive fast path mixed - and returns the number that fail the
+// exhaustive FIFO check.
+func checkQueueLinearizability(rounds, threads, opsPer int) int {
+	bad := 0
+	for r := 0; r < rounds; r++ {
+		q := queue.New[int64](queue.WithCapacity(qCheckCapacity),
+			queue.WithAdaptive(true), queue.WithBatchRecycling(true))
+		rec := lincheck.NewQRecorder(threads)
+		var wg sync.WaitGroup
+		for t := 0; t < threads; t++ {
+			wg.Add(1)
+			go func(t int) {
+				defer wg.Done()
+				h := q.Register()
+				defer h.Close()
+				rng := xrand.New(uint64(r)*1_000_003 + uint64(t)*7919)
+				base := int64(t+1) << 32
+				for i := 0; i < opsPer; i++ {
+					switch rng.Intn(4) {
+					case 0:
+						v := base + int64(i)
+						inv := rec.Begin()
+						ok := h.Enqueue(v)
+						rec.RecordEnqueue(t, v, ok, inv)
+					case 1:
+						v := base + int64(i) + (1 << 24)
+						inv := rec.Begin()
+						ok := h.TryEnqueue(v)
+						rec.RecordEnqueue(t, v, ok, inv)
+					case 2:
+						inv := rec.Begin()
+						v, ok := h.Dequeue()
+						rec.RecordDequeue(t, v, ok, inv)
+					default:
+						inv := rec.Begin()
+						v, ok := h.TryDequeue()
+						rec.RecordDequeue(t, v, ok, inv)
+					}
+				}
+			}(t)
+		}
+		wg.Wait()
+		if h := rec.History(); !lincheck.CheckQueue(h, qCheckCapacity) {
+			bad++
+			fmt.Fprintf(os.Stderr, "\n  round %d not linearizable:\n", r)
+			for _, op := range h {
+				fmt.Fprintf(os.Stderr, "    %s\n", op)
+			}
+		}
+	}
+	return bad
+}
+
+// checkQueueConservation enqueues unique values from every thread -
+// counting only admitted enqueues, since the bound rejects some - and
+// verifies that drain(dequeued) == admitted as multisets.
+func checkQueueConservation(threads, opsPer int) error {
+	q := queue.New[int64](queue.WithAdaptive(true), queue.WithBatchRecycling(true))
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		dequeued = make(map[int64]int)
+		admitted = make(map[int64]bool)
+	)
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			h := q.Register()
+			defer h.Close()
+			rng := xrand.New(uint64(t) + 99)
+			localDeq := make(map[int64]int)
+			localAdm := make(map[int64]bool)
+			next := int64(t) << 32
+			for i := 0; i < opsPer; i++ {
+				if rng.Intn(2) == 0 {
+					next++
+					if h.TryEnqueue(next) {
+						localAdm[next] = true
+					}
+				} else if v, ok := h.TryDequeue(); ok {
+					localDeq[v]++
+				}
+			}
+			mu.Lock()
+			for v, c := range localDeq {
+				dequeued[v] += c
+			}
+			for v := range localAdm {
+				admitted[v] = true
+			}
+			mu.Unlock()
+		}(t)
+	}
+	wg.Wait()
+	h := q.Register()
+	defer h.Close()
+	for {
+		v, ok := h.Dequeue()
+		if !ok {
+			break
+		}
+		dequeued[v]++
+	}
+	for v, c := range dequeued {
+		if c != 1 {
+			return fmt.Errorf("value %d dequeued %d times", v, c)
+		}
+		if !admitted[v] {
+			return fmt.Errorf("value %d dequeued but never admitted", v)
+		}
+		delete(admitted, v)
+	}
+	if len(admitted) != 0 {
+		return fmt.Errorf("%d admitted values lost", len(admitted))
+	}
+	return nil
 }
 
 // checkLinearizability runs `rounds` small concurrent histories and

@@ -19,6 +19,7 @@ import (
 	"secstack/deque"
 	"secstack/funnel"
 	"secstack/pool"
+	"secstack/queue"
 	"secstack/stack"
 )
 
@@ -254,6 +255,67 @@ func TestImplicitChurnFunnel(t *testing.T) {
 	}
 	assertExplicitHeadroom(t, 8, func() (func(), error) {
 		h, err := f.TryRegister()
+		if err != nil {
+			return nil, err
+		}
+		return h.Close, nil
+	})
+}
+
+// TestImplicitChurnQueue drives the bounded queue through the
+// handle-free API only, racing forced GCs against the cache's
+// cleanups. The queue's capacity bound adds a shape the other
+// structures' churns lack: enqueues may be *rejected*, so conservation
+// counts admitted enqueues (Enqueue's boolean), not attempts.
+func TestImplicitChurnQueue(t *testing.T) {
+	q := queue.New[int64](
+		queue.WithMaxThreads(implicitMaxThreads()),
+		queue.WithCapacity(64), // small: keeps full rejections in play
+		queue.WithAdaptive(true),
+	)
+	var enq, deq int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < implicitChurnWorkers(); w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := int64(w+1) << 32
+			myEnq, myDeq := int64(0), int64(0)
+			for i := int64(1); i <= 200; i++ {
+				if q.TryEnqueue(base + i) {
+					myEnq++
+				}
+				if i%2 == 0 {
+					if _, ok := q.TryDequeue(); ok {
+						myDeq++
+					}
+				}
+				if i%64 == 0 {
+					runtime.GC()
+				}
+			}
+			mu.Lock()
+			enq += myEnq
+			deq += myDeq
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	for {
+		if _, ok := q.Dequeue(); !ok {
+			break
+		}
+		deq++
+	}
+	if enq != deq {
+		t.Fatalf("implicit queue churn: admitted %d != dequeued %d", enq, deq)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("implicit queue churn: Len=%d after full drain", q.Len())
+	}
+	assertExplicitHeadroom(t, 8, func() (func(), error) {
+		h, err := q.TryRegister()
 		if err != nil {
 			return nil, err
 		}

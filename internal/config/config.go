@@ -94,6 +94,11 @@ type Config struct {
 	// over noisier windows. Values < 1 clamp to 1. Default 2048.
 	ElasticPeriod int
 
+	// Capacity bounds the queue's element count. A full queue rejects
+	// TryEnqueue/Enqueue with false rather than blocking, matching the
+	// non-blocking half of a buffered channel's contract. Default 1024.
+	Capacity int
+
 	// Initial is the funnel counter's starting value.
 	Initial int64
 
@@ -149,6 +154,7 @@ func Default() Config {
 		FreezerSpin:    128,
 		Shards:         4,
 		PutOverflow:    2,
+		Capacity:       1024,
 		ElasticPeriod:  2048,
 		BackoffMin:     4,
 		BackoffMax:     1024,
@@ -267,6 +273,12 @@ func WithElasticShards(on bool) Option {
 // clamp to 1.
 func WithElasticPeriod(k int) Option {
 	return func(c *Config) { c.ElasticPeriod = max(k, 1) }
+}
+
+// WithCapacity bounds the queue's element count (clamped to at least
+// 1). Enqueues into a full queue return false instead of blocking.
+func WithCapacity(n int) Option {
+	return func(c *Config) { c.Capacity = max(n, 1) }
 }
 
 // WithInitial sets the funnel counter's starting value.

@@ -31,7 +31,11 @@ import (
 // replayed-attempt count and the operations abandoned with the retry
 // budget exhausted (the chaos smoke's zero-acked-loss invariant is
 // lost == 0 under fault injection).
-const Schema = "secbench/v8"
+// v9 added the queue structure: the bounded MPMC FIFO joins the degree
+// tables, and the queue-vs-channel head-to-head (`-fig queue`) emits a
+// chan-arm series whose degree snapshot is empty (a channel exposes no
+// batching internals).
+const Schema = "secbench/v9"
 
 // BenchDoc is the top-level JSON document for one figure or table: its
 // sweeps' throughput series and/or its degree tables.

@@ -15,6 +15,7 @@ import (
 	"secstack/funnel"
 	"secstack/internal/metrics"
 	"secstack/pool"
+	"secstack/queue"
 )
 
 // structureOps is one worker's operation set over a generic structure:
@@ -192,6 +193,83 @@ func RunPoolOpts(cfg Config, opts ...pool.Option) Result {
 			}
 		}
 		return register, p.Snapshot
+	})
+}
+
+// queueCapacity sizes both arms of the queue-vs-channel comparison:
+// comfortably above the prefill level the self-balancing mixes hover
+// around, so the measured regime is the transfer path rather than
+// full/empty rejection churn, and identical for the chan arm.
+func queueCapacity(cfg Config) int {
+	return max(1024, 2*cfg.Prefill)
+}
+
+// RunQueue measures the instrumented SEC queue under cfg's mix: pushes
+// map to TryEnqueue, pops to TryDequeue (the channel-shaped
+// non-blocking forms - full rejections and empty misses count as
+// operations, exactly as a select/default does), peeks to Len.
+// Adaptivity and batch recycling are on, the configuration the
+// head-to-head against chan runs in.
+func RunQueue(cfg Config) Result {
+	return runStructure(cfg, func(cfg Config) (func(t int) structureOps, func() metrics.Snapshot) {
+		q := queue.New[int64](
+			queue.WithMetrics(),
+			queue.WithMaxThreads(cfg.Threads+1),
+			queue.WithCapacity(queueCapacity(cfg)),
+			queue.WithAdaptive(true),
+			queue.WithBatchRecycling(true),
+		)
+		if cfg.Prefill > 0 {
+			h := q.Register()
+			for i := 0; i < cfg.Prefill; i++ {
+				h.Enqueue(int64(1)<<48 | int64(i))
+			}
+			h.Close()
+		}
+		register := func(t int) structureOps {
+			h := q.Register()
+			return structureOps{
+				push: func(v int64) { h.TryEnqueue(v) },
+				pop:  func() { h.TryDequeue() },
+				read: func() { q.Len() },
+				done: h.Close,
+			}
+		}
+		return register, func() metrics.Snapshot { return q.Metrics().Snapshot() }
+	})
+}
+
+// RunChan measures a buffered Go channel as the queue's native
+// baseline, under the same mix and the same capacity: pushes map to a
+// select/default send (drop when full), pops to a select/default
+// receive, peeks to len(ch) - the channel's non-blocking forms,
+// matching RunQueue's op mapping. The degree snapshot is empty; a
+// channel exposes no batching internals.
+func RunChan(cfg Config) Result {
+	return runStructure(cfg, func(cfg Config) (func(t int) structureOps, func() metrics.Snapshot) {
+		ch := make(chan int64, queueCapacity(cfg))
+		for i := 0; i < cfg.Prefill; i++ {
+			ch <- int64(1)<<48 | int64(i)
+		}
+		register := func(t int) structureOps {
+			return structureOps{
+				push: func(v int64) {
+					select {
+					case ch <- v:
+					default:
+					}
+				},
+				pop: func() {
+					select {
+					case <-ch:
+					default:
+					}
+				},
+				read: func() { _ = len(ch) },
+				done: func() {},
+			}
+		}
+		return register, func() metrics.Snapshot { return metrics.Snapshot{} }
 	})
 }
 

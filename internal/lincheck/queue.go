@@ -1,0 +1,171 @@
+package lincheck
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// QKind is the operation type of a queue history event.
+type QKind int
+
+// Queue operation kinds.
+const (
+	Enqueue QKind = iota
+	Dequeue
+)
+
+func (k QKind) String() string {
+	switch k {
+	case Enqueue:
+		return "enq"
+	case Dequeue:
+		return "deq"
+	}
+	return fmt.Sprintf("QKind(%d)", int(k))
+}
+
+// QOp is one completed queue operation.
+type QOp struct {
+	Thread int
+	Kind   QKind
+	Value  int64 // enqueued value, or value returned by a successful dequeue
+	OK     bool  // enqueues: false means "observed full"; dequeues: false means "observed empty"
+	Invoke int64
+	Return int64
+}
+
+func (o QOp) String() string {
+	switch o.Kind {
+	case Enqueue:
+		if !o.OK {
+			return fmt.Sprintf("T%d enq(%d)=full @[%d,%d]", o.Thread, o.Value, o.Invoke, o.Return)
+		}
+		return fmt.Sprintf("T%d enq(%d) @[%d,%d]", o.Thread, o.Value, o.Invoke, o.Return)
+	default:
+		if !o.OK {
+			return fmt.Sprintf("T%d deq()=empty @[%d,%d]", o.Thread, o.Invoke, o.Return)
+		}
+		return fmt.Sprintf("T%d deq()=%d @[%d,%d]", o.Thread, o.Value, o.Invoke, o.Return)
+	}
+}
+
+// CheckQueue reports whether history is linearizable with respect to
+// sequential bounded-FIFO semantics with the given capacity: each
+// dequeue must return the oldest undequeued enqueue in some total
+// order consistent with the operations' overlap windows, a failed
+// dequeue must observe an empty queue, and a failed enqueue must
+// observe exactly capacity elements. capacity <= 0 means unbounded
+// (failed enqueues are then never legal). The search is the same
+// memoized Wing-Gong DFS as CheckStack; it panics past 63 operations.
+func CheckQueue(history []QOp, capacity int) bool {
+	if len(history) > maxOps {
+		panic(fmt.Sprintf("lincheck: history of %d ops exceeds the %d-op bound", len(history), maxOps))
+	}
+	c := &queueChecker{ops: history, capacity: capacity, memo: make(map[string]bool)}
+	return c.search(0, nil)
+}
+
+type queueChecker struct {
+	ops      []QOp
+	capacity int
+	memo     map[string]bool
+}
+
+func (c *queueChecker) search(done uint64, q []int64) bool {
+	if done == (uint64(1)<<len(c.ops))-1 {
+		return true
+	}
+	k := key(done, q)
+	if c.memo[k] {
+		return false
+	}
+	minReturn := int64(1) << 62
+	for i, op := range c.ops {
+		if done&(1<<i) == 0 && op.Return < minReturn {
+			minReturn = op.Return
+		}
+	}
+	for i, op := range c.ops {
+		if done&(1<<i) != 0 || op.Invoke > minReturn {
+			continue
+		}
+		next, legal := c.applyQueue(q, op)
+		if !legal {
+			continue
+		}
+		if c.search(done|1<<i, next) {
+			return true
+		}
+	}
+	c.memo[k] = true
+	return false
+}
+
+// applyQueue runs op against the abstract queue (index 0 = front).
+func (c *queueChecker) applyQueue(q []int64, op QOp) ([]int64, bool) {
+	switch op.Kind {
+	case Enqueue:
+		if !op.OK {
+			return q, c.capacity > 0 && len(q) == c.capacity
+		}
+		if c.capacity > 0 && len(q) >= c.capacity {
+			return nil, false
+		}
+		next := make([]int64, len(q), len(q)+1)
+		copy(next, q)
+		return append(next, op.Value), true
+	case Dequeue:
+		if !op.OK {
+			return q, len(q) == 0
+		}
+		if len(q) == 0 || q[0] != op.Value {
+			return nil, false
+		}
+		return q[1:], true
+	}
+	return nil, false
+}
+
+// QRecorder collects a concurrent queue history; see Recorder.
+type QRecorder struct {
+	clock atomic.Int64
+	slots []qThreadLog
+}
+
+type qThreadLog struct {
+	ops []QOp
+	_   [40]byte
+}
+
+// NewQRecorder returns a recorder for up to threads worker goroutines.
+func NewQRecorder(threads int) *QRecorder {
+	return &QRecorder{slots: make([]qThreadLog, threads)}
+}
+
+// Begin stamps an operation invocation.
+func (r *QRecorder) Begin() int64 { return r.clock.Add(1) }
+
+// RecordEnqueue appends a completed enqueue (ok=false: observed full).
+func (r *QRecorder) RecordEnqueue(t int, v int64, ok bool, invoke int64) {
+	r.slots[t].ops = append(r.slots[t].ops, QOp{
+		Thread: t, Kind: Enqueue, Value: v, OK: ok,
+		Invoke: invoke, Return: r.clock.Add(1),
+	})
+}
+
+// RecordDequeue appends a completed dequeue (ok=false: observed empty).
+func (r *QRecorder) RecordDequeue(t int, v int64, ok bool, invoke int64) {
+	r.slots[t].ops = append(r.slots[t].ops, QOp{
+		Thread: t, Kind: Dequeue, Value: v, OK: ok,
+		Invoke: invoke, Return: r.clock.Add(1),
+	})
+}
+
+// History returns all recorded operations; call after workers finish.
+func (r *QRecorder) History() []QOp {
+	var out []QOp
+	for i := range r.slots {
+		out = append(out, r.slots[i].ops...)
+	}
+	return out
+}

@@ -1,0 +1,178 @@
+package lincheck
+
+import "testing"
+
+type qstep struct {
+	kind QKind
+	v    int64
+	ok   bool
+}
+
+func seqQHistory(steps []qstep) []QOp {
+	ops := make([]QOp, len(steps))
+	t := int64(0)
+	for i, s := range steps {
+		t++
+		inv := t
+		t++
+		ops[i] = QOp{Kind: s.kind, Value: s.v, OK: s.ok, Invoke: inv, Return: t}
+	}
+	return ops
+}
+
+func TestQueueSequentialLegal(t *testing.T) {
+	h := seqQHistory([]qstep{
+		{Enqueue, 1, true}, {Enqueue, 2, true}, {Enqueue, 3, true},
+		{Dequeue, 1, true}, {Dequeue, 2, true}, {Dequeue, 3, true},
+		{Dequeue, 0, false},
+	})
+	if !CheckQueue(h, 0) {
+		t.Fatal("legal sequential FIFO history rejected")
+	}
+	if !CheckQueue(h, 3) {
+		t.Fatal("legal sequential FIFO history rejected under exact capacity")
+	}
+}
+
+func TestQueueNonFIFORejected(t *testing.T) {
+	h := seqQHistory([]qstep{
+		{Enqueue, 1, true}, {Enqueue, 2, true},
+		{Dequeue, 2, true}, // LIFO order: 1 is at the front
+	})
+	if CheckQueue(h, 0) {
+		t.Fatal("LIFO dequeue order accepted by the FIFO checker")
+	}
+}
+
+func TestQueueDequeueNeverEnqueued(t *testing.T) {
+	h := seqQHistory([]qstep{
+		{Enqueue, 1, true},
+		{Dequeue, 7, true},
+	})
+	if CheckQueue(h, 0) {
+		t.Fatal("dequeue of a never-enqueued value accepted")
+	}
+}
+
+func TestQueueFalseEmpty(t *testing.T) {
+	h := seqQHistory([]qstep{
+		{Enqueue, 1, true},
+		{Dequeue, 0, false}, // claims empty while 1 is enqueued
+		{Dequeue, 1, true},
+	})
+	if CheckQueue(h, 0) {
+		t.Fatal("empty-dequeue with an element present accepted")
+	}
+}
+
+func TestQueueConcurrentEmptyDequeue(t *testing.T) {
+	// deq()=empty overlaps the enqueue: legal if ordered before it.
+	h := []QOp{
+		{Kind: Enqueue, Value: 1, OK: true, Invoke: 1, Return: 4},
+		{Kind: Dequeue, Value: 0, OK: false, Invoke: 2, Return: 3},
+		{Kind: Dequeue, Value: 1, OK: true, Invoke: 5, Return: 6},
+	}
+	if !CheckQueue(h, 0) {
+		t.Fatal("overlapping empty-dequeue rejected")
+	}
+}
+
+func TestQueueCapacityExceededRejected(t *testing.T) {
+	h := seqQHistory([]qstep{
+		{Enqueue, 1, true},
+		{Enqueue, 2, true}, // capacity 1: this must have observed full
+	})
+	if CheckQueue(h, 1) {
+		t.Fatal("enqueue past capacity accepted")
+	}
+	if !CheckQueue(h, 2) {
+		t.Fatal("same history rejected under sufficient capacity")
+	}
+}
+
+func TestQueueFullEnqueueLegality(t *testing.T) {
+	full := seqQHistory([]qstep{
+		{Enqueue, 1, true},
+		{Enqueue, 2, false}, // full at capacity 1
+		{Dequeue, 1, true},
+		{Enqueue, 3, true},
+		{Dequeue, 3, true},
+	})
+	if !CheckQueue(full, 1) {
+		t.Fatal("legal full-enqueue history rejected")
+	}
+	// A "full" result while the queue has spare room is a lie.
+	spare := seqQHistory([]qstep{
+		{Enqueue, 1, true},
+		{Enqueue, 2, false},
+	})
+	if CheckQueue(spare, 2) {
+		t.Fatal("false-full enqueue accepted below capacity")
+	}
+	// Unbounded queues never report full.
+	if CheckQueue(spare, 0) {
+		t.Fatal("full enqueue accepted on an unbounded queue")
+	}
+}
+
+func TestQueueConcurrentFullEnqueue(t *testing.T) {
+	// enq(2)=full overlaps the dequeue that makes room: legal only if
+	// ordered before it.
+	h := []QOp{
+		{Kind: Enqueue, Value: 1, OK: true, Invoke: 1, Return: 2},
+		{Kind: Dequeue, Value: 1, OK: true, Invoke: 3, Return: 6},
+		{Kind: Enqueue, Value: 2, OK: false, Invoke: 4, Return: 5},
+	}
+	if !CheckQueue(h, 1) {
+		t.Fatal("overlapping full-enqueue rejected")
+	}
+}
+
+func TestQueueConcurrentReorder(t *testing.T) {
+	// Two overlapping enqueues; the dequeues fix their order.
+	h := []QOp{
+		{Thread: 0, Kind: Enqueue, Value: 1, OK: true, Invoke: 1, Return: 5},
+		{Thread: 1, Kind: Enqueue, Value: 2, OK: true, Invoke: 2, Return: 4},
+		{Thread: 0, Kind: Dequeue, Value: 2, OK: true, Invoke: 6, Return: 7},
+		{Thread: 1, Kind: Dequeue, Value: 1, OK: true, Invoke: 8, Return: 9},
+	}
+	if !CheckQueue(h, 0) {
+		t.Fatal("valid reorder of overlapping enqueues rejected")
+	}
+	// Without overlap the same dequeue order is a FIFO violation.
+	h[0].Return = 2
+	h[1].Invoke = 3
+	if CheckQueue(h, 0) {
+		t.Fatal("real-time enqueue order violated and accepted")
+	}
+}
+
+func TestQKindString(t *testing.T) {
+	if Enqueue.String() != "enq" || Dequeue.String() != "deq" {
+		t.Fatalf("kind strings: %v %v", Enqueue, Dequeue)
+	}
+	if QKind(9).String() == "" {
+		t.Fatal("unknown kind should still format")
+	}
+}
+
+func TestQOpString(t *testing.T) {
+	ops := seqQHistory([]qstep{
+		{Enqueue, 1, true}, {Enqueue, 2, false},
+		{Dequeue, 1, true}, {Dequeue, 0, false},
+	})
+	for _, o := range ops {
+		if o.String() == "" {
+			t.Fatalf("empty String for %#v", o)
+		}
+	}
+}
+
+func TestQueueOversizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversize history did not panic")
+		}
+	}()
+	CheckQueue(make([]QOp, maxOps+1), 0)
+}

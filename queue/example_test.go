@@ -1,0 +1,57 @@
+package queue_test
+
+import (
+	"fmt"
+
+	"secstack/queue"
+)
+
+// Example shows the channel-shaped contract: FIFO order, a full
+// queue rejecting enqueues, and an empty queue answering (zero, false)
+// - all through the handle-free API.
+func Example() {
+	q := queue.New[string](queue.WithCapacity(2))
+
+	fmt.Println(q.TryEnqueue("first"))
+	fmt.Println(q.TryEnqueue("second"))
+	fmt.Println(q.TryEnqueue("third")) // full: rejected, not blocked
+
+	v, ok := q.TryDequeue()
+	fmt.Println(v, ok)
+	v, ok = q.TryDequeue()
+	fmt.Println(v, ok)
+	v, ok = q.TryDequeue() // empty
+	fmt.Println(v == "", ok)
+
+	// Output:
+	// true
+	// true
+	// false
+	// first true
+	// second true
+	// true false
+}
+
+// ExampleQueue_Register shows the explicit-handle fast path for worker
+// loops: one session per goroutine, closed when the goroutine is done.
+func ExampleQueue_Register() {
+	q := queue.New[int](queue.WithCapacity(8))
+	h := q.Register()
+	defer h.Close()
+
+	for i := 1; i <= 3; i++ {
+		h.Enqueue(i * 10)
+	}
+	for {
+		v, ok := h.Dequeue()
+		if !ok {
+			break
+		}
+		fmt.Println(v)
+	}
+
+	// Output:
+	// 10
+	// 20
+	// 30
+}
